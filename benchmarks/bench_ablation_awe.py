@@ -1,0 +1,82 @@
+"""Ablation: AWE reduced-order evaluation vs a full AC sweep.
+
+ASTRX/OBLX's speed rests on evaluating candidates with AWE moment
+matching instead of a frequency sweep; this bench quantifies both the
+speed ratio and the accuracy of the AWE gain/UGF against a dense AC
+reference on an APE-sized op-amp.  Expected shape: AWE is several times
+faster per evaluation with percent-level gain error and UGF within a
+few tens of percent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.opamp import OpAmpSpec, OpAmpTopology, design_opamp
+from repro.opamp.benches import balanced_open_loop
+from repro.spice import ac_analysis, awe_poles, unity_gain_frequency
+from repro.spice.ac import log_frequencies
+
+
+@pytest.fixture(scope="module")
+def balanced_amp(tech=None):
+    from repro.technology import generic_05um
+
+    tech = generic_05um()
+    amp = design_opamp(
+        tech,
+        OpAmpSpec(gain=200.0, ugf=2e6, ibias=2e-6, cl=10e-12),
+        OpAmpTopology(current_source="wilson"),
+        name="awe-ablation",
+    )
+    _, bench, op = balanced_open_loop(amp)
+    return bench, op
+
+
+@pytest.mark.benchmark(group="ablation-awe")
+def test_awe_evaluation_speed(benchmark, balanced_amp):
+    bench, op = balanced_amp
+    model = benchmark(lambda: awe_poles(bench, "out", order=3, op=op))
+    assert model.dc_gain != 0.0
+
+
+@pytest.mark.benchmark(group="ablation-awe")
+def test_full_ac_evaluation_speed(benchmark, balanced_amp):
+    bench, op = balanced_amp
+    freqs = log_frequencies(1.0, 1e9, 20)
+
+    def full_sweep():
+        return ac_analysis(bench, op=op, frequencies=freqs)
+
+    ac = benchmark(full_sweep)
+    assert len(ac.frequencies) == len(freqs)
+
+
+@pytest.mark.benchmark(group="ablation-awe")
+def test_awe_accuracy_vs_ac(benchmark, balanced_amp, show):
+    bench, op = balanced_amp
+
+    def compare():
+        freqs = log_frequencies(1.0, 1e9, 20)
+        ac = ac_analysis(bench, op=op, frequencies=freqs)
+        gain_ref = float(ac.magnitude("out")[0])
+        ugf_ref = unity_gain_frequency(ac, "out")
+        model = awe_poles(bench, "out", order=3, op=op)
+        return gain_ref, ugf_ref, abs(model.dc_gain), model.unity_gain_frequency()
+
+    gain_ref, ugf_ref, gain_awe, ugf_awe = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    show(
+        "Ablation: AWE vs dense AC sweep",
+        f"{'figure':12s} {'AC ref':>12s} {'AWE':>12s} {'error %':>8s}",
+        [
+            f"{'gain':12s} {gain_ref:12.2f} {gain_awe:12.2f} "
+            f"{abs(gain_awe - gain_ref) / gain_ref * 100:8.2f}",
+            f"{'UGF Hz':12s} {ugf_ref:12.3g} {ugf_awe:12.3g} "
+            f"{abs(ugf_awe - ugf_ref) / ugf_ref * 100:8.2f}",
+        ],
+    )
+    assert gain_awe == pytest.approx(gain_ref, rel=0.05)
+    assert ugf_awe == pytest.approx(ugf_ref, rel=0.35)

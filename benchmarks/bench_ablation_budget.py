@@ -1,0 +1,54 @@
+"""Ablation: annealing budget vs synthesis success.
+
+The paper holds the annealer's settings fixed and varies only the
+initial point / intervals; this bench asks the complementary question:
+how much *budget* does each mode need?  The same spec runs at rising
+evaluation budgets in both modes.  Expected shape: the APE-initialized
+leg succeeds from the smallest budgets (it starts inside the feasible
+region), while the standalone leg needs far more evaluations — or
+never gets there at all on the harder, buffered specification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from paper_tables import TABLE1
+from repro.synthesis import synthesize_opamp
+
+BUDGETS = (25, 75, 150, 300)
+ROW = TABLE1[0]  # oa0: buffered, Wilson tail — the hard spec
+SEED = 11
+
+
+def run_budget_sweep(tech):
+    results = []
+    for budget in BUDGETS:
+        for mode in ("ape", "standalone"):
+            res = synthesize_opamp(
+                tech, ROW.spec(), ROW.topology(),
+                mode=mode, max_evaluations=budget,
+                seed=SEED, name=ROW.name,
+            )
+            results.append((budget, mode, res.meets_spec, res.best_cost))
+    return results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_budget_ablation(benchmark, tech, show):
+    results = benchmark.pedantic(
+        lambda: run_budget_sweep(tech), rounds=1, iterations=1
+    )
+    header = f"{'budget':>7s} {'mode':>11s} {'meets':>6s} {'best cost':>10s}"
+    lines = [
+        f"{budget:7d} {mode:>11s} {str(ok):>6s} {cost:10.3f}"
+        for budget, mode, ok, cost in results
+    ]
+    show("Ablation: evaluation budget vs success (spec oa0)", header, lines)
+    by = {(b, m): ok for b, m, ok, _ in results}
+    # APE-initialized succeeds already at small budgets.
+    assert by[(75, "ape")] or by[(25, "ape")]
+    # At every budget the APE leg's best cost is no worse.
+    costs = {(b, m): c for b, m, _, c in results}
+    for budget in BUDGETS:
+        assert costs[(budget, "ape")] <= costs[(budget, "standalone")] + 1e-9

@@ -1,0 +1,60 @@
+"""Ablation: how wide can the search intervals get before synthesis
+fails?
+
+The paper fixes +/-20 % around the APE point; this bench sweeps the
+range factor (10 %, 20 %, 50 %) plus the fully uninformed box, running
+the same spec/seed/budget at each width.  Expected shape: success is
+robust at narrow widths and decays toward the wide/uninformed end —
+the mechanism behind Tables 1 vs 4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from paper_tables import SYNTH_BUDGET, TABLE1, fmt
+from repro.synthesis import synthesize_opamp
+
+#: Specs exercised in the sweep (one buffered, one plain).
+SWEEP_ROWS = [TABLE1[0], TABLE1[5]]
+FACTORS = (0.1, 0.2, 0.5)
+SEEDS = (3, 11)
+
+
+def run_sweep(tech):
+    results = []
+    for row in SWEEP_ROWS:
+        for label, kwargs in (
+            [(f"+/-{int(f * 100)}%", {"mode": "ape", "range_factor": f})
+             for f in FACTORS]
+            + [("wide", {"mode": "standalone"})]
+        ):
+            meets = 0
+            cost = 0.0
+            for seed in SEEDS:
+                res = synthesize_opamp(
+                    tech, row.spec(), row.topology(),
+                    max_evaluations=SYNTH_BUDGET, seed=seed,
+                    name=row.name, **kwargs,
+                )
+                meets += 1 if res.meets_spec else 0
+                cost += res.best_cost
+            results.append((row.name, label, meets, len(SEEDS), cost / len(SEEDS)))
+    return results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_range_width_ablation(benchmark, tech, show):
+    results = benchmark.pedantic(lambda: run_sweep(tech), rounds=1, iterations=1)
+    header = f"{'ckt':5s} {'ranges':>8s} {'success':>9s} {'avg cost':>9s}"
+    lines = [
+        f"{name:5s} {label:>8s} {meets:>4d}/{total:<4d} {fmt(cost, 1, 3):>9s}"
+        for name, label, meets, total, cost in results
+    ]
+    show("Ablation: APE-range width vs synthesis success", header, lines)
+    by_label: dict[str, int] = {}
+    for _, label, meets, _, _ in results:
+        by_label[label] = by_label.get(label, 0) + meets
+    # Narrow informed ranges must beat the uninformed box.
+    assert by_label["+/-20%"] > by_label["wide"], by_label
+    assert by_label["+/-10%"] >= by_label["wide"], by_label

@@ -1,0 +1,61 @@
+"""APE estimation speed (paper §5: 0.12 s for ten op-amps, 0.14 s per
+module example, "essentially negligible" next to the annealer).
+
+Micro-benchmarks for every level of the hierarchy.  Expected shape:
+transistor sizing in microseconds, op-amps well under a millisecond,
+modules in single-digit milliseconds — orders of magnitude below one
+annealing run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from paper_tables import TABLE1
+from repro.devices import size_for_gm_id
+from repro.modules import SallenKeyLowPass, SampleHold
+from repro.opamp import design_opamp
+
+
+@pytest.mark.benchmark(group="ape-speed")
+def test_transistor_sizing_speed(benchmark, tech):
+    sized = benchmark(
+        lambda: size_for_gm_id(tech.nmos, tech, gm=100e-6, ids=10e-6)
+    )
+    assert sized.gate_area > 0
+
+
+@pytest.mark.benchmark(group="ape-speed")
+def test_ten_opamps_speed(benchmark, tech):
+    """The paper's headline: all ten Table 1 op-amps in one go."""
+
+    def estimate_all():
+        return [
+            design_opamp(tech, row.spec(), row.topology(), name=row.name)
+            for row in TABLE1
+        ]
+
+    amps = benchmark(estimate_all)
+    assert len(amps) == 10
+    # Same magnitude as the paper's 0.12 s (we are far faster hardware).
+    assert benchmark.stats["mean"] < 0.12
+
+
+@pytest.mark.benchmark(group="ape-speed")
+def test_filter_module_speed(benchmark, tech):
+    module = benchmark(
+        lambda: SallenKeyLowPass.design(tech, order=4, f_corner=1e3)
+    )
+    assert module.estimate.gain > 1.0
+    assert benchmark.stats["mean"] < 0.14
+
+
+@pytest.mark.benchmark(group="ape-speed")
+def test_sample_hold_module_speed(benchmark, tech):
+    module = benchmark(
+        lambda: SampleHold.design(
+            tech, gain=2.0, bandwidth=20e3, response_time=500e-6
+        )
+    )
+    assert module.estimate.gain == pytest.approx(2.0, rel=0.1)
+    assert benchmark.stats["mean"] < 0.14

@@ -1,0 +1,57 @@
+"""Paper Table 1: ASTRX/OBLX *standalone* over the ten op-amp specs.
+
+The paper submitted each specification "without initial design points"
+and observed that only one in ten designs met its constraints.  This
+bench runs our ASTRX/OBLX-style engine with wide, uninformed search
+intervals and the shared evaluation budget and reports the same
+columns: achieved gain, UGF, gate area, power, CPU time and a comment.
+
+Expected shape: most rows FAIL their specification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from paper_tables import SYNTH_BUDGET, TABLE1, fmt
+from repro.synthesis import synthesize_opamp
+
+
+def run_table1(tech, budget: int = SYNTH_BUDGET, seed: int = 11):
+    results = []
+    for row in TABLE1:
+        result = synthesize_opamp(
+            tech, row.spec(), row.topology(),
+            mode="standalone", max_evaluations=budget,
+            seed=seed, name=row.name,
+        )
+        results.append((row, result))
+    return results
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_standalone(benchmark, tech, show):
+    results = benchmark.pedantic(
+        lambda: run_table1(tech), rounds=1, iterations=1
+    )
+    header = (
+        f"{'ckt':4s} {'spec G/U':>14s} {'gain':>8s} {'UGF MHz':>8s} "
+        f"{'area um2':>9s} {'power mW':>9s} {'CPU s':>7s}  comment"
+    )
+    rows = []
+    failures = 0
+    for row, result in results:
+        ok = result.meets_spec
+        failures += 0 if ok else 1
+        rows.append(
+            f"{row.name:4s} {row.gain:6.0f}/{row.ugf / 1e6:4.1f}M "
+            f"{fmt(result.metric('gain'), 1, 1):>8s} "
+            f"{fmt(result.metric('ugf'), 1e-6, 2):>8s} "
+            f"{fmt(result.metric('gate_area'), 1e12, 1):>9s} "
+            f"{fmt(result.metric('dc_power'), 1e3, 2):>9s} "
+            f"{result.cpu_seconds:7.2f}  {result.comment}"
+        )
+    show("Table 1: ASTRX/OBLX standalone (wide ranges, no initial point)",
+         header, rows)
+    # Paper shape: 9/10 failed; require that a clear majority fails.
+    assert failures >= 5, f"only {failures}/10 failed - too easy"

@@ -1,0 +1,185 @@
+"""Paper Table 2: APE estimate vs SPICE simulation, basic components.
+
+Every level-2 component is sized analytically for a paper-style spec
+point, netlisted, and simulated with the MNA engine; the bench prints
+est/sim pairs for gate area, UGF, DC power, gain and current, mirroring
+the paper's columns.  Expected shape: est and sim agree within tens of
+percent for every defined figure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from paper_tables import fmt
+from repro.components import (
+    CascodeCurrentSource,
+    CurrentMirror,
+    DcVoltageBias,
+    DiffCmos,
+    DiffNmos,
+    GainCmos,
+    GainCmosH,
+    GainNmos,
+    SourceFollower,
+    WilsonCurrentSource,
+)
+from repro.spice import (
+    ac_analysis,
+    balance_differential,
+    dc_operating_point,
+    gain_at,
+    unity_gain_frequency,
+)
+from repro.spice.ac import log_frequencies
+
+
+def _supply_power(op, tech) -> float:
+    return tech.vdd * (-op.i("VDDSUP")) + tech.vss * (-op.i("VSSSUP"))
+
+
+def _simulate_component(comp, kind):
+    """Measure the sim columns for one Table 2 row."""
+    tech = comp.tech
+    sim: dict[str, float] = {}
+    if kind == "dcvolt":
+        ckt, nodes = comp.verification_circuit()
+        op = dc_operating_point(ckt)
+        sim["gain"] = op.v(nodes["out"])  # the produced voltage
+        sim["current"] = op.supply_current(nodes["supply"])
+        sim["dc_power"] = _supply_power(op, tech)
+        sim["gate_area"] = ckt.total_gate_area()
+    elif kind == "mirror":
+        ckt, nodes = comp.verification_circuit()
+        op = dc_operating_point(ckt)
+        sim["current"] = abs(op.i(nodes["meter"]))
+        sim["dc_power"] = tech.supply_span * sim["current"]
+        sim["gate_area"] = ckt.total_gate_area()
+    elif kind == "gain":
+        ckt, nodes = comp.verification_circuit()
+        op = dc_operating_point(ckt)
+        sim["gain"] = -gain_at(ckt, nodes["out"], 1e3, op=op)
+        ac = ac_analysis(
+            ckt, op=op, frequencies=log_frequencies(1e3, 1e10, 10)
+        )
+        sim["ugf"] = unity_gain_frequency(ac, nodes["out"])
+        sim["dc_power"] = _supply_power(op, tech)
+        sim["gate_area"] = ckt.total_gate_area()
+    elif kind == "follower":
+        ckt, nodes = comp.verification_circuit()
+        op = dc_operating_point(ckt)
+        sim["gain"] = gain_at(ckt, nodes["out"], 1e3, op=op)
+        sim["current"] = comp.devices["sink"].ids
+        sim["dc_power"] = _supply_power(op, tech)
+        sim["gate_area"] = ckt.total_gate_area()
+    elif kind == "diff_cmos":
+        def build(v):
+            ckt, _ = comp.bench("differential", v_diff=v)
+            return ckt
+
+        _, ckt, op = balance_differential(build, "out")
+        sim["gain"] = gain_at(ckt, "out", 100.0, op=op)
+        ac = ac_analysis(
+            ckt, op=op, frequencies=log_frequencies(100.0, 1e9, 10)
+        )
+        sim["ugf"] = unity_gain_frequency(ac, "out")
+        sim["dc_power"] = tech.supply_span * comp.tail_current
+        sim["gate_area"] = sum(
+            m.w * m.l for m in ckt.mosfets() if m.name.startswith("X1")
+        )
+    elif kind == "diff_nmos":
+        ckt, nodes = comp.bench("differential")
+        op = dc_operating_point(ckt)
+        ac = ac_analysis(
+            ckt, op=op, frequencies=log_frequencies(100.0, 1e9, 10)
+        )
+        diff = abs(ac.differential(nodes["outp"], nodes["outn"]))
+        sim["gain"] = -float(diff[0])
+        sim["dc_power"] = tech.supply_span * comp.tail_current
+        sim["gate_area"] = sum(
+            m.w * m.l for m in ckt.mosfets() if m.name.startswith("X1")
+        )
+    return sim
+
+
+def build_table2(tech):
+    rows = []
+    rows.append((
+        "DCVolt",
+        DcVoltageBias.design(tech, v_out=0.0, current=100e-6),
+        "dcvolt",
+    ))
+    rows.append((
+        "CurrMirr", CurrentMirror.design(tech, current=100e-6), "mirror"
+    ))
+    rows.append((
+        "Wilson", WilsonCurrentSource.design(tech, current=100e-6), "mirror"
+    ))
+    rows.append((
+        "Cascode", CascodeCurrentSource.design(tech, current=100e-6), "mirror"
+    ))
+    rows.append((
+        "GainNMOS",
+        GainNmos.design(tech, gain=-8.5, current=100e-6, cl=1e-12),
+        "gain",
+    ))
+    rows.append((
+        "GainCMOS",
+        GainCmos.design(tech, gain=-19.0, current=100e-6, cl=1e-12),
+        "gain",
+    ))
+    rows.append((
+        "GainCMOSH",
+        GainCmosH.design(tech, current=46e-6, cl=1e-12),
+        "gain",
+    ))
+    rows.append((
+        "Follower", SourceFollower.design(tech, current=100e-6), "follower"
+    ))
+    rows.append((
+        "DiffNMOS",
+        DiffNmos.design(tech, adm=-10.0, tail_current=2e-6, cl=1e-12),
+        "diff_nmos",
+    ))
+    rows.append((
+        "DiffCMOS",
+        DiffCmos.design(tech, adm=330.0, tail_current=2e-6, cl=1e-12),
+        "diff_cmos",
+    ))
+    results = []
+    for name, comp, kind in rows:
+        results.append((name, comp.estimate, _simulate_component(comp, kind)))
+    return results
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_est_vs_sim(benchmark, tech, show):
+    results = benchmark.pedantic(
+        lambda: build_table2(tech), rounds=1, iterations=1
+    )
+    header = (
+        f"{'Topology':10s} {'Area est/sim um2':>20s} {'UGF est/sim MHz':>18s} "
+        f"{'Power est/sim mW':>18s} {'Gain est/sim':>16s} {'I est/sim uA':>15s}"
+    )
+    lines = []
+    for name, est, sim in results:
+        lines.append(
+            f"{name:10s} "
+            f"{fmt(est.gate_area, 1e12, 1):>9s}/{fmt(sim.get('gate_area'), 1e12, 1):<10s} "
+            f"{fmt(est.ugf, 1e-6, 2):>8s}/{fmt(sim.get('ugf'), 1e-6, 2):<9s} "
+            f"{fmt(est.dc_power, 1e3, 2):>8s}/{fmt(sim.get('dc_power'), 1e3, 2):<9s} "
+            f"{fmt(est.gain, 1, 1):>7s}/{fmt(sim.get('gain'), 1, 1):<8s} "
+            f"{fmt(est.current, 1e6, 1):>6s}/{fmt(sim.get('current'), 1e6, 1):<8s}"
+        )
+    show("Table 2: estimation vs simulation, basic analog components",
+         header, lines)
+    # Shape assertions: every defined est/sim pair agrees within 50 %.
+    for name, est, sim in results:
+        for key in ("gate_area", "ugf", "dc_power", "gain", "current"):
+            e = getattr(est, key)
+            s = sim.get(key)
+            if s is None or math.isnan(e) or e == 0.0:
+                continue
+            assert abs(s - e) / abs(e) < 0.5, f"{name}.{key}: est {e} sim {s}"

@@ -1,0 +1,48 @@
+"""Benchmark fixtures: shared technology and result-table printing."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.technology import generic_05um
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return generic_05um()
+
+
+@pytest.fixture
+def show():
+    """Print a table even under pytest's captured output."""
+
+    def _show(title: str, header: str, rows: list[str]) -> None:
+        with capsys_disabled():
+            print(f"\n=== {title} ===")
+            print(header)
+            print("-" * len(header))
+            for row in rows:
+                print(row)
+
+    class capsys_disabled:
+        def __enter__(self):
+            self._capture = None
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+    # pytest captures stdout; writing to sys.__stdout__ bypasses it.
+    def _show_direct(title: str, header: str, rows: list[str]) -> None:
+        out = sys.__stdout__
+        print(f"\n=== {title} ===", file=out)
+        print(header, file=out)
+        print("-" * len(header), file=out)
+        for row in rows:
+            print(row, file=out)
+        out.flush()
+
+    return _show_direct

@@ -1,0 +1,75 @@
+"""Shared workload definitions for the paper-table benchmarks.
+
+The specs below are transcribed from the paper: Table 1's ten op-amps
+(left side) and Table 5's five analog modules.  Each benchmark file
+regenerates one table; this module holds the inputs so every bench
+reads the same workload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.opamp import OpAmpSpec, OpAmpTopology
+
+__all__ = ["Table1Row", "TABLE1", "SYNTH_BUDGET", "MODULE_BUDGET", "fmt"]
+
+#: Annealing evaluation budget shared by both legs (fairness).
+SYNTH_BUDGET = 150
+#: Evaluation budget for module-level synthesis (heavier per eval).
+MODULE_BUDGET = 60
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One op-amp specification row of paper Table 1."""
+
+    name: str
+    gain: float
+    ugf: float
+    area: float  # [m^2]
+    ibias: float
+    curr_src: str
+    buffer: bool
+    z_load: float
+    cl: float = 10e-12
+
+    def spec(self) -> OpAmpSpec:
+        return OpAmpSpec(
+            gain=self.gain,
+            ugf=self.ugf,
+            area=self.area,
+            ibias=self.ibias,
+            cl=self.cl,
+        )
+
+    def topology(self) -> OpAmpTopology:
+        return OpAmpTopology(
+            current_source=self.curr_src,
+            diff_pair="cmos",
+            output_buffer=self.buffer,
+            z_load=self.z_load,
+        )
+
+
+# Paper Table 1 (left side). Areas are in um^2 in the paper.
+TABLE1: list[Table1Row] = [
+    Table1Row("oa0", 200, 1.3e6, 5000e-12, 1.0e-6, "wilson", True, 1e3),
+    Table1Row("oa1", 70, 3.0e6, 3000e-12, 2.0e-6, "wilson", True, 1e3),
+    Table1Row("oa2", 100, 2.5e6, 2000e-12, 1.5e-6, "wilson", True, 2e3),
+    Table1Row("oa3", 250, 8.0e6, 1000e-12, 1.0e-6, "mirror", False, math.inf),
+    Table1Row("oa4", 150, 3.0e6, 1000e-12, 100e-6, "mirror", False, math.inf),
+    Table1Row("oa5", 200, 8.0e6, 5000e-12, 10e-6, "mirror", False, math.inf),
+    Table1Row("oa6", 50, 10.0e6, 200e-12, 10e-6, "mirror", False, math.inf),
+    Table1Row("oa7", 200, 3.0e6, 6000e-12, 1.0e-6, "mirror", True, 1e3),
+    Table1Row("oa8", 100, 2.0e6, 1000e-12, 1.0e-6, "mirror", True, 10e3),
+    Table1Row("oa9", 200, 5.0e6, 5000e-12, 10e-6, "mirror", True, 10e3),
+]
+
+
+def fmt(value: float, scale: float = 1.0, digits: int = 2) -> str:
+    """Table cell formatting with NaN -> '-'."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return f"{value * scale:.{digits}f}"

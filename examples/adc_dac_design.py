@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Data-converter scenario: a 4-bit flash ADC and a 4-bit R-2R DAC.
+
+Sizes both converters through APE, simulates the ADC's static transfer
+(thermometer code vs input) and the DAC's code-to-voltage map, and
+prints the measured linearity next to the analytical estimates — the
+ADC half is the paper's Table 5 ``adc`` row.
+
+Run:  python examples/adc_dac_design.py   (takes ~1 minute: the ADC
+bench simulates the full 15-comparator bank per input point)
+"""
+
+from repro.modules import FlashAdc, R2rDac
+from repro.technology import generic_05um
+
+
+def main() -> None:
+    tech = generic_05um()
+
+    print("=== 4-bit flash ADC, conversion delay <= 5 us ===")
+    adc = FlashAdc.design(tech, bits=4, delay=5e-6)
+    est = adc.estimate
+    print(f"estimate: delay {adc.delay * 1e6:.2f} us, "
+          f"gate area {est.gate_area * 1e12:.0f} um^2, "
+          f"power {est.dc_power * 1e3:.2f} mW, "
+          f"LSB {est.extras['lsb'] * 1e3:.1f} mV")
+    print(f"comparator: gain {adc.comparator.estimate.gain:.0f}, "
+          f"slew {adc.comparator.estimate.slew_rate / 1e6:.1f} V/us")
+
+    print("simulated comparator delay:",
+          f"{adc.comparator.measure_delay(overdrive=0.1) * 1e6:.2f} us")
+
+    print("static transfer (full comparator-bank DC simulation):")
+    print(f"  {'Vin':>8s} {'code':>5s} {'ideal':>6s}")
+    worst = 0
+    for v_in, code in adc.measure_transfer(n_points=9):
+        ideal = adc.ideal_code(v_in)
+        worst = max(worst, abs(code - ideal))
+        print(f"  {v_in:8.3f} {code:5d} {ideal:6d}")
+    print(f"worst code error: {worst} LSB")
+
+    print("\n=== 4-bit R-2R DAC, settling <= 10 us ===")
+    dac = R2rDac.design(tech, bits=4, settle_time=10e-6)
+    est = dac.estimate
+    print(f"estimate: settle {est.extras['settle_time'] * 1e6:.2f} us, "
+          f"LSB {est.extras['lsb'] * 1e3:.1f} mV, "
+          f"buffer gain error {(1 - est.gain) * 100:.2f} %")
+    print("code-to-voltage map (simulated ladder + buffer):")
+    print(f"  {'code':>5s} {'Vout':>9s} {'ideal':>9s} {'err/LSB':>8s}")
+    lsb = est.extras["lsb"]
+    for code in (0, 2, 5, 8, 11, 15):
+        out = dac.convert(code)
+        ideal = dac.ideal_output(code)
+        print(f"  {code:5d} {out:9.4f} {ideal:9.4f} "
+              f"{(out - ideal) / lsb:8.2f}")
+
+
+if __name__ == "__main__":
+    main()

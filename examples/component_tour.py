@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""A tour of all four APE hierarchy levels across three technologies.
+
+Walks the same design task — transistor, current mirror, differential
+stage, op-amp, sample & hold — through the bundled 1.2 um, 0.5 um and
+0.35 um processes, showing how the estimates shift with the process
+parameters (the paper's point that "the sizing process is tied to the
+fabrication process parameters").
+
+Run:  python examples/component_tour.py
+"""
+
+from repro import AnalogPerformanceEstimator
+from repro.technology import PRESET_NAMES
+from repro.units import format_si
+
+
+def main() -> None:
+    print(f"{'process':16s} {'M1 W/L um':>12s} {'mirror Zout':>12s} "
+          f"{'diff Adm':>9s} {'opamp gain':>11s} {'opamp area':>11s} "
+          f"{'s&h BW':>10s}")
+    for name in PRESET_NAMES:
+        ape = AnalogPerformanceEstimator(name)
+
+        # Level 1: one device, gm = 100 uS at 10 uA.
+        m1 = ape.estimate_transistor(gm=100e-6, ids=10e-6)
+
+        # Level 2: a 100 uA simple mirror and a gain-200 diff stage.
+        mirror = ape.estimate_component("currmirr", current=100e-6)
+        diff = ape.estimate_component(
+            "diffcmos", adm=200.0, tail_current=2e-6
+        )
+
+        # Level 3: the paper's oa0-style amplifier.
+        amp = ape.estimate_opamp(
+            gain=200, ugf=1.3e6, ibias=1e-6, cl=10e-12,
+            current_source="wilson", output_buffer=True, z_load=1e3,
+        )
+
+        # Level 4: the Table 5 sample & hold.
+        sh = ape.estimate_module(
+            "sample_hold", gain=2.0, bandwidth=20e3, response_time=500e-6
+        )
+
+        print(
+            f"{name:16s} "
+            f"{m1.w * 1e6:5.2f}/{m1.l * 1e6:<5.2f} "
+            f"{format_si(mirror.estimate.zout, 'ohm'):>12s} "
+            f"{diff.estimate.gain:9.0f} "
+            f"{amp.estimate.gain:11.1f} "
+            f"{amp.estimate.gate_area * 1e12:9.1f}u2 "
+            f"{format_si(sh.estimate.bandwidth, 'Hz'):>10s}"
+        )
+
+    print("\nNotes: shorter channels -> higher lambda -> lower single-"
+          "stage gain;\nlower supplies shrink the overdrive budget; the "
+          "0.5 um process is the\ndefault for every paper-table benchmark.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: estimate, size and verify an op-amp in a few lines.
+
+This walks the full APE story on one amplifier:
+
+1. size it analytically from a specification (milliseconds),
+2. read the composed performance estimate,
+3. netlist it and verify the estimate with full simulation,
+4. export the initial design point a synthesis tool would consume.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AnalogPerformanceEstimator
+from repro.opamp import verify_opamp
+from repro.units import format_si
+
+
+def main() -> None:
+    ape = AnalogPerformanceEstimator("generic-0.5um")
+
+    # The paper's oa0 specification: gain 200, UGF 1.3 MHz, 1 uA bias
+    # reference, Wilson tail, output buffer driving 1 kohm, 10 pF load.
+    amp = ape.estimate_opamp(
+        gain=200,
+        ugf=1.3e6,
+        ibias=1e-6,
+        cl=10e-12,
+        current_source="wilson",
+        output_buffer=True,
+        z_load=1e3,
+        name="oa0",
+    )
+
+    est = amp.estimate
+    print("APE estimate (analytical, no simulation):")
+    print(f"  gain        {est.gain:8.1f}  ({est.gain_db:.1f} dB)")
+    print(f"  UGF         {format_si(est.ugf, 'Hz')}")
+    print(f"  power       {format_si(est.dc_power, 'W')}")
+    print(f"  gate area   {est.gate_area * 1e12:8.1f} um^2")
+    print(f"  Zout        {format_si(est.zout, 'ohm')}")
+    print(f"  slew rate   {format_si(est.slew_rate, 'V/s')}")
+    print(f"  CMRR        {est.cmrr_db:8.1f} dB")
+
+    print("\nSized devices (W / L in um):")
+    for role, dev in sorted(amp.devices.items()):
+        print(f"  {role:28s} {dev.w * 1e6:7.2f} / {dev.l * 1e6:5.2f}")
+
+    print("\nFull-simulation verification (MNA + AC + transient):")
+    sim = verify_opamp(amp, measure_slew=True, measure_zout=True)
+    for key in ("gain", "ugf", "dc_power", "zout", "slew_rate"):
+        print(f"  {key:12s} {sim[key]:.4g}")
+
+    print("\nInitial design point for a synthesis tool:")
+    for key, value in sorted(amp.initial_point().items()):
+        print(f"  {key:28s} {value:.4g}")
+
+
+if __name__ == "__main__":
+    main()

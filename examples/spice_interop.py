@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""SPICE interoperability: export an APE design, re-import, analyse.
+
+Shows the deck round trip a real flow needs: APE sizes an amplifier,
+the bench is written as a standard SPICE deck (portable to ngspice and
+friends), read back, and the re-imported circuit is analysed — DC
+operating point, AC response and output noise.
+
+Run:  python examples/spice_interop.py
+"""
+
+import math
+import tempfile
+from pathlib import Path
+
+from repro.opamp import OpAmpSpec, design_opamp
+from repro.opamp.benches import balanced_open_loop, open_loop_bench
+from repro.spice import (
+    ac_analysis,
+    dc_operating_point,
+    noise_analysis,
+    read_deck_file,
+    unity_gain_frequency,
+    write_deck_file,
+)
+from repro.spice.ac import log_frequencies
+from repro.technology import generic_05um
+
+
+def main() -> None:
+    tech = generic_05um()
+    amp = design_opamp(
+        tech, OpAmpSpec(gain=150.0, ugf=3e6, ibias=2e-6, cl=10e-12),
+        name="interop",
+    )
+    v_ofs, _, _ = balanced_open_loop(amp)
+    bench = open_loop_bench(amp, v_diff=v_ofs)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        deck_path = Path(tmp) / "opamp_bench.cir"
+        write_deck_file(bench, deck_path)
+        deck_text = deck_path.read_text()
+        print(f"exported {deck_path.name}: "
+              f"{len(deck_text.splitlines())} lines, "
+              f"{len(bench.mosfets())} MOSFETs")
+        print("first cards:")
+        for line in deck_text.splitlines()[:8]:
+            print(f"    {line}")
+
+        circuit = read_deck_file(deck_path)
+
+    print("\nre-imported and simulated:")
+    op = dc_operating_point(circuit)
+    print(f"  V(out) at balance: {op.v('out'):+.4f} V")
+    freqs = log_frequencies(1.0, 1e9, 15)
+    ac = ac_analysis(circuit, op=op, frequencies=freqs)
+    gain = float(ac.magnitude("out")[0])
+    ugf = unity_gain_frequency(ac, "out")
+    print(f"  gain {gain:.1f} ({20 * math.log10(gain):.1f} dB), "
+          f"UGF {ugf / 1e6:.2f} MHz")
+
+    noise = noise_analysis(
+        circuit, "out", [1e3, 1e5], input_source="VINP", op=op
+    )
+    for f, psd in zip(noise.frequencies, noise.input_psd):
+        print(f"  input noise @ {f:8.0f} Hz: "
+              f"{math.sqrt(psd) * 1e9:7.1f} nV/sqrt(Hz)")
+    print(f"  dominant noise source: {noise.dominant_contributor()}")
+
+
+if __name__ == "__main__":
+    main()

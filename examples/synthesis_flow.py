@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment on one op-amp, end to end.
+
+Synthesizes the same specification two ways with identical annealing
+budgets:
+
+* ASTRX/OBLX-style annealing alone (wide uninformed ranges), and
+* APE first, then annealing within +/-20 % of the APE design point,
+
+and prints the side-by-side outcome — the single-row version of the
+paper's Tables 1 and 4.
+
+Run:  python examples/synthesis_flow.py
+"""
+
+import math
+
+from repro import OpAmpSpec, OpAmpTopology
+from repro.synthesis import synthesize_opamp
+from repro.technology import generic_05um
+
+
+def describe(result) -> str:
+    m = result.metrics or {}
+
+    def g(key):
+        v = m.get(key, math.nan)
+        return "-" if math.isnan(v) else f"{v:.3g}"
+
+    return (
+        f"meets spec: {result.meets_spec!s:5s}  ({result.comment})\n"
+        f"    gain {g('gain')}, UGF {g('ugf')} Hz, "
+        f"area {m.get('gate_area', math.nan) * 1e12:.0f} um^2, "
+        f"power {m.get('dc_power', math.nan) * 1e3:.2f} mW\n"
+        f"    annealer: {result.evaluations} evaluations, "
+        f"{result.cpu_seconds:.2f} s; APE itself: "
+        f"{result.ape_seconds * 1e3:.2f} ms"
+    )
+
+
+def main() -> None:
+    tech = generic_05um()
+    spec = OpAmpSpec(
+        gain=200.0, ugf=1.3e6, ibias=1e-6, cl=10e-12, area=5000e-12
+    )
+    topology = OpAmpTopology(
+        current_source="wilson", output_buffer=True, z_load=1e3
+    )
+    print(f"Spec: gain >= {spec.gain}, UGF >= {spec.ugf:.3g} Hz, "
+          f"area <= {spec.area * 1e12:.0f} um^2, Ibias = {spec.ibias:.0e} A")
+    print(f"Topology: Wilson tail, CMOS diff pair, buffered, "
+          f"Z = {topology.z_load:.0f} ohm, CL = {spec.cl * 1e12:.0f} pF\n")
+
+    print("[1] ASTRX/OBLX standalone (wide ranges, random start):")
+    standalone = synthesize_opamp(
+        tech, spec, topology, mode="standalone",
+        max_evaluations=150, seed=11, name="demo",
+    )
+    print("   ", describe(standalone))
+
+    print("\n[2] APE + ASTRX/OBLX (+/-20 % ranges around the APE point):")
+    ape = synthesize_opamp(
+        tech, spec, topology, mode="ape",
+        max_evaluations=150, seed=11, name="demo",
+    )
+    print("   ", describe(ape))
+
+    print("\nConclusion:", end=" ")
+    if ape.meets_spec and not standalone.meets_spec:
+        print("the APE initial point turned a failing search into a "
+              "constraint-satisfying design — the paper's Table 1 -> "
+              "Table 4 effect.")
+    elif ape.meets_spec:
+        print("both legs met the spec this time; APE still found it "
+              f"with a {standalone.best_cost / max(ape.best_cost, 1e-9):.1f}x "
+              "better final cost.")
+    else:
+        print("unexpected: the APE leg missed the spec (try more "
+              "evaluations).")
+
+
+if __name__ == "__main__":
+    main()

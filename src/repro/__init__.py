@@ -1,0 +1,39 @@
+"""APE: hierarchical Analog Performance Estimator.
+
+Reproduction of "An Analog Performance Estimator for Improving the
+Effectiveness of CMOS Analog Systems Circuit Synthesis"
+(Nunez-Aldana & Vemuri, DATE 1999), including its substrates: a small
+SPICE-class circuit simulator with AWE, and an ASTRX/OBLX-style
+simulated-annealing sizing engine.
+
+Quick start::
+
+    from repro import AnalogPerformanceEstimator
+    ape = AnalogPerformanceEstimator("generic-0.5um")
+    amp = ape.estimate_opamp(gain=200, ugf=1.3e6, ibias=1e-6, cl=10e-12)
+    print(amp.estimate)
+
+See the subpackages for the layers of the hierarchy:
+``repro.technology`` -> ``repro.devices`` -> ``repro.components`` ->
+``repro.opamp`` -> ``repro.modules``, with ``repro.spice`` and
+``repro.synthesis`` as the verification/search substrates.
+"""
+
+from .estimator import AnalogPerformanceEstimator
+from .errors import ApeError
+from .opamp import OpAmpSpec, OpAmpTopology, design_opamp, verify_opamp
+from .technology import Technology, technology_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalogPerformanceEstimator",
+    "ApeError",
+    "OpAmpSpec",
+    "OpAmpTopology",
+    "design_opamp",
+    "verify_opamp",
+    "Technology",
+    "technology_by_name",
+    "__version__",
+]

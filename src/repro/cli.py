@@ -1,0 +1,275 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands mirror the library's main entry points:
+
+* ``estimate-opamp`` — size an op-amp from a spec and print the
+  estimate (optionally verify it with full simulation),
+* ``estimate-component`` / ``estimate-module`` — size any level-2/4
+  library entry from ``key=value`` arguments,
+* ``synthesize`` — run one APE(+/-)annealer synthesis leg,
+* ``simulate`` — DC/AC/transient analysis of a SPICE deck file.
+
+All numeric arguments accept SPICE engineering notation (``1.3Meg``,
+``10p``, ``100u``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from .errors import ApeError
+from .units import format_si, parse_quantity
+
+__all__ = ["main", "build_parser"]
+
+
+def _kv_pairs(pairs: list[str]) -> dict[str, object]:
+    out: dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ApeError(f"expected key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            out[key] = parse_quantity(raw)
+        except ApeError:
+            out[key] = raw  # string-valued options (topology names ...)
+    return out
+
+
+def _int_keys(spec: dict[str, object], keys: tuple[str, ...]) -> None:
+    for key in keys:
+        if key in spec:
+            spec[key] = int(spec[key])  # type: ignore[arg-type]
+
+
+def _print_estimate(title: str, estimate) -> None:
+    print(f"{title}:")
+    for key, value in estimate.as_dict().items():
+        print(f"  {key:14s} {value:.6g}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="APE: hierarchical analog performance estimator",
+    )
+    parser.add_argument(
+        "--tech", default="generic-0.5um",
+        help="technology preset name (default: generic-0.5um)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("estimate-opamp", help="size an op-amp from a spec")
+    p.add_argument("--gain", required=True)
+    p.add_argument("--ugf", required=True)
+    p.add_argument("--ibias", default="1u")
+    p.add_argument("--cl", default="10p")
+    p.add_argument("--current-source", default="mirror",
+                   choices=["mirror", "wilson", "cascode"])
+    p.add_argument("--diff-pair", default="cmos", choices=["cmos", "nmos"])
+    p.add_argument("--buffer", action="store_true")
+    p.add_argument("--z-load", default="inf")
+    p.add_argument("--verify", action="store_true",
+                   help="also run the full-simulation verification")
+
+    p = sub.add_parser(
+        "estimate-component", help="size a level-2 component"
+    )
+    p.add_argument("kind", help="e.g. mirror, wilson, diffcmos, follower")
+    p.add_argument("params", nargs="*", help="key=value spec entries")
+
+    p = sub.add_parser("estimate-module", help="size a level-4 module")
+    p.add_argument("kind", help="e.g. lowpass_filter, sample_hold, flash_adc")
+    p.add_argument("params", nargs="*", help="key=value spec entries")
+
+    p = sub.add_parser("synthesize", help="run one synthesis leg")
+    p.add_argument("--gain", required=True)
+    p.add_argument("--ugf", required=True)
+    p.add_argument("--ibias", default="1u")
+    p.add_argument("--cl", default="10p")
+    p.add_argument("--area", default="inf")
+    p.add_argument("--mode", default="ape", choices=["ape", "standalone"])
+    p.add_argument("--budget", type=int, default=150)
+    p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("simulate", help="analyse a SPICE deck file")
+    p.add_argument("deck", help="path to a .cir/.sp deck")
+    p.add_argument("--op", action="store_true", help="DC operating point")
+    p.add_argument("--ac", nargs=2, metavar=("FSTART", "FSTOP"),
+                   help="AC sweep")
+    p.add_argument("--tran", nargs=2, metavar=("TSTOP", "DT"),
+                   help="transient analysis")
+    p.add_argument("--noise", nargs=2, metavar=("FSTART", "FSTOP"),
+                   help="output noise density sweep")
+    p.add_argument("--tf", action="store_true",
+                   help="exact poles/zeros of the AC transfer function")
+    p.add_argument("--out", default=None, help="node to report")
+    return parser
+
+
+def _cmd_estimate_opamp(args, tech) -> int:
+    from .estimator import AnalogPerformanceEstimator
+    from .opamp import verify_opamp
+
+    ape = AnalogPerformanceEstimator(tech)
+    amp = ape.estimate_opamp(
+        gain=parse_quantity(args.gain),
+        ugf=parse_quantity(args.ugf),
+        ibias=parse_quantity(args.ibias),
+        cl=parse_quantity(args.cl),
+        current_source=args.current_source,
+        diff_pair=args.diff_pair,
+        output_buffer=args.buffer,
+        z_load=(
+            math.inf if args.z_load == "inf" else parse_quantity(args.z_load)
+        ),
+    )
+    _print_estimate("estimate", amp.estimate)
+    print("devices (W/L um):")
+    for role, dev in sorted(amp.devices.items()):
+        print(f"  {role:28s} {dev.w * 1e6:8.2f} / {dev.l * 1e6:.2f}")
+    if args.verify:
+        sim = verify_opamp(amp)
+        print("simulation:")
+        for key, value in sim.items():
+            print(f"  {key:14s} {value:.6g}")
+    return 0
+
+
+def _cmd_estimate_component(args, tech) -> int:
+    from .estimator import AnalogPerformanceEstimator
+
+    ape = AnalogPerformanceEstimator(tech)
+    comp = ape.estimate_component(args.kind, **_kv_pairs(args.params))
+    _print_estimate(args.kind, comp.estimate)
+    for role, dev in sorted(comp.devices.items()):
+        print(f"  {role:14s} W={format_si(dev.w, 'm')} L={format_si(dev.l, 'm')}")
+    return 0
+
+
+def _cmd_estimate_module(args, tech) -> int:
+    from .estimator import AnalogPerformanceEstimator
+
+    ape = AnalogPerformanceEstimator(tech)
+    spec = _kv_pairs(args.params)
+    _int_keys(spec, ("order", "bits"))
+    module = ape.estimate_module(args.kind, **spec)
+    _print_estimate(args.kind, module.estimate)
+    print(f"  {'total_area':14s} {module.total_area:.6g}")
+    return 0
+
+
+def _cmd_synthesize(args, tech) -> int:
+    from .opamp import OpAmpSpec
+    from .synthesis import synthesize_opamp
+
+    spec = OpAmpSpec(
+        gain=parse_quantity(args.gain),
+        ugf=parse_quantity(args.ugf),
+        ibias=parse_quantity(args.ibias),
+        cl=parse_quantity(args.cl),
+        area=(math.inf if args.area == "inf" else parse_quantity(args.area)),
+    )
+    result = synthesize_opamp(
+        tech, spec, mode=args.mode,
+        max_evaluations=args.budget, seed=args.seed,
+    )
+    print(f"mode:       {result.mode}")
+    print(f"meets spec: {result.meets_spec} ({result.comment})")
+    if result.metrics:
+        for key, value in sorted(result.metrics.items()):
+            print(f"  {key:14s} {value:.6g}")
+    print(f"evaluations: {result.evaluations}, "
+          f"annealer {result.cpu_seconds:.2f} s, "
+          f"APE {result.ape_seconds * 1e3:.2f} ms")
+    return 0 if result.meets_spec else 1
+
+
+def _cmd_simulate(args, tech) -> int:
+    from .spice import (
+        ac_analysis,
+        dc_operating_point,
+        read_deck_file,
+        transient_analysis,
+    )
+    from .spice.ac import log_frequencies
+
+    models = {"CMOSN": tech.nmos, "CMOSP": tech.pmos}
+    circuit = read_deck_file(args.deck, models=models)
+    op = dc_operating_point(circuit)
+    any_analysis = args.ac or args.tran or args.noise or args.tf
+    if args.op or not any_analysis:
+        print("DC operating point:")
+        for node, volt in op.voltages.items():
+            print(f"  V({node}) = {volt:.6g}")
+        for name, mop in op.mosfet_ops.items():
+            print(f"  {name}: {mop.region}, Id={mop.ids:.4g}, "
+                  f"gm={mop.gm:.4g}")
+    if args.ac:
+        f1, f2 = (parse_quantity(v) for v in args.ac)
+        freqs = log_frequencies(f1, f2, 10)
+        ac = ac_analysis(circuit, op=op, frequencies=freqs)
+        node = args.out or circuit.nodes()[-1]
+        print(f"AC magnitude at {node}:")
+        for f, m in zip(freqs, ac.magnitude(node)):
+            print(f"  {f:12.4g} Hz  {m:.6g}")
+    if args.tran:
+        t_stop, dt = (parse_quantity(v) for v in args.tran)
+        tran = transient_analysis(circuit, t_stop, dt, op=op)
+        node = args.out or circuit.nodes()[-1]
+        print(f"transient V({node}):")
+        step = max(len(tran.times) // 20, 1)
+        for t, v in zip(tran.times[::step], tran.v(node)[::step]):
+            print(f"  {t:12.4g} s  {v:.6g}")
+    if args.noise:
+        import math as _math
+
+        from .spice import noise_analysis
+
+        f1, f2 = (parse_quantity(v) for v in args.noise)
+        freqs = log_frequencies(f1, f2, 5)
+        node = args.out or circuit.nodes()[-1]
+        result = noise_analysis(circuit, node, freqs, op=op)
+        print(f"output noise density at {node}:")
+        for f, psd in zip(result.frequencies, result.output_psd):
+            print(f"  {f:12.4g} Hz  {_math.sqrt(psd):.4g} V/sqrt(Hz)")
+        print(f"dominant contributor: {result.dominant_contributor()}")
+    if args.tf:
+        from .spice import extract_transfer_function
+
+        node = args.out or circuit.nodes()[-1]
+        tf = extract_transfer_function(circuit, node, op=op)
+        print(f"H(s) to {node}: order {tf.order}, "
+              f"DC gain {tf.dc_gain:.6g}, "
+              f"{'stable' if tf.is_stable() else 'UNSTABLE'}")
+        for pole in tf.poles():
+            print(f"  pole: {pole:.6g} rad/s")
+        for zero in tf.zeros():
+            print(f"  zero: {zero:.6g} rad/s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    from .technology import technology_by_name
+
+    try:
+        tech = technology_by_name(args.tech)
+        handler = {
+            "estimate-opamp": _cmd_estimate_opamp,
+            "estimate-component": _cmd_estimate_component,
+            "estimate-module": _cmd_estimate_module,
+            "synthesize": _cmd_synthesize,
+            "simulate": _cmd_simulate,
+        }[args.command]
+        return handler(args, tech)
+    except ApeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

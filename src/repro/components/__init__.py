@@ -1,0 +1,49 @@
+"""Basic analog components (APE level 2, paper §4.2).
+
+Each component couples three things:
+
+1. a *sizing procedure* — symbolic equations inverted to size every
+   transistor from the component specification (via the level-1 sizing
+   functions),
+2. a *performance estimate* — the composed small-signal/large-signal
+   figures (gain, UGF, gate area, DC power, Zout, CMRR, slew rate),
+3. a *netlist generator* — ``place()`` stamps the sized devices into a
+   :class:`~repro.spice.Circuit` so the estimate can be checked against
+   full simulation (the paper's Table 2).
+
+Component zoo (the paper's library): DC bias voltage, current sources
+(simple mirror / cascode / Wilson), gain stages (NMOS diode load / CMOS
+active load / CMOS push-pull "H"), source follower, differential pairs
+(NMOS diode load / CMOS mirror load).
+"""
+
+from .base import Component, PerformanceEstimate
+from .bias import DcVoltageBias
+from .current_sources import (
+    CascodeCurrentSource,
+    CurrentMirror,
+    WilsonCurrentSource,
+    current_source_by_name,
+)
+from .gain_stages import GainCmos, GainCmosH, GainNmos
+from .followers import SourceFollower
+from .differential import DiffCmos, DiffNmos, diff_pair_by_name
+from .folded_cascode import FoldedCascodeDiff
+
+__all__ = [
+    "Component",
+    "PerformanceEstimate",
+    "DcVoltageBias",
+    "CurrentMirror",
+    "CascodeCurrentSource",
+    "WilsonCurrentSource",
+    "current_source_by_name",
+    "GainNmos",
+    "GainCmos",
+    "GainCmosH",
+    "SourceFollower",
+    "DiffNmos",
+    "DiffCmos",
+    "diff_pair_by_name",
+    "FoldedCascodeDiff",
+]

@@ -1,0 +1,303 @@
+"""MOSFET large- and small-signal models (SPICE Levels 1-3).
+
+The model equations follow the paper (§4.1, Eqs. 1-4) and the classic
+SPICE formulations.  All terminal voltages passed to :class:`MosDevice`
+are *polarity-normalized*: they are the NMOS-convention voltages for an
+NMOS device and the magnitude-equivalent (sign-flipped) voltages for a
+PMOS device, so ``vgs``, ``vds`` and currents are positive in normal
+operation for both polarities.  The simulator layer performs the flip.
+
+One notational note: the paper prints ``gm = sqrt(4 KP (W/L) |Ids|)``
+(its Eq. 2).  With the SPICE convention ``Ids = (KP/2)(W/L)(Vgs-Vth)^2``
+used in its Eq. 1 the correct coefficient is 2, not 4; we use the
+self-consistent ``gm = sqrt(2 KP (W/L) Id)`` throughout.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import SizingError
+from ..technology import MosModelParams
+
+__all__ = ["Region", "OperatingPoint", "SmallSignal", "MosDevice"]
+
+
+class Region(enum.Enum):
+    """DC operating region of a MOSFET."""
+
+    CUTOFF = "cutoff"
+    TRIODE = "triode"
+    SATURATION = "saturation"
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A DC bias point, polarity-normalized (all values NMOS-sign)."""
+
+    vgs: float
+    vds: float
+    vsb: float
+    ids: float
+    region: Region
+
+    @property
+    def vov(self) -> float:
+        """Overdrive voltage Vgs - Vth is not stored; see MosDevice."""
+        raise AttributeError(
+            "overdrive depends on the model; use MosDevice.overdrive()"
+        )
+
+
+@dataclass(frozen=True)
+class SmallSignal:
+    """Small-signal parameters at a bias point (paper Eqs. 2-4).
+
+    ``gds`` is the paper's ``gd``; capacitances follow the Meyer model
+    plus overlap and junction terms.  All values are >= 0.
+    """
+
+    gm: float
+    gmb: float
+    gds: float
+    cgs: float
+    cgd: float
+    cgb: float
+    cdb: float
+    csb: float
+
+    @property
+    def ro(self) -> float:
+        """Output resistance 1/gds [ohm] (inf when gds == 0)."""
+        return math.inf if self.gds == 0 else 1.0 / self.gds
+
+    @property
+    def intrinsic_gain(self) -> float:
+        """gm / gds, the single-device voltage-gain bound."""
+        return math.inf if self.gds == 0 else self.gm / self.gds
+
+
+@dataclass(frozen=True)
+class MosDevice:
+    """A MOSFET of fixed geometry bound to a model card.
+
+    ``w`` and ``l`` are drawn dimensions in metres.  The effective
+    channel length subtracts twice the lateral diffusion ``LD``.
+    """
+
+    model: MosModelParams
+    w: float
+    l: float
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.l <= 0:
+            raise SizingError(
+                f"device geometry must be positive (w={self.w}, l={self.l})"
+            )
+        if self.l_eff <= 0:
+            raise SizingError(
+                f"effective length <= 0: drawn l={self.l}, LD={self.model.ld}"
+            )
+
+    @property
+    def l_eff(self) -> float:
+        """Effective channel length L - 2*LD [m]."""
+        return self.l - 2.0 * self.model.ld
+
+    @property
+    def aspect(self) -> float:
+        """Effective aspect ratio W / Leff."""
+        return self.w / self.l_eff
+
+    @property
+    def gate_area(self) -> float:
+        """Drawn gate area W*L [m^2] — the area metric the paper reports."""
+        return self.w * self.l
+
+    # ------------------------------------------------------------------
+    # Large signal
+    # ------------------------------------------------------------------
+
+    def threshold(self, vsb: float = 0.0) -> float:
+        """Threshold magnitude with body effect at source-bulk ``vsb``."""
+        return self.model.threshold(vsb)
+
+    def overdrive(self, vgs: float, vsb: float = 0.0) -> float:
+        """Overdrive Vgs - Vth(vsb); negative in cutoff."""
+        return vgs - self.threshold(vsb)
+
+    def _beta(self, vov: float) -> float:
+        """Transconductance factor KP_eff * W/Leff with level corrections."""
+        kp = self.model.kp_effective
+        if self.model.level >= 2 and self.model.theta > 0 and vov > 0:
+            # Level 2/3 vertical-field mobility degradation.
+            kp = kp / (1.0 + self.model.theta * vov)
+        return kp * self.aspect
+
+    def _vdsat(self, vov: float) -> float:
+        """Saturation voltage; velocity-saturation limited for Level 3."""
+        if vov <= 0:
+            return 0.0
+        vmax = self.model.vmax
+        if self.model.level == 3 and vmax > 0:
+            # Classic Level-3 blend of pinch-off and velocity saturation.
+            vc = vmax * self.l_eff / max(self.model.u0, 1e-12)
+            return vov * vc / (vov + vc)
+        return vov
+
+    def _dvdsat(self, vov: float) -> float:
+        """d(vdsat)/d(vov) — needed for the Level-3 gm."""
+        if vov <= 0:
+            return 0.0
+        vmax = self.model.vmax
+        if self.model.level == 3 and vmax > 0:
+            vc = vmax * self.l_eff / max(self.model.u0, 1e-12)
+            return (vc / (vov + vc)) ** 2
+        return 1.0
+
+    def region(self, vgs: float, vds: float, vsb: float = 0.0) -> Region:
+        """Operating region for polarity-normalized bias voltages."""
+        vov = self.overdrive(vgs, vsb)
+        if vov <= 0:
+            return Region.CUTOFF
+        if vds < self._vdsat(vov):
+            return Region.TRIODE
+        return Region.SATURATION
+
+    def ids(self, vgs: float, vds: float, vsb: float = 0.0) -> float:
+        """Drain current [A] (paper Eq. 1 in saturation).
+
+        ``vds`` must be >= 0 (the simulator swaps terminals for reverse
+        operation before calling this).
+        """
+        vov = self.overdrive(vgs, vsb)
+        if vov <= 0:
+            return 0.0
+        beta = self._beta(vov)
+        lam = self.model.lambda_
+        vdsat = self._vdsat(vov)
+        if vds < vdsat:
+            return beta * (vov - vds / 2.0) * vds * (1.0 + lam * vds)
+        # Saturation current = the triode expression at vds = vdsat,
+        # which keeps I(vds) continuous for the velocity-saturated
+        # Level-3 case (vdsat < vov); for Level 1/2 (vdsat = vov) this
+        # is the familiar 0.5*beta*vov^2.
+        return beta * (vov - vdsat / 2.0) * vdsat * (1.0 + lam * vds)
+
+    def operating_point(
+        self, vgs: float, vds: float, vsb: float = 0.0
+    ) -> OperatingPoint:
+        """Evaluate the bias point for the given voltages."""
+        return OperatingPoint(
+            vgs=vgs,
+            vds=vds,
+            vsb=vsb,
+            ids=self.ids(vgs, vds, vsb),
+            region=self.region(vgs, vds, vsb),
+        )
+
+    # ------------------------------------------------------------------
+    # Small signal
+    # ------------------------------------------------------------------
+
+    def gm(self, vgs: float, vds: float, vsb: float = 0.0) -> float:
+        """Gate transconductance dIds/dVgs [S] (paper Eq. 2)."""
+        vov = self.overdrive(vgs, vsb)
+        if vov <= 0:
+            return 0.0
+        beta = self._beta(vov)
+        lam = self.model.lambda_
+        vdsat = self._vdsat(vov)
+        if vds < vdsat:
+            return beta * vds * (1.0 + lam * vds)
+        # Differentiate I = beta(vov) * (vov - vdsat/2) * vdsat with the
+        # chain rule through beta (theta) and vdsat (velocity
+        # saturation); reduces to beta*vov (= sqrt(2 beta I)) on Level 1.
+        core = (vov - vdsat / 2.0) * vdsat
+        theta = self.model.theta if self.model.level >= 2 else 0.0
+        dbeta = -theta * beta / (1.0 + theta * vov) if theta > 0 else 0.0
+        dvdsat = self._dvdsat(vov)
+        dcore = (1.0 - dvdsat / 2.0) * vdsat + (vov - vdsat / 2.0) * dvdsat
+        return (dbeta * core + beta * dcore) * (1.0 + lam * vds)
+
+    def gmb(self, vgs: float, vds: float, vsb: float = 0.0) -> float:
+        """Body transconductance [S] (paper Eq. 3)."""
+        chi = self.model.gamma / (
+            2.0 * math.sqrt(self.model.phi + max(vsb, 0.0))
+        )
+        return chi * self.gm(vgs, vds, vsb)
+
+    def gds(self, vgs: float, vds: float, vsb: float = 0.0) -> float:
+        """Output conductance dIds/dVds [S] (paper Eq. 4)."""
+        vov = self.overdrive(vgs, vsb)
+        if vov <= 0:
+            return 0.0
+        beta = self._beta(vov)
+        lam = self.model.lambda_
+        vdsat = self._vdsat(vov)
+        if vds < vdsat:
+            # d/dVds of beta*(vov - vds/2)*vds*(1+lam*vds)
+            return beta * (
+                (vov - vds) * (1.0 + lam * vds)
+                + (vov - vds / 2.0) * vds * lam
+            )
+        current = self.ids(vgs, vds, vsb)
+        return lam * current / (1.0 + lam * vds)
+
+    def capacitances(
+        self, vgs: float, vds: float, vsb: float = 0.0, vdb: float | None = None
+    ) -> dict[str, float]:
+        """Meyer gate capacitances + overlap + junction capacitances [F].
+
+        ``vdb`` defaults to ``vds + vsb`` (the drain-bulk reverse bias).
+        Junction areas use the technology's default diffusion extension
+        via ``AD = AS = W * ext`` and ``PD = PS = W + 2*ext``.
+        """
+        m = self.model
+        cox_area = m.cox * self.w * self.l_eff
+        region = self.region(vgs, vds, vsb)
+        if region is Region.CUTOFF:
+            cgs_i = 0.0
+            cgd_i = 0.0
+            cgb_i = cox_area
+        elif region is Region.TRIODE:
+            cgs_i = 0.5 * cox_area
+            cgd_i = 0.5 * cox_area
+            cgb_i = 0.0
+        else:
+            cgs_i = (2.0 / 3.0) * cox_area
+            cgd_i = 0.0
+            cgb_i = 0.0
+        ext = 1.5e-6  # default diffusion extension; overridden by netlists
+        area_j = self.w * ext
+        perim_j = self.w + 2.0 * ext
+        if vdb is None:
+            vdb = vds + vsb
+
+        def junction(v_reverse: float) -> float:
+            v = max(v_reverse, 0.0)
+            bottom = m.cj * area_j / (1.0 + v / m.pb) ** m.mj
+            side = m.cjsw * perim_j / (1.0 + v / m.pb) ** m.mjsw
+            return bottom + side
+
+        return {
+            "cgs": cgs_i + m.cgso * self.w,
+            "cgd": cgd_i + m.cgdo * self.w,
+            "cgb": cgb_i + m.cgbo * self.l,
+            "cdb": junction(vdb),
+            "csb": junction(vsb),
+        }
+
+    def small_signal(
+        self, vgs: float, vds: float, vsb: float = 0.0
+    ) -> SmallSignal:
+        """All small-signal parameters at the given bias point."""
+        caps = self.capacitances(vgs, vds, vsb)
+        return SmallSignal(
+            gm=self.gm(vgs, vds, vsb),
+            gmb=self.gmb(vgs, vds, vsb),
+            gds=self.gds(vgs, vds, vsb),
+            **caps,
+        )

@@ -1,0 +1,53 @@
+"""Passive elements: poly resistors and poly-poly capacitors.
+
+APE level 4 modules (filters, S&H, integrators) contain sized passives;
+their layout area counts toward the module's gate-area budget exactly as
+transistor gates do, using the technology's sheet resistance and
+capacitor density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SizingError
+from ..technology import Technology
+
+__all__ = ["Resistor", "Capacitor"]
+
+#: Default drawn width for poly resistors [m].
+DEFAULT_RES_WIDTH = 2e-6
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """A poly resistor with its layout-area estimate."""
+
+    value: float
+    area: float
+
+    @classmethod
+    def design(
+        cls, tech: Technology, value: float, width: float = DEFAULT_RES_WIDTH
+    ) -> "Resistor":
+        """Size a poly resistor of ``value`` ohms in technology ``tech``."""
+        if value <= 0:
+            raise SizingError(f"resistance must be positive, got {value}")
+        if width <= 0:
+            raise SizingError(f"resistor width must be positive, got {width}")
+        return cls(value=value, area=tech.resistor_area(value, width))
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """A poly-poly capacitor with its layout-area estimate."""
+
+    value: float
+    area: float
+
+    @classmethod
+    def design(cls, tech: Technology, value: float) -> "Capacitor":
+        """Size a poly-poly capacitor of ``value`` farads."""
+        if value < 0:
+            raise SizingError(f"capacitance must be non-negative, got {value}")
+        return cls(value=value, area=tech.capacitor_area(value))

@@ -1,0 +1,189 @@
+"""The APE facade: one entry point over the whole hierarchy.
+
+"APE permits a circuit designer or a circuit synthesis tool to estimate
+several characteristics of analog circuits ... at an early stage of the
+design process" (paper §1).  The class below exposes the four levels of
+Figure 2 through uniform ``estimate_*`` methods; every call returns a
+sized object carrying a
+:class:`~repro.components.PerformanceEstimate`.
+
+>>> from repro import AnalogPerformanceEstimator
+>>> ape = AnalogPerformanceEstimator("generic-0.5um")
+>>> amp = ape.estimate_opamp(gain=200, ugf=1.3e6, ibias=1e-6, cl=10e-12)
+>>> amp.estimate.gain >= 200
+True
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from .components import (
+    CascodeCurrentSource,
+    Component,
+    CurrentMirror,
+    DcVoltageBias,
+    DiffCmos,
+    DiffNmos,
+    GainCmos,
+    GainCmosH,
+    GainNmos,
+    SourceFollower,
+    WilsonCurrentSource,
+)
+from .devices import SizedMos, size_for_gm_id, size_for_id_vov
+from .errors import EstimationError, TopologyError
+from .modules import (
+    AnalogModule,
+    AudioAmplifier,
+    Comparator,
+    FlashAdc,
+    InstrumentationAmplifier,
+    Integrator,
+    InvertingAmplifier,
+    R2rDac,
+    SallenKeyBandPass,
+    SallenKeyLowPass,
+    SampleHold,
+    ScIntegrator,
+    SigmaDeltaModulator,
+    SummingAmplifier,
+)
+from .opamp import OpAmp, OpAmpSpec, OpAmpTopology, design_opamp
+from .technology import MosPolarity, Technology, technology_by_name
+
+__all__ = ["AnalogPerformanceEstimator"]
+
+_COMPONENT_KINDS = {
+    "dcvolt": DcVoltageBias,
+    "currmirr": CurrentMirror,
+    "mirror": CurrentMirror,
+    "cascode": CascodeCurrentSource,
+    "wilson": WilsonCurrentSource,
+    "gainnmos": GainNmos,
+    "gaincmos": GainCmos,
+    "gaincmosh": GainCmosH,
+    "follower": SourceFollower,
+    "diffnmos": DiffNmos,
+    "diffcmos": DiffCmos,
+}
+
+_MODULE_KINDS = {
+    "inverting_amplifier": InvertingAmplifier,
+    "adder": SummingAmplifier,
+    "audio_amplifier": AudioAmplifier,
+    "integrator": Integrator,
+    "comparator": Comparator,
+    "sample_hold": SampleHold,
+    "lowpass_filter": SallenKeyLowPass,
+    "bandpass_filter": SallenKeyBandPass,
+    "flash_adc": FlashAdc,
+    "r2r_dac": R2rDac,
+    "instrumentation_amplifier": InstrumentationAmplifier,
+    "sc_integrator": ScIntegrator,
+    "sigma_delta": SigmaDeltaModulator,
+}
+
+
+class AnalogPerformanceEstimator:
+    """Hierarchical analog performance estimator (the paper's APE tool)."""
+
+    def __init__(self, technology: Technology | str = "generic-0.5um") -> None:
+        if isinstance(technology, str):
+            technology = technology_by_name(technology)
+        self.tech = technology
+
+    # ----------------------------------------------------------- level 1
+
+    def estimate_transistor(
+        self,
+        *,
+        gm: float | None = None,
+        ids: float,
+        vov: float | None = None,
+        polarity: MosPolarity = MosPolarity.NMOS,
+        **kwargs: Any,
+    ) -> SizedMos:
+        """Size a transistor from (gm, Id) or (Id, Vov) — paper §4.1."""
+        model = self.tech.model(polarity)
+        if gm is not None:
+            return size_for_gm_id(model, self.tech, gm=gm, ids=ids, **kwargs)
+        if vov is not None:
+            return size_for_id_vov(model, self.tech, ids=ids, vov=vov, **kwargs)
+        raise EstimationError("specify gm or vov alongside ids")
+
+    # ----------------------------------------------------------- level 2
+
+    def estimate_component(self, kind: str, **spec: Any) -> Component:
+        """Size a basic analog component by library name — paper §4.2.
+
+        Kinds: ``dcvolt``, ``currmirr``/``mirror``, ``cascode``,
+        ``wilson``, ``gainnmos``, ``gaincmos``, ``gaincmosh``,
+        ``follower``, ``diffnmos``, ``diffcmos``.
+        """
+        try:
+            cls = _COMPONENT_KINDS[kind.lower()]
+        except KeyError:
+            raise TopologyError(
+                f"unknown component kind {kind!r}; available: "
+                f"{', '.join(sorted(_COMPONENT_KINDS))}"
+            ) from None
+        return cls.design(self.tech, **spec)
+
+    # ----------------------------------------------------------- level 3
+
+    def estimate_opamp(
+        self,
+        *,
+        gain: float,
+        ugf: float,
+        ibias: float = 1e-6,
+        cl: float = 10e-12,
+        area: float = math.inf,
+        slew_rate: float = 0.0,
+        current_source: str = "mirror",
+        diff_pair: str = "cmos",
+        gain_stage: bool | None = None,
+        output_buffer: bool = False,
+        z_load: float = math.inf,
+        name: str = "opamp",
+    ) -> OpAmp:
+        """Size a complete op-amp from its specification — paper §4.3."""
+        spec = OpAmpSpec(
+            gain=gain, ugf=ugf, area=area, ibias=ibias, cl=cl,
+            slew_rate=slew_rate,
+        )
+        topology = OpAmpTopology(
+            current_source=current_source,
+            diff_pair=diff_pair,
+            gain_stage=gain_stage,
+            output_buffer=output_buffer,
+            z_load=z_load,
+        )
+        return design_opamp(self.tech, spec, topology, name=name)
+
+    # ----------------------------------------------------------- level 4
+
+    def estimate_module(self, kind: str, **spec: Any) -> AnalogModule:
+        """Size an analog library module by name — paper §4.4.
+
+        Kinds: ``inverting_amplifier``, ``adder``, ``audio_amplifier``,
+        ``integrator``, ``comparator``, ``sample_hold``,
+        ``lowpass_filter``, ``bandpass_filter``, ``flash_adc``,
+        ``r2r_dac``.
+        """
+        try:
+            cls = _MODULE_KINDS[kind.lower()]
+        except KeyError:
+            raise TopologyError(
+                f"unknown module kind {kind!r}; available: "
+                f"{', '.join(sorted(_MODULE_KINDS))}"
+            ) from None
+        return cls.design(self.tech, **spec)
+
+    # ------------------------------------------------------------ export
+
+    def initial_point(self, opamp: OpAmp) -> dict[str, float]:
+        """The sized design point for seeding a synthesis tool."""
+        return opamp.initial_point()

@@ -1,0 +1,44 @@
+"""Analog modules (APE level 4, paper §4.4).
+
+"Each component in the library is constructed using opamps, elements
+from the basic component library, transistors, resistors and
+capacitors. ... The performance parameters of these components are
+estimated using the operational amplifier estimation attributes and the
+equations in the component library which relate the ideal behavior of
+the component with the non-ideal characteristics of the opamp."
+
+The module zoo covers the paper's Table 5 workloads (audio amplifier,
+sample & hold, 4-bit flash ADC, Sallen-Key low-pass and band-pass
+filters) plus the additional library entries it lists (inverting
+amplifier, integrator, comparator, adder, DAC).
+"""
+
+from .base import AnalogModule
+from .amplifiers import AudioAmplifier, InvertingAmplifier, SummingAmplifier
+from .integrator import Integrator
+from .comparator import Comparator
+from .sample_hold import SampleHold
+from .filters import SallenKeyBandPass, SallenKeyLowPass, butterworth_q_values
+from .adc import FlashAdc
+from .dac import R2rDac
+from .instrumentation import InstrumentationAmplifier
+from .sc_integrator import ScIntegrator
+from .sigma_delta import SigmaDeltaModulator
+
+__all__ = [
+    "AnalogModule",
+    "InvertingAmplifier",
+    "SummingAmplifier",
+    "AudioAmplifier",
+    "Integrator",
+    "Comparator",
+    "SampleHold",
+    "SallenKeyLowPass",
+    "SallenKeyBandPass",
+    "butterworth_q_values",
+    "FlashAdc",
+    "R2rDac",
+    "InstrumentationAmplifier",
+    "ScIntegrator",
+    "SigmaDeltaModulator",
+]

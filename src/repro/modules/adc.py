@@ -1,0 +1,142 @@
+"""Flash analog-to-digital converter (paper Table 5 ``adc``).
+
+A ``bits``-bit flash ADC: a 2^b-segment resistor ladder between the
+references, 2^b - 1 comparators, and a thermometer-to-binary encoder
+(digital; accounted by area only).  Conversion delay is dominated by
+the comparator response time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..components import PerformanceEstimate
+from ..devices import Resistor
+from ..errors import EstimationError
+from ..opamp.benches import place_opamp
+from ..spice import Circuit, dc_operating_point
+from ..technology import Technology
+from .base import AnalogModule
+from .comparator import Comparator
+
+__all__ = ["FlashAdc"]
+
+#: Ladder standing current [A].
+LADDER_CURRENT = 50e-6
+#: Gate area charged to the thermometer encoder, per bit of output,
+#: per comparator [m^2] — a standard-cell estimate.
+ENCODER_AREA_PER_TERM = 12e-12
+
+
+@dataclass
+class FlashAdc(AnalogModule):
+    """A sized flash converter."""
+
+    bits: int = 4
+    comparator: Comparator = None  # type: ignore[assignment]
+    v_low: float = 0.0
+    v_high: float = 0.0
+
+    @classmethod
+    def design(
+        cls,
+        tech: Technology,
+        bits: int,
+        delay: float,
+        *,
+        v_low: float | None = None,
+        v_high: float | None = None,
+        name: str = "flash_adc",
+    ) -> "FlashAdc":
+        """Size a ``bits``-bit flash ADC with conversion ``delay`` [s]."""
+        if not 1 <= bits <= 8:
+            raise EstimationError(f"{name}: bits must be in 1..8")
+        if delay <= 0:
+            raise EstimationError(f"{name}: delay must be positive")
+        if v_low is None:
+            v_low = tech.vss / 2.0
+        if v_high is None:
+            v_high = tech.vdd / 2.0
+        if v_high <= v_low:
+            raise EstimationError(f"{name}: v_high must exceed v_low")
+        n_comp = 2**bits - 1
+        comp = Comparator.design(
+            tech, delay * 0.8, name=f"{name}.comparator"
+        )
+        r_segment = (v_high - v_low) / (2**bits * LADDER_CURRENT)
+        ladder = {
+            f"lad{k}": Resistor.design(tech, r_segment)
+            for k in range(2**bits)
+        }
+        encoder_area = ENCODER_AREA_PER_TERM * n_comp * bits
+        estimate = PerformanceEstimate(
+            gate_area=n_comp * comp.estimate.gate_area + encoder_area,
+            dc_power=n_comp * comp.estimate.dc_power
+            + (v_high - v_low) * LADDER_CURRENT,
+            extras={
+                "bits": float(bits),
+                "delay": comp.delay * 1.15,  # + encoder propagation
+                "lsb": (v_high - v_low) / 2**bits,
+            },
+        )
+        return cls(
+            name=name,
+            tech=tech,
+            opamps={"comparator": comp.opamps["main"]},
+            resistors=ladder,
+            capacitors={},
+            estimate=estimate,
+            bits=bits,
+            comparator=comp,
+            v_low=v_low,
+            v_high=v_high,
+        )
+
+    @property
+    def delay(self) -> float:
+        return self.estimate.extras["delay"]
+
+    def verification_circuit(
+        self, v_in: float = 0.0
+    ) -> tuple[Circuit, dict[str, str]]:
+        """Full ladder + comparator bank at a DC input voltage."""
+        ckt = self._shell()
+        ckt.v("in", "0", dc=v_in, name="VIN")
+        ckt.v("reft", "0", dc=self.v_high, name="VREFT")
+        ckt.v("refb", "0", dc=self.v_low, name="VREFB")
+        n_seg = 2**self.bits
+        r_seg = self.resistors["lad0"].value
+        prev = "refb"
+        nodes = {}
+        for k in range(1, n_seg):
+            tap = f"tap{k}"
+            ckt.r(prev, tap, r_seg, name=f"RL{k}")
+            prev = tap
+            place_opamp(
+                self.comparator.opamps["main"], ckt, f"CMP{k}",
+                inp="in", inn=tap, out=f"d{k}", vdd="vdd", vss="vss",
+            )
+            ckt.r(f"d{k}", "0", 1e9, name=f"RB{k}")
+            nodes[f"d{k}"] = f"d{k}"
+        ckt.r(prev, "reft", r_seg, name=f"RL{n_seg}")
+        return ckt, nodes
+
+    def convert_dc(self, v_in: float) -> int:
+        """Simulate one DC conversion: returns the thermometer count."""
+        ckt, nodes = self.verification_circuit(v_in)
+        op = dc_operating_point(ckt)
+        return sum(1 for node in nodes.values() if op.v(node) > 0.0)
+
+    def measure_transfer(self, n_points: int = 9) -> list[tuple[float, int]]:
+        """Simulated code vs input over the full-scale range."""
+        vins = np.linspace(
+            self.v_low + 1e-3, self.v_high - 1e-3, n_points
+        )
+        return [(float(v), self.convert_dc(float(v))) for v in vins]
+
+    def ideal_code(self, v_in: float) -> int:
+        lsb = self.estimate.extras["lsb"]
+        code = int((v_in - self.v_low) / lsb)
+        return max(0, min(code, 2**self.bits - 1))

@@ -1,0 +1,219 @@
+"""Amplifier modules: inverting, summing (adder) and open-loop audio.
+
+The closed-loop modules map ideal resistor-ratio behaviour through the
+op-amp non-idealities exactly as the paper describes: finite open-loop
+gain shrinks the closed-loop gain by ``1/(1 + NG/A0)`` and the finite
+UGF places the closed-loop pole at ``UGF / NG`` (noise gain ``NG``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..components import PerformanceEstimate
+from ..devices import Resistor
+from ..errors import EstimationError
+from ..opamp import OpAmpSpec, OpAmpTopology, design_opamp
+from ..opamp.benches import place_opamp
+from ..spice import Circuit
+from ..technology import Technology
+from .base import AnalogModule, design_module_opamp
+
+__all__ = ["InvertingAmplifier", "SummingAmplifier", "AudioAmplifier"]
+
+#: Default input resistor for virtual-ground topologies [ohm].
+DEFAULT_R_IN = 20e3
+
+
+@dataclass
+class InvertingAmplifier(AnalogModule):
+    """Classic inverting amplifier: gain = -R2/R1."""
+
+    closed_loop_gain: float = 0.0
+
+    @classmethod
+    def design(
+        cls,
+        tech: Technology,
+        gain: float,
+        bandwidth: float,
+        *,
+        r_in: float = DEFAULT_R_IN,
+        cl: float = 5e-12,
+        name: str = "invamp",
+    ) -> "InvertingAmplifier":
+        """Size for |closed-loop gain| ``gain`` and -3 dB ``bandwidth``.
+
+        ``cl`` is the capacitive load the stage must drive (it sizes
+        the op-amp's output stage and slew current).
+        """
+        g = abs(gain)
+        if g <= 0:
+            raise EstimationError(f"{name}: gain must be nonzero")
+        amp = design_module_opamp(
+            tech,
+            closed_loop_gain=g,
+            bandwidth=bandwidth,
+            cl=cl,
+            name=f"{name}.opamp",
+        )
+        r1 = Resistor.design(tech, r_in)
+        r2 = Resistor.design(tech, g * r_in)
+        a0 = amp.estimate.gain
+        noise_gain = 1.0 + g
+        gain_actual = g / (1.0 + noise_gain / a0)
+        bw_actual = amp.estimate.ugf / noise_gain
+        estimate = PerformanceEstimate(
+            gate_area=amp.estimate.gate_area,
+            dc_power=amp.estimate.dc_power,
+            gain=-gain_actual,
+            bandwidth=bw_actual,
+            ugf=gain_actual * bw_actual,
+            zout=amp.estimate.zout / (1.0 + a0 / noise_gain),
+            slew_rate=amp.estimate.slew_rate,
+            extras={"r1": r1.value, "r2": r2.value, "cl": cl},
+        )
+        return cls(
+            name=name,
+            tech=tech,
+            opamps={"main": amp},
+            resistors={"r1": r1, "r2": r2},
+            capacitors={},
+            estimate=estimate,
+            closed_loop_gain=g,
+        )
+
+    def verification_circuit(self) -> tuple[Circuit, dict[str, str]]:
+        ckt = self._shell()
+        ckt.v("in", "0", dc=0.0, ac=1.0, name="VIN")
+        ckt.r("in", "sum", self.resistors["r1"].value, name="R1")
+        ckt.r("sum", "out", self.resistors["r2"].value, name="R2")
+        place_opamp(
+            self.opamps["main"], ckt, "XA",
+            inp="0", inn="sum", out="out", vdd="vdd", vss="vss",
+        )
+        ckt.c("out", "0", self.estimate.extras.get("cl", 5e-12), name="CL")
+        return ckt, {"out": "out", "in": "in"}
+
+
+@dataclass
+class SummingAmplifier(AnalogModule):
+    """Inverting adder: out = -sum_i (R2/R1_i) v_i."""
+
+    weights: tuple[float, ...] = ()
+
+    @classmethod
+    def design(
+        cls,
+        tech: Technology,
+        weights: tuple[float, ...] | list[float],
+        bandwidth: float,
+        *,
+        r_feedback: float = DEFAULT_R_IN * 2,
+        name: str = "adder",
+    ) -> "SummingAmplifier":
+        """Size an adder with per-input gains ``weights``."""
+        weights = tuple(float(w) for w in weights)
+        if not weights or any(w <= 0 for w in weights):
+            raise EstimationError(f"{name}: weights must be positive")
+        noise_gain = 1.0 + sum(weights)
+        amp = design_module_opamp(
+            tech,
+            closed_loop_gain=max(sum(weights), 1.0),
+            bandwidth=bandwidth,
+            name=f"{name}.opamp",
+        )
+        resistors = {
+            f"rin{k}": Resistor.design(tech, r_feedback / w)
+            for k, w in enumerate(weights)
+        }
+        resistors["rf"] = Resistor.design(tech, r_feedback)
+        bw_actual = amp.estimate.ugf / noise_gain
+        estimate = PerformanceEstimate(
+            gate_area=amp.estimate.gate_area,
+            dc_power=amp.estimate.dc_power,
+            gain=-sum(weights) / (1.0 + noise_gain / amp.estimate.gain),
+            bandwidth=bw_actual,
+            slew_rate=amp.estimate.slew_rate,
+            extras={"n_inputs": float(len(weights))},
+        )
+        return cls(
+            name=name,
+            tech=tech,
+            opamps={"main": amp},
+            resistors=resistors,
+            capacitors={},
+            estimate=estimate,
+            weights=weights,
+        )
+
+    def verification_circuit(self) -> tuple[Circuit, dict[str, str]]:
+        ckt = self._shell()
+        nodes = {}
+        for k in range(len(self.weights)):
+            ckt.v(f"in{k}", "0", dc=0.0, ac=1.0 if k == 0 else 0.0,
+                  name=f"VIN{k}")
+            ckt.r(f"in{k}", "sum", self.resistors[f"rin{k}"].value,
+                  name=f"RIN{k}")
+            nodes[f"in{k}"] = f"in{k}"
+        ckt.r("sum", "out", self.resistors["rf"].value, name="RF")
+        place_opamp(
+            self.opamps["main"], ckt, "XA",
+            inp="0", inn="sum", out="out", vdd="vdd", vss="vss",
+        )
+        ckt.c("out", "0", 5e-12, name="CL")
+        nodes["out"] = "out"
+        return ckt, nodes
+
+
+@dataclass
+class AudioAmplifier(AnalogModule):
+    """Open-loop audio amplifier (paper Table 5 ``amp``).
+
+    "The topology of the audio amplifier is a 2-stage operational
+    amplifier in open-loop configuration with a gain of 100 and 20 kHz
+    bandwidth."  The module *is* an op-amp designed so its open-loop
+    gain and bandwidth land on the audio spec (UGF = gain x BW).
+    """
+
+    @classmethod
+    def design(
+        cls,
+        tech: Technology,
+        gain: float,
+        bandwidth: float,
+        *,
+        cl: float = 20e-12,
+        name: str = "audioamp",
+    ) -> "AudioAmplifier":
+        if gain <= 1 or bandwidth <= 0:
+            raise EstimationError(f"{name}: need gain > 1 and bandwidth > 0")
+        spec = OpAmpSpec(
+            gain=gain, ugf=gain * bandwidth, ibias=2e-6, cl=cl
+        )
+        amp = design_opamp(tech, spec, OpAmpTopology(), name=f"{name}.opamp")
+        est = amp.estimate
+        estimate = PerformanceEstimate(
+            gate_area=est.gate_area,
+            dc_power=est.dc_power,
+            gain=est.gain,
+            bandwidth=est.ugf / est.gain,
+            ugf=est.ugf,
+            slew_rate=est.slew_rate,
+            cmrr=est.cmrr,
+            extras={"cl": cl},
+        )
+        return cls(
+            name=name,
+            tech=tech,
+            opamps={"main": amp},
+            resistors={},
+            capacitors={},
+            estimate=estimate,
+        )
+
+    def verification_circuit(self) -> tuple[Circuit, dict[str, str]]:
+        from ..opamp.benches import open_loop_bench
+
+        ckt = open_loop_bench(self.opamps["main"])
+        return ckt, {"out": "out"}

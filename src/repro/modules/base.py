@@ -1,0 +1,105 @@
+"""Shared machinery for level-4 analog modules.
+
+An :class:`AnalogModule` owns one or more sized op-amps plus passives,
+carries a composed :class:`~repro.components.PerformanceEstimate`, and
+can build a self-contained verification bench (used by the Table 5
+est-vs-sim comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..components import PerformanceEstimate
+from ..devices import Capacitor, Resistor
+from ..errors import EstimationError
+from ..opamp import OpAmp, OpAmpSpec, OpAmpTopology, design_opamp
+from ..spice import Circuit
+from ..technology import Technology
+
+__all__ = ["AnalogModule", "design_module_opamp"]
+
+
+def design_module_opamp(
+    tech: Technology,
+    *,
+    closed_loop_gain: float,
+    bandwidth: float,
+    cl: float = 5e-12,
+    gain_margin: float = 50.0,
+    ugf_margin: float = 5.0,
+    r_network: float = 20e3,
+    topology: OpAmpTopology | None = None,
+    name: str = "module.opamp",
+) -> OpAmp:
+    """Size an op-amp adequate for a feedback application.
+
+    Classical accuracy rules: open-loop gain >= ``gain_margin`` x the
+    closed-loop gain (gain error ~ G/A0) and UGF >= ``ugf_margin`` x
+    the closed-loop gain-bandwidth product (the closed-loop pole sits
+    at UGF / noise-gain).
+
+    Feedback circuits load the amplifier with their resistor network,
+    so the default topology includes the output buffer sized to drive
+    ``r_network`` ohms — an unbuffered OTA's megaohm output node would
+    collapse against the feedback divider.
+    """
+    if closed_loop_gain <= 0 or bandwidth <= 0:
+        raise EstimationError(f"{name}: gain and bandwidth must be positive")
+    if topology is None:
+        topology = OpAmpTopology(output_buffer=True, z_load=r_network)
+    noise_gain = closed_loop_gain + 1.0
+    spec = OpAmpSpec(
+        gain=gain_margin * closed_loop_gain,
+        ugf=ugf_margin * noise_gain * bandwidth,
+        ibias=2e-6,
+        cl=cl,
+    )
+    return design_opamp(tech, spec, topology, name=name)
+
+
+@dataclass
+class AnalogModule:
+    """A sized module: op-amps + passives + composed estimates."""
+
+    name: str
+    tech: Technology
+    opamps: dict[str, OpAmp]
+    resistors: dict[str, Resistor]
+    capacitors: dict[str, Capacitor]
+    estimate: PerformanceEstimate
+
+    @property
+    def gate_area(self) -> float:
+        """Total MOS gate area across all op-amps [m^2]."""
+        return sum(a.estimate.gate_area for a in self.opamps.values())
+
+    @property
+    def passive_area(self) -> float:
+        """Layout area of resistors and capacitors [m^2]."""
+        return sum(r.area for r in self.resistors.values()) + sum(
+            c.area for c in self.capacitors.values()
+        )
+
+    @property
+    def total_area(self) -> float:
+        """Gate + passive area — the module-level "area" the paper quotes."""
+        return self.gate_area + self.passive_area
+
+    def opamp(self, role: str) -> OpAmp:
+        try:
+            return self.opamps[role]
+        except KeyError:
+            raise EstimationError(
+                f"{self.name}: no op-amp in role {role!r}"
+            ) from None
+
+    def verification_circuit(self) -> tuple[Circuit, dict[str, str]]:
+        """Self-contained bench; overridden per module."""
+        raise NotImplementedError
+
+    def _shell(self) -> Circuit:
+        ckt = Circuit(f"{self.name}-bench")
+        ckt.v("vdd", "0", dc=self.tech.vdd, name="VDDSUP")
+        ckt.v("vss", "0", dc=self.tech.vss, name="VSSSUP")
+        return ckt

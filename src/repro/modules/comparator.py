@@ -1,0 +1,125 @@
+"""Voltage comparator module.
+
+An uncompensated open-loop op-amp used as a threshold detector.  The
+response-time model combines the slew-limited swing with the linear
+small-signal delay:
+
+    t_delay ~= V_swing / (2 SR)  +  3 / (2 pi f_u)
+
+Verification drives an input step with a given overdrive and measures
+the time for the output to cross mid-swing — the figure the paper's
+flash-ADC delay spec (Table 5 ``adc``) is built from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..components import PerformanceEstimate
+from ..errors import EstimationError
+from ..opamp import OpAmpSpec, OpAmpTopology, design_opamp
+from ..opamp.benches import place_opamp
+from ..spice import Circuit, PulseWave
+from ..technology import Technology
+from .base import AnalogModule
+
+__all__ = ["Comparator"]
+
+
+@dataclass
+class Comparator(AnalogModule):
+    """A sized comparator with its delay estimate."""
+
+    delay: float = 0.0
+
+    @classmethod
+    def design(
+        cls,
+        tech: Technology,
+        delay: float,
+        *,
+        gain: float = 200.0,
+        cl: float = 1e-12,
+        name: str = "comparator",
+    ) -> "Comparator":
+        """Size for a response time of at most ``delay`` seconds."""
+        if delay <= 0:
+            raise EstimationError(f"{name}: delay must be positive")
+        swing = tech.supply_span / 2.0
+        # Split the budget between slew and linear settling and derive
+        # the UGF / slew-rate requirements from it.
+        ugf_req = 3.0 / (2.0 * math.pi * (0.4 * delay))
+        sr_req = swing / (2.0 * 0.6 * delay)
+        spec = OpAmpSpec(
+            gain=gain, ugf=ugf_req, ibias=2e-6, cl=cl, slew_rate=sr_req
+        )
+        amp = design_opamp(tech, spec, OpAmpTopology(), name=f"{name}.opamp")
+        est = amp.estimate
+        delay_est = swing / (2.0 * est.slew_rate) + 3.0 / (
+            2.0 * math.pi * est.ugf
+        )
+        estimate = PerformanceEstimate(
+            gate_area=est.gate_area,
+            dc_power=est.dc_power,
+            gain=est.gain,
+            ugf=est.ugf,
+            slew_rate=est.slew_rate,
+            extras={"delay": delay_est, "cl": cl},
+        )
+        return cls(
+            name=name,
+            tech=tech,
+            opamps={"main": amp},
+            resistors={},
+            capacitors={},
+            estimate=estimate,
+            delay=delay_est,
+        )
+
+    def verification_circuit(
+        self, overdrive: float = 0.1, t_step: float | None = None
+    ) -> tuple[Circuit, dict[str, str]]:
+        """Bench: input steps from -overdrive to +overdrive at t_step."""
+        if t_step is None:
+            t_step = self.delay
+        ckt = self._shell()
+        ckt.v(
+            "in", "0", dc=-overdrive,
+            wave=PulseWave(
+                v1=-overdrive, v2=overdrive, delay=t_step,
+                rise=1e-9, width=1.0,
+            ),
+            name="VIN",
+        )
+        ckt.v("ref", "0", dc=0.0, name="VREF")
+        place_opamp(
+            self.opamps["main"], ckt, "XA",
+            inp="in", inn="ref", out="out", vdd="vdd", vss="vss",
+        )
+        ckt.c("out", "0", self.estimate.extras["cl"], name="CL")
+        ckt.r("out", "0", 1e9, name="RBLEED")
+        return ckt, {"out": "out", "in": "in"}
+
+    def measure_delay(self, overdrive: float = 0.1) -> float:
+        """Simulated response time for the given input overdrive [s]."""
+        from ..spice import transient_analysis
+        import numpy as np
+
+        t_step = self.delay
+        ckt, nodes = self.verification_circuit(overdrive, t_step)
+        tran = transient_analysis(
+            ckt, t_stop=t_step + 8.0 * self.delay, dt=self.delay / 40.0
+        )
+        out = tran.v(nodes["out"])
+        times = tran.times
+        v_start = out[np.searchsorted(times, t_step) - 1]
+        v_final = out[-1]
+        v_mid = 0.5 * (v_start + v_final)
+        rising = v_final > v_start
+        for t, v in zip(times, out):
+            if t <= t_step:
+                continue
+            if (rising and v >= v_mid) or (not rising and v <= v_mid):
+                return float(t - t_step)
+        raise EstimationError(f"{self.name}: output never crossed mid-swing")

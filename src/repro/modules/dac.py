@@ -1,0 +1,127 @@
+"""R-2R ladder digital-to-analog converter.
+
+A ``bits``-bit R-2R ladder whose bit inputs are driven rail-to-rail
+(digital), followed by a unity-gain buffer op-amp.  The unloaded ladder
+output is ``V = Vref * code / 2^bits``; the buffer's finite gain and
+offset set the static accuracy, its slew/settling the conversion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..components import PerformanceEstimate
+from ..devices import Resistor
+from ..errors import EstimationError
+from ..opamp.benches import place_opamp
+from ..spice import Circuit, dc_operating_point
+from ..technology import Technology
+from .base import AnalogModule, design_module_opamp
+
+__all__ = ["R2rDac"]
+
+#: Ladder unit resistance [ohm].
+DEFAULT_R_UNIT = 20e3
+
+
+@dataclass
+class R2rDac(AnalogModule):
+    """A sized R-2R DAC."""
+
+    bits: int = 4
+    v_ref: float = 1.0
+
+    @classmethod
+    def design(
+        cls,
+        tech: Technology,
+        bits: int,
+        settle_time: float,
+        *,
+        v_ref: float = 1.0,
+        r_unit: float = DEFAULT_R_UNIT,
+        name: str = "r2r_dac",
+    ) -> "R2rDac":
+        """Size a ``bits``-bit DAC settling within ``settle_time`` [s]."""
+        if not 1 <= bits <= 12:
+            raise EstimationError(f"{name}: bits must be in 1..12")
+        if settle_time <= 0:
+            raise EstimationError(f"{name}: settle time must be positive")
+        # Buffer bandwidth from the n-bit settling requirement:
+        # t_settle ~ ln(2^(bits+1)) / (2 pi BW).
+        import math
+
+        bw_req = math.log(2.0 ** (bits + 1)) / (2.0 * math.pi * settle_time)
+        buffer = design_module_opamp(
+            tech,
+            closed_loop_gain=1.0,
+            bandwidth=bw_req,
+            gain_margin=2.0 ** (bits + 1),  # gain error below 1/2 LSB
+            name=f"{name}.buffer",
+        )
+        resistors: dict[str, Resistor] = {}
+        for k in range(bits):
+            resistors[f"r2_{k}"] = Resistor.design(tech, 2.0 * r_unit)
+            if k < bits - 1:
+                resistors[f"r_{k}"] = Resistor.design(tech, r_unit)
+        resistors["r2_term"] = Resistor.design(tech, 2.0 * r_unit)
+        lsb = v_ref / 2**bits
+        gain_err = 1.0 / buffer.estimate.gain
+        estimate = PerformanceEstimate(
+            gate_area=buffer.estimate.gate_area,
+            dc_power=buffer.estimate.dc_power,
+            gain=1.0 - gain_err,
+            bandwidth=buffer.estimate.ugf,
+            slew_rate=buffer.estimate.slew_rate,
+            extras={
+                "bits": float(bits),
+                "lsb": lsb,
+                "settle_time": math.log(2.0 ** (bits + 1))
+                / (2.0 * math.pi * buffer.estimate.ugf),
+            },
+        )
+        return cls(
+            name=name,
+            tech=tech,
+            opamps={"buffer": buffer},
+            resistors=resistors,
+            capacitors={},
+            estimate=estimate,
+            bits=bits,
+            v_ref=v_ref,
+        )
+
+    def verification_circuit(self, code: int) -> tuple[Circuit, dict[str, str]]:
+        """Ladder + buffer with the bit sources set for ``code``."""
+        if not 0 <= code < 2**self.bits:
+            raise EstimationError(
+                f"{self.name}: code {code} out of range for {self.bits} bits"
+            )
+        ckt = self._shell()
+        r_unit = self.resistors["r_0"].value if self.bits > 1 else (
+            self.resistors["r2_0"].value / 2.0
+        )
+        # Ladder nodes n0 (LSB end, terminated) .. n{bits-1} (output).
+        ckt.r("n0", "0", 2.0 * r_unit, name="R2TERM")
+        for k in range(self.bits):
+            bit = (code >> k) & 1
+            ckt.v(f"b{k}", "0", dc=self.v_ref if bit else 0.0, name=f"VB{k}")
+            ckt.r(f"b{k}", f"n{k}", 2.0 * r_unit, name=f"R2_{k}")
+            if k < self.bits - 1:
+                ckt.r(f"n{k}", f"n{k+1}", r_unit, name=f"R_{k}")
+        top = f"n{self.bits - 1}"
+        place_opamp(
+            self.opamps["buffer"], ckt, "XB",
+            inp=top, inn="out", out="out", vdd="vdd", vss="vss",
+        )
+        ckt.c("out", "0", 5e-12, name="CL")
+        return ckt, {"out": "out", "ladder": top}
+
+    def convert(self, code: int) -> float:
+        """Simulated output voltage for a digital code."""
+        ckt, nodes = self.verification_circuit(code)
+        op = dc_operating_point(ckt)
+        return op.v(nodes["out"])
+
+    def ideal_output(self, code: int) -> float:
+        return self.v_ref * code / 2**self.bits

@@ -1,0 +1,245 @@
+"""Sallen-Key active filters (paper Table 5 ``lpf``/``bpf``).
+
+Equal-component Sallen-Key sections with gain-set op-amps:
+
+* low-pass biquad:  ``H = K / (x^2 + (3-K) x + 1)``, ``x = sRC``,
+  so ``w0 = 1/RC`` and ``Q = 1/(3-K)``;
+* band-pass biquad: ``H = K x / (x^2 + (4-K) x + 2)``,
+  so ``w0 = sqrt(2)/RC``, ``Q = sqrt(2)/(4-K)`` and centre gain
+  ``G0 = K/(4-K)``.
+
+Butterworth low-pass designs cascade ``order/2`` biquads, all at the
+corner frequency with the classic pole-angle Q values.  The module
+passband gain is the product of the section K values — the paper's
+``gain`` rows for the filters are exactly this quantity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..components import PerformanceEstimate
+from ..devices import Capacitor, Resistor
+from ..errors import EstimationError
+from ..opamp import OpAmp
+from ..opamp.benches import place_opamp
+from ..spice import Circuit
+from ..technology import Technology
+from .base import AnalogModule, design_module_opamp
+
+__all__ = ["SallenKeyLowPass", "SallenKeyBandPass", "butterworth_q_values"]
+
+#: Default section resistor [ohm].
+DEFAULT_R = 100e3
+
+
+def butterworth_q_values(order: int) -> list[float]:
+    """Section Q values of an even-order Butterworth low-pass."""
+    if order < 2 or order % 2 != 0:
+        raise EstimationError(
+            f"Butterworth cascade needs an even order >= 2, got {order}"
+        )
+    qs = []
+    for k in range(1, order // 2 + 1):
+        angle = (2 * k - 1) * math.pi / (2 * order)
+        qs.append(1.0 / (2.0 * math.cos(angle)))
+    return qs
+
+
+def _place_lp_section(
+    ckt: Circuit,
+    amp: OpAmp,
+    tag: str,
+    node_in: str,
+    node_out: str,
+    r: float,
+    c: float,
+    k: float,
+) -> None:
+    """One equal-component Sallen-Key low-pass biquad."""
+    a, b, fb = f"{tag}_a", f"{tag}_b", f"{tag}_fb"
+    ckt.r(node_in, a, r, name=f"{tag}R1")
+    ckt.r(a, b, r, name=f"{tag}R2")
+    ckt.c(a, node_out, c, name=f"{tag}C1")
+    ckt.c(b, "0", c, name=f"{tag}C2")
+    place_opamp(
+        amp, ckt, f"{tag}X", inp=b, inn=fb, out=node_out,
+        vdd="vdd", vss="vss",
+    )
+    r_g = 20e3
+    ckt.r(fb, "0", r_g, name=f"{tag}RG")
+    ckt.r(node_out, fb, max((k - 1.0) * r_g, 1e-3), name=f"{tag}RF")
+
+
+@dataclass
+class SallenKeyLowPass(AnalogModule):
+    """Even-order Butterworth Sallen-Key low-pass filter."""
+
+    order: int = 2
+    f_corner: float = 0.0
+    section_gains: tuple[float, ...] = ()
+
+    @classmethod
+    def design(
+        cls,
+        tech: Technology,
+        order: int,
+        f_corner: float,
+        *,
+        r: float = DEFAULT_R,
+        name: str = "sk_lpf",
+    ) -> "SallenKeyLowPass":
+        """Size an ``order``-pole Butterworth LPF with corner ``f_corner``."""
+        if f_corner <= 0:
+            raise EstimationError(f"{name}: corner frequency must be positive")
+        qs = butterworth_q_values(order)
+        c_value = 1.0 / (2.0 * math.pi * f_corner * r)
+        opamps: dict[str, OpAmp] = {}
+        resistors: dict[str, Resistor] = {}
+        capacitors: dict[str, Capacitor] = {}
+        ks = []
+        power = 0.0
+        for idx, q in enumerate(qs):
+            k = 3.0 - 1.0 / q
+            ks.append(k)
+            amp = design_module_opamp(
+                tech,
+                closed_loop_gain=max(k, 1.001),
+                bandwidth=20.0 * q * f_corner,
+                name=f"{name}.s{idx}",
+            )
+            opamps[f"s{idx}"] = amp
+            power += amp.estimate.dc_power
+            resistors[f"s{idx}_r1"] = Resistor.design(tech, r)
+            resistors[f"s{idx}_r2"] = Resistor.design(tech, r)
+            capacitors[f"s{idx}_c1"] = Capacitor.design(tech, c_value)
+            capacitors[f"s{idx}_c2"] = Capacitor.design(tech, c_value)
+        gain_total = math.prod(ks)
+        estimate = PerformanceEstimate(
+            gate_area=sum(a.estimate.gate_area for a in opamps.values()),
+            dc_power=power,
+            gain=gain_total,
+            bandwidth=f_corner,
+            extras={
+                "f_3db": f_corner,
+                # n-pole Butterworth: -20 dB at fc * 10^(1/n).
+                "f_20db": f_corner * 10.0 ** (1.0 / order),
+                "order": float(order),
+                "c_section": c_value,
+            },
+        )
+        return cls(
+            name=name,
+            tech=tech,
+            opamps=opamps,
+            resistors=resistors,
+            capacitors=capacitors,
+            estimate=estimate,
+            order=order,
+            f_corner=f_corner,
+            section_gains=tuple(ks),
+        )
+
+    def verification_circuit(self) -> tuple[Circuit, dict[str, str]]:
+        ckt = self._shell()
+        ckt.v("in", "0", dc=0.0, ac=1.0, name="VIN")
+        node = "in"
+        c_value = self.estimate.extras["c_section"]
+        for idx, k in enumerate(self.section_gains):
+            nxt = "out" if idx == len(self.section_gains) - 1 else f"m{idx}"
+            _place_lp_section(
+                ckt, self.opamps[f"s{idx}"], f"S{idx}",
+                node, nxt,
+                self.resistors[f"s{idx}_r1"].value, c_value, k,
+            )
+            node = nxt
+        ckt.c("out", "0", 5e-12, name="CL")
+        return ckt, {"out": "out"}
+
+
+@dataclass
+class SallenKeyBandPass(AnalogModule):
+    """Second-order Sallen-Key band-pass filter."""
+
+    f_center: float = 0.0
+    q: float = 1.0
+    k: float = 2.0
+
+    @classmethod
+    def design(
+        cls,
+        tech: Technology,
+        f_center: float,
+        bandwidth: float,
+        *,
+        r: float = DEFAULT_R,
+        name: str = "sk_bpf",
+    ) -> "SallenKeyBandPass":
+        """Size for centre ``f_center`` and -3 dB ``bandwidth``."""
+        if f_center <= 0 or bandwidth <= 0:
+            raise EstimationError(f"{name}: f0 and bandwidth must be positive")
+        q = f_center / bandwidth
+        k = 4.0 - math.sqrt(2.0) / q
+        if not 1.0 <= k < 3.9:
+            raise EstimationError(
+                f"{name}: Q={q:.2f} outside the equal-component Sallen-Key "
+                "range (0.47 <= Q <= ~14)"
+            )
+        c_value = math.sqrt(2.0) / (2.0 * math.pi * f_center * r)
+        amp = design_module_opamp(
+            tech,
+            closed_loop_gain=k,
+            bandwidth=20.0 * q * f_center,
+            name=f"{name}.opamp",
+        )
+        g0 = k / (4.0 - k)
+        resistors = {
+            "r1": Resistor.design(tech, r),
+            "r2": Resistor.design(tech, r),
+            "r3": Resistor.design(tech, r),
+        }
+        capacitors = {
+            "c1": Capacitor.design(tech, c_value),
+            "c2": Capacitor.design(tech, c_value),
+        }
+        estimate = PerformanceEstimate(
+            gate_area=amp.estimate.gate_area,
+            dc_power=amp.estimate.dc_power,
+            gain=g0,
+            bandwidth=bandwidth,
+            extras={"f0": f_center, "q": q, "k": k, "c_section": c_value},
+        )
+        return cls(
+            name=name,
+            tech=tech,
+            opamps={"main": amp},
+            resistors=resistors,
+            capacitors=capacitors,
+            estimate=estimate,
+            f_center=f_center,
+            q=q,
+            k=k,
+        )
+
+    def verification_circuit(self) -> tuple[Circuit, dict[str, str]]:
+        ckt = self._shell()
+        ckt.v("in", "0", dc=0.0, ac=1.0, name="VIN")
+        c_value = self.estimate.extras["c_section"]
+        r = self.resistors["r1"].value
+        # Equal-component SK band-pass (see module docstring):
+        # in -R1- a; a -C1- b; b -R2- gnd; a -C2- gnd; out -R3- a.
+        ckt.r("in", "a", r, name="R1")
+        ckt.c("a", "b", c_value, name="C1")
+        ckt.r("b", "0", r, name="R2")
+        ckt.c("a", "0", c_value, name="C2")
+        ckt.r("out", "a", r, name="R3")
+        place_opamp(
+            self.opamps["main"], ckt, "XA",
+            inp="b", inn="fb", out="out", vdd="vdd", vss="vss",
+        )
+        r_g = 20e3
+        ckt.r("fb", "0", r_g, name="RG")
+        ckt.r("out", "fb", max((self.k - 1.0) * r_g, 1e-3), name="RF")
+        ckt.c("out", "0", 5e-12, name="CL")
+        return ckt, {"out": "out"}

@@ -1,0 +1,151 @@
+"""Three-op-amp instrumentation amplifier (library extension).
+
+The classic precision front-end: two non-inverting input buffers
+sharing a gain-set resistor ``Rg`` followed by a unity difference
+amplifier.  Differential gain ``G = 1 + 2 R_f / R_g``; common-mode
+signals pass the first stage at unity and are rejected by the
+difference stage, so the module CMRR is the difference stage's resistor
+matching times its op-amp's CMRR — with ideal resistors (our netlist)
+the op-amp limits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..components import PerformanceEstimate
+from ..devices import Resistor
+from ..errors import EstimationError
+from ..opamp.benches import place_opamp
+from ..spice import Circuit
+from ..technology import Technology
+from .base import AnalogModule, design_module_opamp
+
+__all__ = ["InstrumentationAmplifier"]
+
+
+@dataclass
+class InstrumentationAmplifier(AnalogModule):
+    """A sized three-op-amp in-amp."""
+
+    diff_gain: float = 0.0
+
+    @classmethod
+    def design(
+        cls,
+        tech: Technology,
+        gain: float,
+        bandwidth: float,
+        *,
+        r_unit: float = 20e3,
+        name: str = "inamp",
+    ) -> "InstrumentationAmplifier":
+        """Size for differential gain ``gain`` and ``bandwidth``."""
+        if gain < 1.0:
+            raise EstimationError(f"{name}: in-amp gain must be >= 1")
+        if bandwidth <= 0:
+            raise EstimationError(f"{name}: bandwidth must be positive")
+        # First stage takes all the gain; difference stage at unity.
+        r_f = r_unit
+        r_g = 2.0 * r_f / max(gain - 1.0, 1e-9) if gain > 1.0 else math.inf
+        buf = design_module_opamp(
+            tech,
+            closed_loop_gain=max(gain, 1.0),
+            bandwidth=2.0 * bandwidth,
+            name=f"{name}.buffer_a",
+        )
+        buf_b = design_module_opamp(
+            tech,
+            closed_loop_gain=max(gain, 1.0),
+            bandwidth=2.0 * bandwidth,
+            name=f"{name}.buffer_b",
+        )
+        diff_amp = design_module_opamp(
+            tech,
+            closed_loop_gain=1.0,
+            bandwidth=2.0 * bandwidth,
+            name=f"{name}.diff",
+        )
+        resistors = {
+            "rg": Resistor.design(tech, r_g) if math.isfinite(r_g) else None,
+            "rf_a": Resistor.design(tech, r_f),
+            "rf_b": Resistor.design(tech, r_f),
+            "r1": Resistor.design(tech, r_unit),
+            "r2": Resistor.design(tech, r_unit),
+            "r3": Resistor.design(tech, r_unit),
+            "r4": Resistor.design(tech, r_unit),
+        }
+        resistors = {k: v for k, v in resistors.items() if v is not None}
+        # Per-stage gain errors: the buffers run at noise gain ~G, the
+        # difference stage at noise gain 2.
+        err_buf = 1.0 + (gain + 1.0) / buf.estimate.gain
+        err_diff = 1.0 + 2.0 / diff_amp.estimate.gain
+        gain_actual = gain / (err_buf * err_diff)
+        power = (
+            buf.estimate.dc_power
+            + buf_b.estimate.dc_power
+            + diff_amp.estimate.dc_power
+        )
+        estimate = PerformanceEstimate(
+            gate_area=(
+                buf.estimate.gate_area
+                + buf_b.estimate.gate_area
+                + diff_amp.estimate.gate_area
+            ),
+            dc_power=power,
+            gain=gain_actual,
+            bandwidth=min(
+                buf.estimate.ugf / max(gain, 1.0),
+                diff_amp.estimate.ugf / 2.0,
+            ),
+            cmrr=diff_amp.estimate.cmrr,
+            slew_rate=min(
+                buf.estimate.slew_rate, diff_amp.estimate.slew_rate
+            ),
+            extras={"r_g": r_g, "r_f": r_f},
+        )
+        return cls(
+            name=name,
+            tech=tech,
+            opamps={"buffer_a": buf, "buffer_b": buf_b, "diff": diff_amp},
+            resistors=resistors,
+            capacitors={},
+            estimate=estimate,
+            diff_gain=gain,
+        )
+
+    def verification_circuit(
+        self, mode: str = "differential"
+    ) -> tuple[Circuit, dict[str, str]]:
+        """Bench with differential or common-mode drive."""
+        if mode not in ("differential", "common"):
+            raise EstimationError(f"unknown bench mode {mode!r}")
+        ckt = self._shell()
+        acp, acn = (0.5, -0.5) if mode == "differential" else (1.0, 1.0)
+        ckt.v("inp", "0", dc=0.0, ac=acp, name="VINP")
+        ckt.v("inn", "0", dc=0.0, ac=acn, name="VINN")
+        # First stage: two buffers joined by Rg, feedback through Rf.
+        place_opamp(
+            self.opamps["buffer_a"], ckt, "XA",
+            inp="inp", inn="fba", out="o1a", vdd="vdd", vss="vss",
+        )
+        place_opamp(
+            self.opamps["buffer_b"], ckt, "XB",
+            inp="inn", inn="fbb", out="o1b", vdd="vdd", vss="vss",
+        )
+        ckt.r("o1a", "fba", self.resistors["rf_a"].value, name="RFA")
+        ckt.r("o1b", "fbb", self.resistors["rf_b"].value, name="RFB")
+        if "rg" in self.resistors:
+            ckt.r("fba", "fbb", self.resistors["rg"].value, name="RG")
+        # Difference stage at unity.
+        ckt.r("o1a", "dm", self.resistors["r1"].value, name="R1")
+        ckt.r("dm", "out", self.resistors["r2"].value, name="R2")
+        ckt.r("o1b", "dp", self.resistors["r3"].value, name="R3")
+        ckt.r("dp", "0", self.resistors["r4"].value, name="R4")
+        place_opamp(
+            self.opamps["diff"], ckt, "XD",
+            inp="dp", inn="dm", out="out", vdd="vdd", vss="vss",
+        )
+        ckt.c("out", "0", 5e-12, name="CL")
+        return ckt, {"out": "out"}

@@ -1,0 +1,84 @@
+"""Inverting RC (Miller) integrator module.
+
+Ideal behaviour ``H(s) = -1/(s R C)``; the op-amp's finite gain turns
+the pole at the origin into a real pole at ``f_unity / A0`` (lossy
+integrator) and its finite UGF adds a parasitic high-frequency pole.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..components import PerformanceEstimate
+from ..devices import Capacitor, Resistor
+from ..errors import EstimationError
+from ..opamp.benches import place_opamp
+from ..spice import Circuit
+from ..technology import Technology
+from .base import AnalogModule, design_module_opamp
+
+__all__ = ["Integrator"]
+
+
+@dataclass
+class Integrator(AnalogModule):
+    """A sized inverting integrator."""
+
+    unity_freq: float = 0.0
+
+    @classmethod
+    def design(
+        cls,
+        tech: Technology,
+        unity_freq: float,
+        *,
+        r_in: float = 100e3,
+        name: str = "integrator",
+    ) -> "Integrator":
+        """Size for integration unity-gain frequency ``unity_freq`` [Hz]."""
+        if unity_freq <= 0:
+            raise EstimationError(f"{name}: unity frequency must be positive")
+        c_value = 1.0 / (2.0 * math.pi * unity_freq * r_in)
+        amp = design_module_opamp(
+            tech,
+            closed_loop_gain=10.0,  # conservative noise-gain proxy
+            bandwidth=10.0 * unity_freq,
+            name=f"{name}.opamp",
+        )
+        resistor = Resistor.design(tech, r_in)
+        capacitor = Capacitor.design(tech, c_value)
+        a0 = amp.estimate.gain
+        estimate = PerformanceEstimate(
+            gate_area=amp.estimate.gate_area,
+            dc_power=amp.estimate.dc_power,
+            gain=-a0,  # DC gain of the lossy integrator
+            ugf=unity_freq,
+            bandwidth=unity_freq / a0,  # low-frequency 'leak' pole
+            slew_rate=amp.estimate.slew_rate,
+            extras={"r": r_in, "c": c_value},
+        )
+        return cls(
+            name=name,
+            tech=tech,
+            opamps={"main": amp},
+            resistors={"r": resistor},
+            capacitors={"c": capacitor},
+            estimate=estimate,
+            unity_freq=unity_freq,
+        )
+
+    def verification_circuit(self) -> tuple[Circuit, dict[str, str]]:
+        ckt = self._shell()
+        ckt.v("in", "0", dc=0.0, ac=1.0, name="VIN")
+        ckt.r("in", "sum", self.resistors["r"].value, name="RIN")
+        ckt.c("sum", "out", self.capacitors["c"].value, name="CFB")
+        # A very large DC-feedback resistor keeps the bias defined
+        # without disturbing the response near the unity frequency.
+        ckt.r("sum", "out", 1e9, name="RDC")
+        place_opamp(
+            self.opamps["main"], ckt, "XA",
+            inp="0", inn="sum", out="out", vdd="vdd", vss="vss",
+        )
+        ckt.c("out", "0", 5e-12, name="CL")
+        return ckt, {"out": "out"}

@@ -1,0 +1,141 @@
+"""Sample-and-hold module (paper Table 5 ``s&h``).
+
+Topology: non-inverting input amplifier (sets the module gain, 2.0 in
+the paper's spec), an NMOS track switch, a hold capacitor and a
+unity-feedback output buffer op-amp.  Track-mode bandwidth is the
+smaller of the amplifier's closed-loop bandwidth and the switch RC
+pole; the response time adds the slew-limited acquisition of the hold
+capacitor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..components import PerformanceEstimate
+from ..devices import Capacitor, MosDevice, Resistor
+from ..errors import EstimationError
+from ..opamp.benches import place_opamp
+from ..spice import Circuit
+from ..technology import Technology
+from .base import AnalogModule, design_module_opamp
+
+__all__ = ["SampleHold"]
+
+#: Settling accuracy target: ln(2^10) time constants (~10-bit).
+SETTLE_TAU = math.log(2.0**10)
+
+
+@dataclass
+class SampleHold(AnalogModule):
+    """A sized sample-and-hold."""
+
+    switch: MosDevice = None  # type: ignore[assignment]
+    gain_target: float = 2.0
+
+    @classmethod
+    def design(
+        cls,
+        tech: Technology,
+        gain: float,
+        bandwidth: float,
+        response_time: float,
+        *,
+        c_hold: float = 10e-12,
+        name: str = "sample_hold",
+    ) -> "SampleHold":
+        """Size for ``gain``, track ``bandwidth`` and ``response_time``."""
+        if gain < 1.0:
+            raise EstimationError(f"{name}: non-inverting gain must be >= 1")
+        if bandwidth <= 0 or response_time <= 0 or c_hold <= 0:
+            raise EstimationError(f"{name}: bad bandwidth/response/c_hold")
+        # Switch: acquisition leaves half the response budget to the RC
+        # settling, half to amplifier slewing.
+        r_on = response_time / (2.0 * SETTLE_TAU * c_hold)
+        r_on = min(r_on, 1.0 / (4.0 * math.pi * bandwidth * c_hold))
+        vov_sw = tech.vdd - tech.nmos.vth0  # gate driven to VDD, source ~0
+        aspect = 1.0 / (tech.nmos.kp_effective * vov_sw * max(r_on, 1.0))
+        w_sw = max(aspect * tech.l_min, tech.w_min)
+        switch = MosDevice(tech.nmos, w_sw, tech.l_min)
+        r_on_actual = 1.0 / (
+            tech.nmos.kp_effective * switch.aspect * vov_sw
+        )
+        # Input amplifier: non-inverting gain via feedback divider.
+        amp_in = design_module_opamp(
+            tech,
+            closed_loop_gain=gain,
+            bandwidth=2.0 * bandwidth,
+            name=f"{name}.amp_in",
+        )
+        buffer = design_module_opamp(
+            tech,
+            closed_loop_gain=1.0,
+            bandwidth=2.0 * bandwidth,
+            name=f"{name}.buffer",
+        )
+        r_g = Resistor.design(tech, 20e3)
+        r_f = Resistor.design(tech, max((gain - 1.0) * 20e3, 1.0))
+        hold = Capacitor.design(tech, c_hold)
+        noise_gain = gain
+        a0 = amp_in.estimate.gain
+        gain_actual = gain / (1.0 + noise_gain / a0)
+        bw_amp = amp_in.estimate.ugf / noise_gain
+        bw_switch = 1.0 / (2.0 * math.pi * r_on_actual * c_hold)
+        bw_actual = 1.0 / math.sqrt(1.0 / bw_amp**2 + 1.0 / bw_switch**2)
+        slew = min(amp_in.estimate.slew_rate, buffer.estimate.slew_rate)
+        t_response = SETTLE_TAU * r_on_actual * c_hold + (
+            tech.supply_span / 4.0
+        ) / slew
+        estimate = PerformanceEstimate(
+            gate_area=amp_in.estimate.gate_area
+            + buffer.estimate.gate_area
+            + switch.gate_area,
+            dc_power=amp_in.estimate.dc_power + buffer.estimate.dc_power,
+            gain=gain_actual,
+            bandwidth=bw_actual,
+            slew_rate=slew,
+            extras={
+                "r_on": r_on_actual,
+                "c_hold": c_hold,
+                "response_time": t_response,
+            },
+        )
+        return cls(
+            name=name,
+            tech=tech,
+            opamps={"amp_in": amp_in, "buffer": buffer},
+            resistors={"r_g": r_g, "r_f": r_f},
+            capacitors={"c_hold": hold},
+            estimate=estimate,
+            switch=switch,
+            gain_target=gain,
+        )
+
+    def verification_circuit(
+        self, track: bool = True
+    ) -> tuple[Circuit, dict[str, str]]:
+        """Track-mode bench (switch gate at VDD): AC gain/BW measurable."""
+        ckt = self._shell()
+        ckt.v("in", "0", dc=0.0, ac=1.0, name="VIN")
+        # Input amplifier: non-inverting gain 1 + Rf/Rg.
+        place_opamp(
+            self.opamps["amp_in"], ckt, "XA",
+            inp="in", inn="fb", out="amp_out", vdd="vdd", vss="vss",
+        )
+        ckt.r("fb", "0", self.resistors["r_g"].value, name="RG")
+        ckt.r("amp_out", "fb", self.resistors["r_f"].value, name="RF")
+        # Track switch and hold capacitor.
+        gate = "vdd" if track else "vss"
+        ckt.m(
+            "amp_out", gate, "hold", "vss",
+            self.switch.model, self.switch.w, self.switch.l, name="MSW",
+        )
+        ckt.c("hold", "0", self.capacitors["c_hold"].value, name="CH")
+        # Output buffer in unity feedback.
+        place_opamp(
+            self.opamps["buffer"], ckt, "XB",
+            inp="hold", inn="out", out="out", vdd="vdd", vss="vss",
+        )
+        ckt.c("out", "0", 5e-12, name="CL")
+        return ckt, {"out": "out", "hold": "hold", "amp_out": "amp_out"}

@@ -1,0 +1,190 @@
+"""Switched-capacitor (SC) integrator module.
+
+The parasitic-insensitive, *non-inverting* SC integrator: on phase 1
+the sampling capacitor ``Cs`` charges to the input; on phase 2 its
+plates swap roles into the op-amp's virtual ground, transferring charge
+of the opposite sign (the classic polarity flip of this topology).
+Discrete-time behaviour::
+
+    Vout[n] = Vout[n-1] + (Cs/Ci) Vin[n-1]
+
+equivalent to an analog integrator with unity-gain frequency
+
+    f_unity = f_clk * Cs / (2 pi Ci)
+
+— the basic building block of SC filters and sigma-delta modulators,
+set by a *capacitor ratio* instead of an RC product (the reason SC
+circuits match well on chip).  Verification runs a true two-phase
+transient with MOS switches and non-overlapping clocks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..components import PerformanceEstimate
+from ..devices import Capacitor, MosDevice
+from ..errors import EstimationError
+from ..opamp.benches import place_opamp
+from ..spice import Circuit, PulseWave, transient_analysis
+from ..technology import Technology
+from .base import AnalogModule, design_module_opamp
+
+__all__ = ["ScIntegrator"]
+
+#: Settling accuracy target per phase (time constants).
+SETTLE_TAU = math.log(2.0**10)
+
+
+@dataclass
+class ScIntegrator(AnalogModule):
+    """A sized SC integrator."""
+
+    f_clock: float = 0.0
+    f_unity: float = 0.0
+    switch: MosDevice = None  # type: ignore[assignment]
+
+    @classmethod
+    def design(
+        cls,
+        tech: Technology,
+        f_unity: float,
+        f_clock: float,
+        *,
+        c_integrate: float = 10e-12,
+        name: str = "sc_integrator",
+    ) -> "ScIntegrator":
+        """Size for unity frequency ``f_unity`` at clock ``f_clock``.
+
+        The capacitor ratio ``Cs/Ci = 2 pi f_unity / f_clock`` must not
+        exceed 1 (a loop coefficient of one, the sigma-delta case); for
+        the *analog-equivalent* integrator interpretation the clock
+        should additionally run >= ~10x above the unity frequency.
+        """
+        if f_unity <= 0 or f_clock <= 0:
+            raise EstimationError(f"{name}: frequencies must be positive")
+        ratio = 2.0 * math.pi * f_unity / f_clock
+        if ratio > 1.0:
+            raise EstimationError(
+                f"{name}: capacitor ratio Cs/Ci = {ratio:.2f} > 1; "
+                "raise f_clock above 2*pi*f_unity"
+            )
+        c_sample = ratio * c_integrate
+        # Switch: settle Cs to 10-bit accuracy in a half period.
+        half_period = 0.5 / f_clock
+        r_on_max = half_period / (2.0 * SETTLE_TAU * c_sample)
+        vov_sw = tech.vdd - tech.nmos.vth0
+        aspect = 1.0 / (tech.nmos.kp_effective * vov_sw * r_on_max)
+        w_sw = max(aspect * tech.l_min, tech.w_min)
+        switch = MosDevice(tech.nmos, w_sw, tech.l_min)
+        # Op-amp: must settle the charge transfer each phase 2.
+        bw_req = SETTLE_TAU * f_clock / (2.0 * math.pi)
+        amp = design_module_opamp(
+            tech,
+            closed_loop_gain=max(1.0 / ratio, 1.0),
+            bandwidth=bw_req,
+            name=f"{name}.opamp",
+        )
+        estimate = PerformanceEstimate(
+            gate_area=amp.estimate.gate_area + 4.0 * switch.gate_area,
+            dc_power=amp.estimate.dc_power,
+            ugf=f_unity,
+            gain=-amp.estimate.gain,  # DC gain of the lossy integrator
+            slew_rate=amp.estimate.slew_rate,
+            extras={
+                "c_sample": c_sample,
+                "c_integrate": c_integrate,
+                "ratio": ratio,
+                "r_on": 1.0 / (
+                    tech.nmos.kp_effective * switch.aspect * vov_sw
+                ),
+            },
+        )
+        return cls(
+            name=name,
+            tech=tech,
+            opamps={"main": amp},
+            resistors={},
+            capacitors={
+                "c_sample": Capacitor.design(tech, c_sample),
+                "c_integrate": Capacitor.design(tech, c_integrate),
+            },
+            estimate=estimate,
+            f_clock=f_clock,
+            f_unity=f_unity,
+            switch=switch,
+        )
+
+    def verification_circuit(
+        self, v_in: float = 0.1
+    ) -> tuple[Circuit, dict[str, str]]:
+        """Two-phase transient bench with a DC input.
+
+        Phase 1 (clk1 high): Cs samples ``v_in``; phase 2 (clk2 high):
+        Cs discharges into the virtual ground.  Output ramps by
+        ``+(Cs/Ci) v_in`` per clock period (non-inverting topology).
+        """
+        ckt = self._shell()
+        period = 1.0 / self.f_clock
+        width = 0.4 * period
+        gap = 0.05 * period
+        ckt.v("in", "0", dc=v_in, name="VIN")
+        ckt.v(
+            "clk1", "0", dc=self.tech.vdd,
+            wave=PulseWave(
+                v1=self.tech.vdd, v2=self.tech.vss,
+                delay=width, rise=1e-9, fall=1e-9,
+                width=period - width, period=period,
+            ),
+            name="VCLK1",
+        )
+        ckt.v(
+            "clk2", "0", dc=self.tech.vss,
+            wave=PulseWave(
+                v1=self.tech.vss, v2=self.tech.vdd,
+                delay=width + gap, rise=1e-9, fall=1e-9,
+                width=width, period=period,
+            ),
+            name="VCLK2",
+        )
+        sw = self.switch
+        # Phase-1 switches: in -> cs_top, cs_bot -> gnd.
+        ckt.m("in", "clk1", "cs_top", "vss", sw.model, sw.w, sw.l, name="MS1")
+        ckt.m("cs_bot", "clk1", "0", "vss", sw.model, sw.w, sw.l, name="MS2")
+        # Phase-2 switches: cs_top -> gnd, cs_bot -> virtual ground.
+        ckt.m("cs_top", "clk2", "0", "vss", sw.model, sw.w, sw.l, name="MS3")
+        ckt.m("cs_bot", "clk2", "sum", "vss", sw.model, sw.w, sw.l, name="MS4")
+        ckt.c("cs_top", "cs_bot", self.capacitors["c_sample"].value, name="CS")
+        ckt.c("sum", "out", self.capacitors["c_integrate"].value, name="CI")
+        ckt.r("sum", "out", 1e9, name="RDC")  # DC bias path
+        place_opamp(
+            self.opamps["main"], ckt, "XA",
+            inp="0", inn="sum", out="out", vdd="vdd", vss="vss",
+        )
+        ckt.c("out", "0", 2e-12, name="CL")
+        return ckt, {"out": "out", "sum": "sum"}
+
+    def measure_slope(
+        self, v_in: float = 0.1, n_cycles: int = 8
+    ) -> float:
+        """Simulated output ramp rate [V/s] for a DC input.
+
+        Ideal value: ``+v_in * Cs/Ci * f_clock``.
+        """
+        ckt, nodes = self.verification_circuit(v_in)
+        period = 1.0 / self.f_clock
+        tran = transient_analysis(
+            ckt, t_stop=n_cycles * period, dt=period / 120.0
+        )
+        # Sample the output at the end of each phase 1 (held points).
+        times = np.arange(2, n_cycles) * period + 0.35 * period
+        values = [tran.at(nodes["out"], t) for t in times]
+        slope = np.polyfit(times, values, 1)[0]
+        return float(slope)
+
+    def ideal_slope(self, v_in: float = 0.1) -> float:
+        ratio = self.estimate.extras["ratio"]
+        return v_in * ratio * self.f_clock

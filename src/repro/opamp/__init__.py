@@ -1,0 +1,35 @@
+"""Operational amplifiers (APE level 3, paper §4.3).
+
+"A general structure of an opamp can be represented by three stages:
+(1) differential input amplifier; (2) level shift, differential to
+single-ended converter, and gain stage; (3) output buffer" — each stage
+drawn from the level-2 library.
+
+:class:`OpAmpTopology` captures the paper's topology knobs (bias
+current, current-source type, diff-amp type, gain stage, output buffer,
+load, compensation); :func:`design_opamp` sizes a complete amplifier
+and composes its performance estimate; :mod:`repro.opamp.benches`
+builds the simulation benches the tables verify against.
+"""
+
+from .topology import OpAmpSpec, OpAmpTopology
+from .estimator import OpAmp, design_opamp
+from .benches import (
+    balanced_open_loop,
+    cmrr_benches,
+    open_loop_bench,
+    step_bench,
+    verify_opamp,
+)
+
+__all__ = [
+    "OpAmpSpec",
+    "OpAmpTopology",
+    "OpAmp",
+    "design_opamp",
+    "open_loop_bench",
+    "balanced_open_loop",
+    "cmrr_benches",
+    "step_bench",
+    "verify_opamp",
+]

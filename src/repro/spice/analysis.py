@@ -1,0 +1,211 @@
+"""Measurement helpers over simulation results.
+
+These are the "simulate and measure" routines the paper's tables rely
+on: DC gain, unity-gain frequency, -3 dB bandwidth, phase margin, slew
+rate, output impedance and CMRR, plus a differential-input balancing
+helper that centres an open-loop amplifier's output before AC analysis
+(the real-world trick for simulating open-loop gain).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from ..errors import SimulationError
+from .ac import ACResult, ac_analysis
+from .dc import OperatingPointResult, dc_operating_point
+from .netlist import Circuit
+from .transient import TransientResult
+
+__all__ = [
+    "find_crossing",
+    "dc_gain",
+    "gain_at",
+    "unity_gain_frequency",
+    "bandwidth_3db",
+    "phase_margin",
+    "measure_slew_rate",
+    "measure_output_impedance",
+    "measure_cmrr",
+    "balance_differential",
+]
+
+
+def find_crossing(
+    x: np.ndarray, y: np.ndarray, target: float, log_x: bool = True
+) -> float:
+    """First x where ``y`` crosses ``target`` (downward or upward).
+
+    Interpolates between samples (logarithmically in x when ``log_x``).
+    Raises :class:`SimulationError` when no crossing exists.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    above = y >= target
+    for k in range(len(y) - 1):
+        if above[k] != above[k + 1]:
+            y0, y1 = y[k], y[k + 1]
+            frac = (target - y0) / (y1 - y0)
+            if log_x:
+                lx = math.log10(x[k]) + frac * (
+                    math.log10(x[k + 1]) - math.log10(x[k])
+                )
+                return 10.0**lx
+            return float(x[k] + frac * (x[k + 1] - x[k]))
+    raise SimulationError(f"no crossing of {target:g} found")
+
+
+def dc_gain(ac: ACResult, output_node: str) -> float:
+    """|H| at the lowest analysed frequency (the low-frequency gain)."""
+    return float(ac.magnitude(output_node)[0])
+
+
+def gain_at(
+    circuit: Circuit,
+    output_node: str,
+    frequency: float,
+    op: OperatingPointResult | None = None,
+) -> float:
+    """|H| at one frequency; the circuit's AC sources are the stimulus."""
+    ac = ac_analysis(circuit, op=op, frequencies=[frequency])
+    return float(ac.magnitude(output_node)[0])
+
+
+def unity_gain_frequency(ac: ACResult, output_node: str) -> float:
+    """Frequency [Hz] where the magnitude response crosses 1."""
+    return find_crossing(ac.frequencies, ac.magnitude(output_node), 1.0)
+
+
+def bandwidth_3db(ac: ACResult, output_node: str) -> float:
+    """-3 dB bandwidth [Hz] relative to the low-frequency gain."""
+    mag = ac.magnitude(output_node)
+    return find_crossing(ac.frequencies, mag, float(mag[0]) / math.sqrt(2.0))
+
+
+def phase_margin(ac: ACResult, output_node: str) -> float:
+    """Phase margin [deg] at the unity-gain crossover.
+
+    Assumes the AC stimulus is the loop input so that the node response
+    is the loop gain.
+    """
+    freqs = ac.frequencies
+    mag = ac.magnitude(output_node)
+    f_unity = find_crossing(freqs, mag, 1.0)
+    phase = ac.phase_deg(output_node)
+    ph_at = float(np.interp(np.log10(f_unity), np.log10(freqs), phase))
+    # Measure the phase *shift* accumulated since DC so that an
+    # inverting amplifier's built-in 180 degrees does not count as lag.
+    return 180.0 + (ph_at - float(phase[0]))
+
+
+def measure_slew_rate(
+    tran: TransientResult,
+    node: str,
+    *,
+    t_start: float = 0.0,
+    t_stop: float | None = None,
+) -> float:
+    """Maximum |dV/dt| [V/s] of a node over a window of a transient run."""
+    times = tran.times
+    values = tran.v(node)
+    mask = times >= t_start
+    if t_stop is not None:
+        mask &= times <= t_stop
+    t = times[mask]
+    v = values[mask]
+    if len(t) < 3:
+        raise SimulationError("too few transient points for slew measurement")
+    dv = np.diff(v) / np.diff(t)
+    return float(np.max(np.abs(dv)))
+
+
+def measure_output_impedance(
+    circuit: Circuit,
+    output_node: str,
+    frequency: float = 1e3,
+    op: OperatingPointResult | None = None,
+) -> float:
+    """|Zout| [ohm] by injecting a 1 A AC probe current at the output.
+
+    All existing AC stimuli are left in place but should be zero-AC for
+    a clean measurement; the circuit itself is not modified (a copy is
+    probed).
+    """
+    probe = circuit.copy(title=f"{circuit.title}-zout")
+    probe.i("0", output_node, ac=1.0, name="IPROBE_ZOUT")
+    if op is not None:
+        # The probe adds no unknowns, so the OP still applies; re-solve
+        # anyway to keep the result self-contained and safe.
+        op = None
+    ac = ac_analysis(probe, op=op, frequencies=[frequency])
+    return float(ac.magnitude(output_node)[0])
+
+
+def measure_cmrr(
+    ac_differential: ACResult,
+    ac_common: ACResult,
+    output_node: str,
+    frequency_index: int = 0,
+) -> float:
+    """CMRR = |Adm| / |Acm| from two AC runs with matched stimuli."""
+    adm = ac_differential.magnitude(output_node)[frequency_index]
+    acm = ac_common.magnitude(output_node)[frequency_index]
+    if acm == 0.0:
+        return math.inf
+    return float(adm / acm)
+
+
+def balance_differential(
+    build: Callable[[float], Circuit],
+    output_node: str,
+    target: float = 0.0,
+    *,
+    v_span: float = 0.2,
+    tol: float = 1e-6,
+    max_bisections: int = 60,
+) -> tuple[float, Circuit, OperatingPointResult]:
+    """Find the DC differential input that centres an amplifier's output.
+
+    ``build(v_offset)`` must return a fresh circuit with the given DC
+    differential drive.  A bisection over ``[-v_span, +v_span]`` finds
+    the offset where ``V(output_node) == target`` — the standard way to
+    bias a high-gain open-loop amplifier before AC analysis.
+
+    Returns ``(v_offset, circuit, op)`` at the balanced point.
+    """
+
+    def output_at(vofs: float) -> tuple[float, Circuit, OperatingPointResult]:
+        ckt = build(vofs)
+        op = dc_operating_point(ckt)
+        return op.v(output_node) - target, ckt, op
+
+    lo, hi = -v_span, v_span
+    f_lo, ckt_lo, op_lo = output_at(lo)
+    f_hi, ckt_hi, op_hi = output_at(hi)
+    if f_lo == 0.0:
+        return lo, ckt_lo, op_lo
+    if f_hi == 0.0:
+        return hi, ckt_hi, op_hi
+    if f_lo * f_hi > 0:
+        # No sign change: return whichever end is closer to the target.
+        if abs(f_lo) <= abs(f_hi):
+            return lo, ckt_lo, op_lo
+        return hi, ckt_hi, op_hi
+    sign_lo = math.copysign(1.0, f_lo)
+    best = (lo, ckt_lo, op_lo, abs(f_lo))
+    for _ in range(max_bisections):
+        mid = 0.5 * (lo + hi)
+        f_mid, ckt_mid, op_mid = output_at(mid)
+        if abs(f_mid) < best[3]:
+            best = (mid, ckt_mid, op_mid, abs(f_mid))
+        if abs(f_mid) < tol or (hi - lo) < 1e-12:
+            return mid, ckt_mid, op_mid
+        if math.copysign(1.0, f_mid) == sign_lo:
+            lo = mid
+        else:
+            hi = mid
+    v_best, ckt_best, op_best, _ = best
+    return v_best, ckt_best, op_best

@@ -1,0 +1,192 @@
+"""Asymptotic Waveform Evaluation (Pillage & Rohrer, IEEE TCAD 1990).
+
+ASTRX/OBLX evaluates candidate circuits with AWE instead of full AC
+sweeps (paper §3); this module implements the method on top of our MNA
+matrices.  From the linearized system ``(G + sC) x = b`` the moments of
+the output-node voltage are
+
+    G m0 = b,      G mk = -C m(k-1)
+
+and a q-pole Pade approximant ``H(s) = sum k_i / (s - p_i)`` is fitted
+to the first 2q moments by solving the Hankel (Prony) system.  Moments
+are computed in a normalized frequency variable to keep the Hankel
+system well conditioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+from ..errors import SimulationError
+from .dc import OperatingPointResult, dc_operating_point
+from .mna import assemble_ac, capacitance_matrix
+from .netlist import Circuit
+
+__all__ = ["AweApproximant", "awe_moments", "awe_poles", "awe_transfer"]
+
+
+@dataclass(frozen=True)
+class AweApproximant:
+    """A reduced-order pole/residue model of one transfer function."""
+
+    poles: np.ndarray  # complex, [rad/s]
+    residues: np.ndarray  # complex
+    moments: np.ndarray  # raw (unnormalized) output moments
+
+    @property
+    def dc_gain(self) -> float:
+        """H(0) = -sum(k_i / p_i) — equals the zeroth moment."""
+        return float(np.real(-np.sum(self.residues / self.poles)))
+
+    @property
+    def dominant_pole_hz(self) -> float:
+        """|Re| of the slowest stable pole, in Hz."""
+        stable = self.poles[np.real(self.poles) < 0]
+        if len(stable) == 0:
+            raise SimulationError("AWE model has no stable poles")
+        return float(np.min(np.abs(stable)) / (2.0 * np.pi))
+
+    def evaluate(self, frequencies: np.ndarray | list[float]) -> np.ndarray:
+        """Complex H(j 2 pi f) over a frequency grid [Hz]."""
+        s = 2j * np.pi * np.asarray(frequencies, dtype=float)
+        return np.sum(
+            self.residues[None, :] / (s[:, None] - self.poles[None, :]),
+            axis=1,
+        )
+
+    def unity_gain_frequency(
+        self, f_lo: float = 1.0, f_hi: float = 1e12
+    ) -> float:
+        """Frequency [Hz] where |H| crosses 1, by bisection on a log axis.
+
+        Raises :class:`SimulationError` when |H| never crosses unity in
+        the given range (e.g. DC gain below 1).
+        """
+        lo, hi = np.log10(f_lo), np.log10(f_hi)
+        mag = lambda lf: float(np.abs(self.evaluate([10.0**lf])[0]))
+        if mag(lo) < 1.0:
+            raise SimulationError("gain below unity at the low end")
+        if mag(hi) > 1.0:
+            raise SimulationError("gain above unity at the high end")
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if mag(mid) > 1.0:
+                lo = mid
+            else:
+                hi = mid
+        return 10.0 ** (0.5 * (lo + hi))
+
+
+def awe_moments(
+    circuit: Circuit,
+    output_node: str,
+    n_moments: int,
+    op: OperatingPointResult | None = None,
+) -> np.ndarray:
+    """The first ``n_moments`` moments of the output-node voltage."""
+    if op is None:
+        op = dc_operating_point(circuit)
+    system = op.system
+    # G and b from the zero-frequency AC assembly; C assembled separately.
+    y0, b = assemble_ac(system, op.x, 0.0)
+    g_matrix = np.real(y0)
+    b = np.real(b)
+    cmat = capacitance_matrix(system, op.x)
+    out = system.index(output_node)
+    if out < 0:
+        raise SimulationError(f"unknown output node {output_node!r}")
+    lu, piv = scipy.linalg.lu_factor(g_matrix)
+    moments = np.zeros(n_moments)
+    vec = scipy.linalg.lu_solve((lu, piv), b)
+    moments[0] = vec[out]
+    for k in range(1, n_moments):
+        vec = scipy.linalg.lu_solve((lu, piv), -cmat @ vec)
+        moments[k] = vec[out]
+    return moments
+
+
+def _pade_from_moments(moments: np.ndarray, order: int) -> tuple[np.ndarray, np.ndarray]:
+    """Solve the Prony/Hankel system for poles and residues.
+
+    ``moments`` must hold at least ``2*order`` values.  Returns
+    (poles, residues) in the same frequency units as the moments.
+    """
+    q = order
+    mu = moments[: 2 * q]
+    hankel = np.empty((q, q))
+    for row in range(q):
+        hankel[row] = mu[row : row + q]
+    rhs = -mu[q : 2 * q]
+    coeffs = np.linalg.solve(hankel, rhs)
+    # b_i (= 1/p_i) are roots of z^q + a_{q-1} z^{q-1} + ... + a_0.
+    poly = np.concatenate(([1.0], coeffs[::-1]))
+    roots = np.roots(poly)
+    roots = roots[np.abs(roots) > 1e-300]
+    poles = 1.0 / roots
+    # Residues: mu_j = sum_i c_i b_i^j for j = 0..q-1, c_i = -k_i / p_i.
+    vander = np.vander(roots, N=len(roots), increasing=True).T
+    c = np.linalg.solve(vander, mu[: len(roots)].astype(complex))
+    residues = -c * poles
+    return poles, residues
+
+
+def awe_poles(
+    circuit: Circuit,
+    output_node: str,
+    order: int = 2,
+    op: OperatingPointResult | None = None,
+) -> AweApproximant:
+    """Fit a ``order``-pole AWE model of the AC response at a node.
+
+    The circuit's AC sources define the stimulus.  When the requested
+    order yields a singular Hankel matrix (fewer significant poles than
+    asked for), the order is reduced automatically.
+    """
+    if order < 1:
+        raise SimulationError("AWE order must be >= 1")
+    if op is None:
+        op = dc_operating_point(circuit)
+    moments = awe_moments(circuit, output_node, 2 * order + 2, op=op)
+    if moments[0] == 0.0 and abs(moments[1]) == 0.0:
+        raise SimulationError(
+            f"{circuit.title}: zero response at {output_node!r} "
+            "(is an AC source present?)"
+        )
+    # Normalize the frequency variable by the dominant time constant to
+    # condition the Hankel system.
+    if moments[0] != 0.0 and moments[1] != 0.0:
+        tau = abs(moments[1] / moments[0])
+    else:
+        tau = abs(moments[2] / moments[1]) if moments[1] else 1.0
+    tau = tau if tau > 0 else 1.0
+    scaled = moments / tau ** np.arange(len(moments))
+    for q in range(order, 0, -1):
+        try:
+            poles_n, residues_n = _pade_from_moments(scaled, q)
+        except np.linalg.LinAlgError:
+            continue
+        if np.all(np.isfinite(poles_n)) and np.all(np.isfinite(residues_n)):
+            return AweApproximant(
+                poles=poles_n / tau,
+                residues=residues_n / tau,
+                moments=moments,
+            )
+    raise SimulationError(
+        f"{circuit.title}: AWE moment matching failed at every order <= {order}"
+    )
+
+
+def awe_transfer(
+    circuit: Circuit,
+    output_node: str,
+    frequencies: np.ndarray | list[float],
+    order: int = 2,
+    op: OperatingPointResult | None = None,
+) -> np.ndarray:
+    """AWE-approximated complex transfer function on a frequency grid."""
+    return awe_poles(circuit, output_node, order=order, op=op).evaluate(
+        frequencies
+    )

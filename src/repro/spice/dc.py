@@ -1,0 +1,227 @@
+"""DC operating-point solution.
+
+Newton-Raphson with per-step voltage damping; when plain Newton fails it
+falls back to gmin stepping and then source stepping, the same ladder a
+production SPICE walks.  The solved point is returned as an
+:class:`OperatingPointResult` exposing node voltages, branch currents
+and per-MOSFET bias details.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .mna import System, assemble_dc, evaluate_mosfet
+from .netlist import Circuit, Mosfet, VoltageSource
+
+__all__ = ["OperatingPointResult", "dc_operating_point", "dc_sweep"]
+
+#: Maximum Newton voltage update per iteration [V].
+MAX_STEP = 0.5
+#: Convergence thresholds.
+VOLTAGE_TOL = 1e-9
+RESIDUAL_TOL = 1e-9
+
+
+@dataclass
+class MosfetOp:
+    """Per-transistor bias summary at the solved operating point."""
+
+    name: str
+    ids: float
+    vgs: float
+    vds: float
+    vsb: float
+    region: str
+    gm: float
+    gds: float
+    swapped: bool
+
+
+@dataclass
+class OperatingPointResult:
+    """Solved DC operating point of a circuit."""
+
+    system: System
+    x: np.ndarray
+    iterations: int
+    gmin_used: float
+    voltages: dict[str, float] = field(default_factory=dict)
+    branch_currents: dict[str, float] = field(default_factory=dict)
+    mosfet_ops: dict[str, MosfetOp] = field(default_factory=dict)
+
+    def v(self, node: str) -> float:
+        """Voltage of a node [V] (ground -> 0)."""
+        return self.system.voltage(self.x, node)
+
+    def i(self, source_name: str) -> float:
+        """Branch current through a V/E/L element [A]."""
+        return self.branch_currents[source_name]
+
+    def supply_current(self, source_name: str) -> float:
+        """Magnitude of the current delivered by a supply source [A]."""
+        return abs(self.branch_currents[source_name])
+
+    def saturation_fraction(self) -> float:
+        """Fraction of MOSFETs in saturation — a design-health metric."""
+        if not self.mosfet_ops:
+            return 1.0
+        sat = sum(1 for op in self.mosfet_ops.values() if op.region == "saturation")
+        return sat / len(self.mosfet_ops)
+
+
+def _newton(
+    system: System,
+    x0: np.ndarray,
+    *,
+    gmin: float,
+    source_scale: float = 1.0,
+    max_iter: int = 150,
+) -> tuple[np.ndarray, int] | None:
+    """One Newton run; returns (solution, iterations) or None."""
+    x = x0.copy()
+    for iteration in range(1, max_iter + 1):
+        res, jac = assemble_dc(system, x, gmin=gmin, source_scale=source_scale)
+        try:
+            dx = np.linalg.solve(jac, -res)
+        except np.linalg.LinAlgError:
+            return None
+        if not np.all(np.isfinite(dx)):
+            return None
+        max_dx = float(np.max(np.abs(dx[: system.n_nodes]), initial=0.0))
+        if max_dx > MAX_STEP:
+            dx *= MAX_STEP / max_dx
+        x += dx
+        res_norm = float(np.max(np.abs(res)))
+        if max_dx < VOLTAGE_TOL and res_norm < RESIDUAL_TOL * (1 + res_norm):
+            return x, iteration
+        if float(np.max(np.abs(dx))) < VOLTAGE_TOL and res_norm < 1e-6:
+            return x, iteration
+    return None
+
+
+def _initial_guess(system: System) -> np.ndarray:
+    """Start from zero volts with sources' DC values on their own nodes."""
+    x = np.zeros(system.size)
+    for element in system.circuit:
+        if isinstance(element, VoltageSource):
+            a = system.index(element.np)
+            b = system.index(element.nn)
+            if a >= 0 and b < 0:
+                x[a] = element.dc
+            elif b >= 0 and a < 0:
+                x[b] = -element.dc
+    return x
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    *,
+    x0: np.ndarray | None = None,
+    gmin: float = 1e-12,
+) -> OperatingPointResult:
+    """Solve the DC operating point of ``circuit``.
+
+    Tries plain Newton first, then gmin stepping (relaxing every node to
+    ground through a decreasing conductance), then source stepping
+    (ramping all independent sources from zero).  Raises
+    :class:`~repro.errors.ConvergenceError` when everything fails.
+    """
+    system = System(circuit)
+    start = x0.copy() if x0 is not None else _initial_guess(system)
+    solved = _newton(system, start, gmin=gmin)
+    gmin_used = gmin
+    if solved is None:
+        # gmin stepping: solve an easy (leaky) circuit, tighten gradually.
+        x = start
+        for exponent in range(3, 13):
+            step_gmin = 10.0 ** (-exponent)
+            attempt = _newton(system, x, gmin=max(step_gmin, gmin))
+            if attempt is None:
+                break
+            x, _ = attempt
+            gmin_used = max(step_gmin, gmin)
+            if step_gmin <= gmin:
+                solved = attempt
+                break
+        if solved is None and gmin_used <= 1e-3:
+            solved = None
+    if solved is None:
+        # Source stepping: ramp sources 0 -> 100 %.
+        x = np.zeros(system.size)
+        ok = True
+        for scale in (0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+            attempt = _newton(system, x, gmin=gmin, source_scale=scale)
+            if attempt is None:
+                ok = False
+                break
+            x, _ = attempt
+        if ok:
+            solved = (x, -1)
+            gmin_used = gmin
+    if solved is None:
+        raise ConvergenceError(
+            f"{circuit.title}: DC operating point did not converge "
+            "(Newton, gmin stepping and source stepping all failed)"
+        )
+    x, iterations = solved
+    result = OperatingPointResult(
+        system=system, x=x, iterations=iterations, gmin_used=gmin_used
+    )
+    result.voltages = {n: float(x[i]) for n, i in system.node_index.items()}
+    result.branch_currents = {
+        name: float(x[i]) for name, i in system.branch_index.items()
+    }
+    for mos in circuit.mosfets():
+        ev = evaluate_mosfet(
+            mos,
+            system.device(mos.name),
+            system.voltage(x, mos.nd),
+            system.voltage(x, mos.ng),
+            system.voltage(x, mos.ns),
+            system.voltage(x, mos.nb),
+        )
+        device = system.device(mos.name)
+        result.mosfet_ops[mos.name] = MosfetOp(
+            name=mos.name,
+            ids=ev.ids_normalized,
+            vgs=ev.vgs,
+            vds=ev.vds,
+            vsb=ev.vsb,
+            region=device.region(ev.vgs, ev.vds, ev.vsb).value,
+            gm=device.gm(ev.vgs, ev.vds, ev.vsb),
+            gds=device.gds(ev.vgs, ev.vds, ev.vsb),
+            swapped=ev.swapped,
+        )
+    return result
+
+
+def dc_sweep(
+    circuit: Circuit,
+    source_name: str,
+    values: np.ndarray | list[float],
+) -> tuple[np.ndarray, list[OperatingPointResult]]:
+    """Sweep the DC value of a voltage/current source.
+
+    Each point starts Newton from the previous solution (continuation),
+    which is how SPICE keeps sweeps fast and convergent.  Returns the
+    swept values and the per-point results.
+    """
+    values = np.asarray(values, dtype=float)
+    results: list[OperatingPointResult] = []
+    x_prev: np.ndarray | None = None
+    original = circuit.element(source_name)
+    try:
+        for value in values:
+            from dataclasses import replace
+
+            circuit.replace(replace(original, dc=float(value)))  # type: ignore[arg-type]
+            result = dc_operating_point(circuit, x0=x_prev)
+            results.append(result)
+            x_prev = result.x
+    finally:
+        circuit.replace(original)
+    return values, results

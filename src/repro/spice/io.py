@@ -1,0 +1,312 @@
+"""SPICE deck import/export.
+
+Reading: a practical subset of the classic SPICE input language —
+R/C/L/V/I/E/G/M element cards, ``.MODEL`` cards (via
+:mod:`repro.technology.model_card`), ``+`` continuations, ``*``
+comments, engineering-notation values and PULSE/SIN/PWL transient
+sources.  Writing: any :class:`~repro.spice.netlist.Circuit` serializes
+back to a deck that this parser (and mainstream SPICEs) accept.
+
+This lets users bring existing decks to the simulator and inspect the
+netlists APE generates with external tools::
+
+    deck = write_deck(circuit)
+    circuit2 = read_deck(deck, models={"CMOSN": tech.nmos, ...})
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from ..errors import NetlistError
+from ..technology import MosModelParams, parse_model_cards
+from ..units import format_quantity, parse_quantity
+from .netlist import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Inductor,
+    Mosfet,
+    PulseWave,
+    PwlWave,
+    Resistor,
+    SineWave,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+    Waveform,
+)
+
+__all__ = ["read_deck", "read_deck_file", "write_deck", "write_deck_file"]
+
+_WAVE_RE = re.compile(
+    r"(pulse|sin|pwl)\s*\(([^)]*)\)", re.IGNORECASE
+)
+_DC_RE = re.compile(r"\bdc\s+(\S+)", re.IGNORECASE)
+_AC_RE = re.compile(r"\bac\s+(\S+)", re.IGNORECASE)
+_PARAM_RE = re.compile(r"([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*(\S+)")
+
+
+def _strip(text: str) -> list[str]:
+    """Comment removal + continuation folding (shared with .MODEL)."""
+    lines: list[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("*"):
+            continue
+        for marker in (";", "$ "):
+            pos = line.find(marker)
+            if pos >= 0:
+                line = line[:pos].strip()
+        if not line:
+            continue
+        if line.startswith("+"):
+            if not lines:
+                raise NetlistError("continuation with no preceding card")
+            lines[-1] += " " + line[1:].strip()
+        else:
+            lines.append(line)
+    return lines
+
+
+def _parse_wave(kind: str, body: str) -> Waveform:
+    values = [parse_quantity(tok) for tok in body.replace(",", " ").split()]
+    kind = kind.lower()
+    if kind == "pulse":
+        if len(values) < 2:
+            raise NetlistError(f"PULSE needs >= 2 values, got {len(values)}")
+        defaults = [0.0, 0.0, 0.0, 1e-9, 1e-9, 1e-3, float("inf")]
+        merged = values + defaults[len(values):]
+        return PulseWave(*merged[:7])
+    if kind == "sin":
+        if len(values) < 3:
+            raise NetlistError(f"SIN needs >= 3 values, got {len(values)}")
+        defaults = [0.0, 0.0, 0.0, 0.0, 0.0]
+        merged = values + defaults[len(values):]
+        return SineWave(
+            offset=merged[0], amplitude=merged[1], freq=merged[2],
+            delay=merged[3], damping=merged[4],
+        )
+    if kind == "pwl":
+        if len(values) < 2 or len(values) % 2 != 0:
+            raise NetlistError("PWL needs an even number of values")
+        points = tuple(zip(values[0::2], values[1::2]))
+        return PwlWave(points)
+    raise NetlistError(f"unknown waveform {kind!r}")  # pragma: no cover
+
+
+def _parse_source_tail(tail: str) -> tuple[float, float, Waveform | None]:
+    """DC value, AC magnitude and waveform from a V/I card tail."""
+    wave = None
+    match = _WAVE_RE.search(tail)
+    if match is not None:
+        wave = _parse_wave(match.group(1), match.group(2))
+        tail = tail[: match.start()] + tail[match.end():]
+    ac = 0.0
+    match = _AC_RE.search(tail)
+    if match is not None:
+        ac = parse_quantity(match.group(1))
+        tail = tail[: match.start()] + tail[match.end():]
+    dc = 0.0
+    match = _DC_RE.search(tail)
+    if match is not None:
+        dc = parse_quantity(match.group(1))
+    else:
+        tokens = tail.split()
+        if tokens:
+            dc = parse_quantity(tokens[0])
+    return dc, ac, wave
+
+
+def read_deck(
+    text: str,
+    models: dict[str, MosModelParams] | None = None,
+) -> Circuit:
+    """Parse a SPICE deck into a :class:`Circuit`.
+
+    ``.MODEL`` cards inside the deck are parsed automatically; the
+    optional ``models`` dict supplies externally defined model names.
+    The first line is treated as the title if it is not an element or
+    dot card.
+    """
+    # SPICE semantics: the first line is always the title.
+    raw_lines = text.splitlines()
+    while raw_lines and not raw_lines[0].strip():
+        raw_lines.pop(0)
+    if not raw_lines:
+        raise NetlistError("empty deck")
+    title = raw_lines.pop(0).strip().lstrip("*").strip() or "deck"
+    body = "\n".join(raw_lines)
+    lines = _strip(body)
+    if not lines:
+        raise NetlistError("empty deck")
+    models = dict(models or {})
+    try:
+        models.update(parse_model_cards(body))
+    except Exception:
+        pass  # no .MODEL cards in the deck is fine
+    circuit = Circuit(title)
+    for line in lines:
+        lead = line[0].upper()
+        if lead == ".":
+            directive = line.split()[0].lower()
+            if directive in (".model", ".end", ".ends", ".op", ".ac",
+                             ".tran", ".dc", ".print", ".plot", ".option",
+                             ".options", ".temp"):
+                continue
+            raise NetlistError(f"unsupported directive {line.split()[0]!r}")
+        tokens = line.split()
+        name = tokens[0]
+        if lead == "R":
+            circuit.add(Resistor(name, tokens[1], tokens[2],
+                                 parse_quantity(tokens[3])))
+        elif lead == "C":
+            circuit.add(Capacitor(name, tokens[1], tokens[2],
+                                  parse_quantity(tokens[3])))
+        elif lead == "L":
+            circuit.add(Inductor(name, tokens[1], tokens[2],
+                                 parse_quantity(tokens[3])))
+        elif lead == "V":
+            dc, ac, wave = _parse_source_tail(" ".join(tokens[3:]))
+            circuit.add(VoltageSource(name, tokens[1], tokens[2], dc, ac, wave))
+        elif lead == "I":
+            dc, ac, wave = _parse_source_tail(" ".join(tokens[3:]))
+            circuit.add(CurrentSource(name, tokens[1], tokens[2], dc, ac, wave))
+        elif lead == "E":
+            circuit.add(Vcvs(name, tokens[1], tokens[2], tokens[3],
+                             tokens[4], parse_quantity(tokens[5])))
+        elif lead == "G":
+            circuit.add(Vccs(name, tokens[1], tokens[2], tokens[3],
+                             tokens[4], parse_quantity(tokens[5])))
+        elif lead == "M":
+            model_name = tokens[5]
+            if model_name not in models:
+                raise NetlistError(
+                    f"{name}: unknown MOS model {model_name!r} "
+                    f"(known: {', '.join(sorted(models)) or 'none'})"
+                )
+            params = {
+                k.lower(): parse_quantity(v)
+                for k, v in _PARAM_RE.findall(" ".join(tokens[6:]))
+            }
+            if "w" not in params or "l" not in params:
+                raise NetlistError(f"{name}: MOSFET needs W= and L=")
+            circuit.add(Mosfet(
+                name, tokens[1], tokens[2], tokens[3], tokens[4],
+                models[model_name], params["w"], params["l"],
+            ))
+        else:
+            raise NetlistError(f"unsupported element card: {line!r}")
+    return circuit
+
+
+def read_deck_file(
+    path: str | Path,
+    models: dict[str, MosModelParams] | None = None,
+) -> Circuit:
+    """Parse a SPICE deck file."""
+    return read_deck(Path(path).read_text(), models=models)
+
+
+def _q(value: float) -> str:
+    return format_quantity(value, digits=6)
+
+
+def _wave_text(wave: Waveform) -> str:
+    if isinstance(wave, PulseWave):
+        period = "" if wave.period == float("inf") else f" {_q(wave.period)}"
+        return (
+            f"PULSE({_q(wave.v1)} {_q(wave.v2)} {_q(wave.delay)} "
+            f"{_q(wave.rise)} {_q(wave.fall)} {_q(wave.width)}{period})"
+        )
+    if isinstance(wave, SineWave):
+        return (
+            f"SIN({_q(wave.offset)} {_q(wave.amplitude)} {_q(wave.freq)} "
+            f"{_q(wave.delay)} {_q(wave.damping)})"
+        )
+    if isinstance(wave, PwlWave):
+        body = " ".join(f"{_q(t)} {_q(v)}" for t, v in wave.points)
+        return f"PWL({body})"
+    raise NetlistError(f"unknown waveform type {type(wave).__name__}")
+
+
+def write_deck(circuit: Circuit, include_models: bool = True) -> str:
+    """Serialize a circuit to SPICE deck text.
+
+    MOS model cards for every distinct model in the circuit are emitted
+    when ``include_models`` is set (minimal Level-1 parameter set).
+    """
+    lines = [f"* {circuit.title}"]
+    models: dict[str, MosModelParams] = {}
+
+    def card_name(letter: str, name: str) -> str:
+        """SPICE derives element type from the leading letter."""
+        return name if name[0].upper() == letter else f"{letter}_{name}"
+
+    for element in circuit:
+        if isinstance(element, Resistor):
+            lines.append(
+                f"{card_name('R', element.name)} "
+                f"{element.n1} {element.n2} {_q(element.value)}"
+            )
+        elif isinstance(element, Capacitor):
+            lines.append(
+                f"{card_name('C', element.name)} "
+                f"{element.n1} {element.n2} {_q(element.value)}"
+            )
+        elif isinstance(element, Inductor):
+            lines.append(
+                f"{card_name('L', element.name)} "
+                f"{element.n1} {element.n2} {_q(element.value)}"
+            )
+        elif isinstance(element, (VoltageSource, CurrentSource)):
+            letter = "V" if isinstance(element, VoltageSource) else "I"
+            parts = [card_name(letter, element.name), element.np, element.nn,
+                     f"DC {_q(element.dc)}"]
+            if element.ac:
+                parts.append(f"AC {_q(element.ac)}")
+            if element.wave is not None:
+                parts.append(_wave_text(element.wave))
+            lines.append(" ".join(parts))
+        elif isinstance(element, Vcvs):
+            lines.append(
+                f"{card_name('E', element.name)} {element.np} {element.nn} "
+                f"{element.cp} {element.cn} {_q(element.gain)}"
+            )
+        elif isinstance(element, Vccs):
+            lines.append(
+                f"{card_name('G', element.name)} {element.np} {element.nn} "
+                f"{element.cp} {element.cn} {_q(element.gm)}"
+            )
+        elif isinstance(element, Mosfet):
+            models[element.model.name] = element.model
+            lines.append(
+                f"{card_name('M', element.name)} "
+                f"{element.nd} {element.ng} {element.ns} "
+                f"{element.nb} {element.model.name} "
+                f"W={_q(element.w)} L={_q(element.l)}"
+            )
+        else:  # pragma: no cover - exhaustive
+            raise NetlistError(f"cannot serialize {type(element).__name__}")
+    if include_models:
+        for model in models.values():
+            kind = model.polarity.value.upper()
+            lines.append(
+                f".MODEL {model.name} {kind} (LEVEL={model.level} "
+                f"VTO={_q(model.vto)} KP={_q(model.kp_effective)} "
+                f"GAMMA={_q(model.gamma)} PHI={_q(model.phi)} "
+                f"LAMBDA={_q(model.lambda_)} TOX={_q(model.tox)} "
+                f"LD={_q(model.ld)} CGDO={_q(model.cgdo)} "
+                f"CGSO={_q(model.cgso)} CGBO={_q(model.cgbo)} "
+                f"CJ={_q(model.cj)} CJSW={_q(model.cjsw)} "
+                f"MJ={_q(model.mj)} MJSW={_q(model.mjsw)} "
+                f"PB={_q(model.pb)})"
+            )
+    lines.append(".END")
+    return "\n".join(lines) + "\n"
+
+
+def write_deck_file(circuit: Circuit, path: str | Path) -> None:
+    """Serialize a circuit to a SPICE deck file."""
+    Path(path).write_text(write_deck(circuit))

@@ -1,0 +1,457 @@
+"""Circuit data model.
+
+A :class:`Circuit` is a flat list of named elements over string-named
+nodes; node ``'0'`` (alias ``'gnd'``) is ground.  Elements are plain
+dataclasses; the stamping logic that turns them into MNA matrix entries
+lives in :mod:`repro.spice.mna` so the data model stays declarative.
+
+Supported elements mirror the SPICE letters the paper's circuits need:
+R, C, L, V, I, E (VCVS), G (VCCS) and M (MOSFET, Level 1-3 models).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from ..devices import MosDevice
+from ..errors import NetlistError
+from ..technology import MosModelParams
+
+__all__ = [
+    "Circuit",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "Vcvs",
+    "Vccs",
+    "Mosfet",
+    "PulseWave",
+    "SineWave",
+    "PwlWave",
+    "GROUND_NAMES",
+]
+
+#: Node names treated as the ground reference.
+GROUND_NAMES = frozenset({"0", "gnd", "GND"})
+
+
+# ----------------------------------------------------------------------
+# Waveforms for transient sources
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PulseWave:
+    """SPICE PULSE(v1 v2 td tr tf pw per) waveform."""
+
+    v1: float
+    v2: float
+    delay: float = 0.0
+    rise: float = 1e-9
+    fall: float = 1e-9
+    width: float = 1e-3
+    period: float = math.inf
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.v1
+        local = t - self.delay
+        if math.isfinite(self.period):
+            local = local % self.period
+        if local < self.rise:
+            return self.v1 + (self.v2 - self.v1) * local / self.rise
+        local -= self.rise
+        if local < self.width:
+            return self.v2
+        local -= self.width
+        if local < self.fall:
+            return self.v2 + (self.v1 - self.v2) * local / self.fall
+        return self.v1
+
+
+@dataclass(frozen=True)
+class SineWave:
+    """SPICE SIN(vo va freq td theta) waveform."""
+
+    offset: float
+    amplitude: float
+    freq: float
+    delay: float = 0.0
+    damping: float = 0.0
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.offset
+        dt = t - self.delay
+        return self.offset + self.amplitude * math.exp(
+            -self.damping * dt
+        ) * math.sin(2.0 * math.pi * self.freq * dt)
+
+
+@dataclass(frozen=True)
+class PwlWave:
+    """SPICE PWL(t1 v1 t2 v2 ...) piece-wise linear waveform."""
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        times = [t for t, _ in self.points]
+        if len(times) < 1 or times != sorted(times):
+            raise NetlistError("PWL points must be non-empty and time-sorted")
+
+    def value(self, t: float) -> float:
+        pts = self.points
+        if t <= pts[0][0]:
+            return pts[0][1]
+        for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
+            if t <= t1:
+                if t1 == t0:
+                    return v1
+                return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        return pts[-1][1]
+
+
+Waveform = Union[PulseWave, SineWave, PwlWave]
+
+
+# ----------------------------------------------------------------------
+# Elements
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Resistor:
+    name: str
+    n1: str
+    n2: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value <= 0 or not math.isfinite(self.value):
+            raise NetlistError(f"{self.name}: resistance must be finite > 0")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.n1, self.n2)
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    name: str
+    n1: str
+    n2: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0 or not math.isfinite(self.value):
+            raise NetlistError(f"{self.name}: capacitance must be finite >= 0")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.n1, self.n2)
+
+
+@dataclass(frozen=True)
+class Inductor:
+    name: str
+    n1: str
+    n2: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value <= 0 or not math.isfinite(self.value):
+            raise NetlistError(f"{self.name}: inductance must be finite > 0")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.n1, self.n2)
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """Independent voltage source: DC value, AC magnitude, waveform.
+
+    Positive branch current flows from ``np`` through the source to
+    ``nn`` (SPICE convention).
+    """
+
+    name: str
+    np: str
+    nn: str
+    dc: float = 0.0
+    ac: float = 0.0
+    wave: Waveform | None = None
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.np, self.nn)
+
+    def value_at(self, t: float) -> float:
+        return self.wave.value(t) if self.wave is not None else self.dc
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """Independent current source from ``np`` to ``nn`` through itself."""
+
+    name: str
+    np: str
+    nn: str
+    dc: float = 0.0
+    ac: float = 0.0
+    wave: Waveform | None = None
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.np, self.nn)
+
+    def value_at(self, t: float) -> float:
+        return self.wave.value(t) if self.wave is not None else self.dc
+
+
+@dataclass(frozen=True)
+class Vcvs:
+    """Voltage-controlled voltage source (SPICE E element)."""
+
+    name: str
+    np: str
+    nn: str
+    cp: str
+    cn: str
+    gain: float
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.np, self.nn, self.cp, self.cn)
+
+
+@dataclass(frozen=True)
+class Vccs:
+    """Voltage-controlled current source (SPICE G element)."""
+
+    name: str
+    np: str
+    nn: str
+    cp: str
+    cn: str
+    gm: float
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.np, self.nn, self.cp, self.cn)
+
+
+@dataclass(frozen=True)
+class Mosfet:
+    """MOSFET instance: 4 terminals + a model card + geometry."""
+
+    name: str
+    nd: str
+    ng: str
+    ns: str
+    nb: str
+    model: MosModelParams
+    w: float
+    l: float
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.l <= 0:
+            raise NetlistError(f"{self.name}: W and L must be positive")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.nd, self.ng, self.ns, self.nb)
+
+    @property
+    def device(self) -> MosDevice:
+        return MosDevice(self.model, self.w, self.l)
+
+
+Element = Union[
+    Resistor,
+    Capacitor,
+    Inductor,
+    VoltageSource,
+    CurrentSource,
+    Vcvs,
+    Vccs,
+    Mosfet,
+]
+
+#: Elements that add a branch-current unknown to the MNA system.
+_BRANCH_ELEMENTS = (VoltageSource, Vcvs, Inductor)
+
+
+class Circuit:
+    """A flat netlist with convenience constructors per element type.
+
+    >>> ckt = Circuit("divider")
+    >>> _ = ckt.v("in", "0", dc=1.0)
+    >>> _ = ckt.r("in", "out", 1e3)
+    >>> _ = ckt.r("out", "0", 1e3)
+    """
+
+    def __init__(self, title: str = "circuit") -> None:
+        self.title = title
+        self._elements: dict[str, Element] = {}
+        self._counters: dict[str, int] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add(self, element: Element) -> Element:
+        """Add a pre-built element; names must be unique."""
+        if element.name in self._elements:
+            raise NetlistError(f"duplicate element name {element.name!r}")
+        self._elements[element.name] = element
+        return element
+
+    def _auto_name(self, prefix: str, name: str | None) -> str:
+        if name is not None:
+            return name
+        self._counters[prefix] = self._counters.get(prefix, 0) + 1
+        return f"{prefix}{self._counters[prefix]}"
+
+    def r(self, n1: str, n2: str, value: float, name: str | None = None) -> Resistor:
+        return self.add(Resistor(self._auto_name("R", name), n1, n2, value))  # type: ignore[return-value]
+
+    def c(self, n1: str, n2: str, value: float, name: str | None = None) -> Capacitor:
+        return self.add(Capacitor(self._auto_name("C", name), n1, n2, value))  # type: ignore[return-value]
+
+    def ind(self, n1: str, n2: str, value: float, name: str | None = None) -> Inductor:
+        return self.add(Inductor(self._auto_name("L", name), n1, n2, value))  # type: ignore[return-value]
+
+    def v(
+        self,
+        np: str,
+        nn: str,
+        dc: float = 0.0,
+        ac: float = 0.0,
+        wave: Waveform | None = None,
+        name: str | None = None,
+    ) -> VoltageSource:
+        return self.add(  # type: ignore[return-value]
+            VoltageSource(self._auto_name("V", name), np, nn, dc, ac, wave)
+        )
+
+    def i(
+        self,
+        np: str,
+        nn: str,
+        dc: float = 0.0,
+        ac: float = 0.0,
+        wave: Waveform | None = None,
+        name: str | None = None,
+    ) -> CurrentSource:
+        return self.add(  # type: ignore[return-value]
+            CurrentSource(self._auto_name("I", name), np, nn, dc, ac, wave)
+        )
+
+    def e(
+        self, np: str, nn: str, cp: str, cn: str, gain: float, name: str | None = None
+    ) -> Vcvs:
+        return self.add(Vcvs(self._auto_name("E", name), np, nn, cp, cn, gain))  # type: ignore[return-value]
+
+    def g(
+        self, np: str, nn: str, cp: str, cn: str, gm: float, name: str | None = None
+    ) -> Vccs:
+        return self.add(Vccs(self._auto_name("G", name), np, nn, cp, cn, gm))  # type: ignore[return-value]
+
+    def m(
+        self,
+        nd: str,
+        ng: str,
+        ns: str,
+        nb: str,
+        model: MosModelParams,
+        w: float,
+        l: float,
+        name: str | None = None,
+    ) -> Mosfet:
+        return self.add(  # type: ignore[return-value]
+            Mosfet(self._auto_name("M", name), nd, ng, ns, nb, model, w, l)
+        )
+
+    # -- inspection -----------------------------------------------------
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements.values())
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    def element(self, name: str) -> Element:
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise NetlistError(f"no element named {name!r}") from None
+
+    def replace(self, element: Element) -> None:
+        """Swap in a new element with an existing name (for sweeps)."""
+        if element.name not in self._elements:
+            raise NetlistError(f"no element named {element.name!r} to replace")
+        self._elements[element.name] = element
+
+    @property
+    def elements(self) -> tuple[Element, ...]:
+        return tuple(self._elements.values())
+
+    def copy(self, title: str | None = None) -> "Circuit":
+        """A shallow copy (elements are immutable, so this is safe)."""
+        dup = Circuit(title or self.title)
+        dup._elements = dict(self._elements)
+        dup._counters = dict(self._counters)
+        return dup
+
+    def nodes(self) -> list[str]:
+        """All non-ground node names, in first-seen order."""
+        seen: dict[str, None] = {}
+        for element in self:
+            for node in element.nodes:
+                if node not in GROUND_NAMES:
+                    seen.setdefault(node)
+        return list(seen)
+
+    def mosfets(self) -> list[Mosfet]:
+        return [e for e in self if isinstance(e, Mosfet)]
+
+    def branch_elements(self) -> list[Element]:
+        """Elements carrying an MNA branch-current unknown, in order."""
+        return [e for e in self if isinstance(e, _BRANCH_ELEMENTS)]
+
+    def validate(self) -> None:
+        """Check connectivity: ground present, no dangling single-node nets.
+
+        Raises :class:`NetlistError` with a description of the problem.
+        """
+        if not self._elements:
+            raise NetlistError(f"{self.title}: empty circuit")
+        grounded = any(
+            node in GROUND_NAMES for e in self for node in e.nodes
+        )
+        if not grounded:
+            raise NetlistError(f"{self.title}: no ground node")
+        degree: dict[str, int] = {}
+        for element in self:
+            for node in set(element.nodes):
+                if node not in GROUND_NAMES:
+                    degree[node] = degree.get(node, 0) + 1
+        dangling = sorted(n for n, d in degree.items() if d < 2)
+        if dangling:
+            raise NetlistError(
+                f"{self.title}: dangling nodes {', '.join(dangling)} "
+                "(each node needs >= 2 connections)"
+            )
+
+    def total_gate_area(self) -> float:
+        """Sum of drawn MOS gate areas [m^2] — the paper's area metric."""
+        return sum(m.w * m.l for m in self.mosfets())
+
+    def __repr__(self) -> str:
+        return f"Circuit({self.title!r}, {len(self)} elements)"

@@ -1,0 +1,129 @@
+"""Simulated annealing over log-scaled design variables.
+
+A compact, deterministic (seeded) implementation of the classic
+Metropolis annealer ASTRX/OBLX is built on: geometric cooling, one
+variable perturbed per move in log space, move size tied to the
+temperature, fixed evaluation budget.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["AnnealingSchedule", "AnnealResult", "Annealer"]
+
+
+@dataclass(frozen=True)
+class AnnealingSchedule:
+    """Cooling parameters (the paper used one fixed default set)."""
+
+    t_start: float = 2.0
+    t_end: float = 0.005
+    alpha: float = 0.92
+    moves_per_temperature: int = 20
+    #: log-space step size at t_start, shrinking with temperature.
+    step_scale: float = 0.8
+
+
+@dataclass
+class AnnealResult:
+    """Outcome of one annealing run."""
+
+    best_params: dict[str, float]
+    best_cost: float
+    best_metrics: dict[str, float] | None
+    evaluations: int
+    accepted: int
+    history: list[float] = field(default_factory=list)
+
+
+class Annealer:
+    """Anneal ``cost(params)`` over box-bounded log-scale variables.
+
+    ``evaluate`` maps a parameter dict to (cost, metrics); ``bounds``
+    maps each variable to its (lo, hi) interval.  All variables are
+    perturbed multiplicatively, which suits geometric quantities (W, L,
+    C, I) spanning decades.
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[dict[str, float]], tuple[float, dict[str, float] | None]],
+        bounds: dict[str, tuple[float, float]],
+        schedule: AnnealingSchedule | None = None,
+        seed: int = 1,
+    ) -> None:
+        for name, (lo, hi) in bounds.items():
+            if not 0 < lo <= hi:
+                raise ValueError(f"variable {name}: bad bounds [{lo}, {hi}]")
+        self.evaluate = evaluate
+        self.bounds = bounds
+        self.schedule = schedule or AnnealingSchedule()
+        self.rng = random.Random(seed)
+
+    def _random_point(self) -> dict[str, float]:
+        point = {}
+        for name, (lo, hi) in self.bounds.items():
+            point[name] = math.exp(
+                self.rng.uniform(math.log(lo), math.log(hi))
+            )
+        return point
+
+    def _perturb(self, params: dict[str, float], temperature: float) -> dict[str, float]:
+        sched = self.schedule
+        name = self.rng.choice(list(self.bounds))
+        lo, hi = self.bounds[name]
+        scale = sched.step_scale * math.sqrt(
+            temperature / sched.t_start
+        )
+        new = dict(params)
+        value = params[name] * math.exp(self.rng.gauss(0.0, scale))
+        new[name] = min(max(value, lo), hi)
+        return new
+
+    def run(
+        self,
+        x0: dict[str, float] | None = None,
+        max_evaluations: int = 400,
+    ) -> AnnealResult:
+        """Anneal from ``x0`` (or a random point) within the budget."""
+        sched = self.schedule
+        current = dict(x0) if x0 is not None else self._random_point()
+        for name, (lo, hi) in self.bounds.items():
+            current[name] = min(max(current.get(name, lo), lo), hi)
+        current_cost, current_metrics = self.evaluate(current)
+        evaluations = 1
+        accepted = 0
+        best = (dict(current), current_cost, current_metrics)
+        history = [current_cost]
+        temperature = sched.t_start
+        while temperature > sched.t_end and evaluations < max_evaluations:
+            for _ in range(sched.moves_per_temperature):
+                if evaluations >= max_evaluations:
+                    break
+                candidate = self._perturb(current, temperature)
+                cost, metrics = self.evaluate(candidate)
+                evaluations += 1
+                delta = cost - current_cost
+                if delta <= 0 or self.rng.random() < math.exp(
+                    -delta / max(temperature, 1e-12)
+                ):
+                    current, current_cost, current_metrics = (
+                        candidate, cost, metrics,
+                    )
+                    accepted += 1
+                    if current_cost < best[1]:
+                        best = (dict(current), current_cost, current_metrics)
+                history.append(current_cost)
+            temperature *= sched.alpha
+        return AnnealResult(
+            best_params=best[0],
+            best_cost=best[1],
+            best_metrics=best[2],
+            evaluations=evaluations,
+            accepted=accepted,
+            history=history,
+        )

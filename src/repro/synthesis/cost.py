@@ -1,0 +1,70 @@
+"""Scalar cost function over measured metrics.
+
+The ASTRX/OBLX formulation: a weighted sum of normalized constraint
+violations (dominant) plus normalized objective terms (tie-breaking),
+with a large fixed penalty for candidates that cannot be evaluated at
+all (no DC convergence, no unity crossing, ...).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .specs import SynthesisSpec
+
+__all__ = ["CostFunction", "FAILURE_COST"]
+
+#: Cost assigned to a candidate that could not be simulated.
+FAILURE_COST = 100.0
+#: Multiplier applied to constraint violations relative to objectives.
+CONSTRAINT_EMPHASIS = 10.0
+
+
+class CostFunction:
+    """Compile a :class:`SynthesisSpec` into ``cost(metrics) -> float``."""
+
+    def __init__(self, spec: SynthesisSpec) -> None:
+        self.spec = spec
+
+    def __call__(self, metrics: dict[str, float] | None) -> float:
+        if metrics is None:
+            return FAILURE_COST
+        total = 0.0
+        for constraint in self.spec.constraints:
+            value = metrics.get(constraint.metric, math.nan)
+            total += (
+                CONSTRAINT_EMPHASIS
+                * constraint.weight
+                * constraint.violation(value)
+            )
+        for objective in self.spec.objectives:
+            total += objective.term(metrics.get(objective.metric, math.nan))
+        return total
+
+    def meets_spec(self, metrics: dict[str, float] | None, slack: float = 0.05) -> bool:
+        if metrics is None:
+            return False
+        return self.spec.meets(metrics, slack)
+
+    def describe_failure(
+        self, metrics: dict[str, float] | None, slack: float = 0.05
+    ) -> str:
+        """A Table-1-style comment: which constraint is worst violated."""
+        import math
+
+        if metrics is None:
+            return "doesn't work"
+        worst: tuple[float, str, str] | None = None
+        for c in self.spec.constraints:
+            v = c.violation(metrics.get(c.metric, math.nan))
+            if v > slack and (worst is None or v > worst[0]):
+                worst = (v, c.metric, c.kind)
+        if worst is None:
+            return "meets spec"
+        amount, metric, kind = worst
+        rel = "<" if kind == "ge" else ">"
+        if amount >= 1.0:
+            return f"{metric} violated"
+        if amount > 0.5:
+            return f"{metric} {rel}{rel} spec"
+        return f"{metric} {rel} spec"

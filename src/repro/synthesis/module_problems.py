@@ -1,0 +1,224 @@
+"""Module-level sizing problems (the paper's Table 5 workloads).
+
+The unknowns of a level-4 module are its op-amps' device geometries
+plus its passive values; candidate evaluation builds the module's
+verification bench and measures module-level figures (gain, corner
+frequency, centre frequency, delay) with short AC sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Callable
+
+from ..devices import Capacitor as PassiveCap, Resistor as PassiveRes
+from ..errors import ApeError, SimulationError
+from ..modules.base import AnalogModule
+from ..spice import ac_analysis, dc_operating_point, find_crossing
+from ..spice.ac import log_frequencies
+from .problems import (
+    CC_HARD,
+    SizingProblem,
+    Variable,
+    W_HARD,
+    L_HARD_MAX,
+    parameterized_opamp,
+)
+
+__all__ = [
+    "ModuleSizingProblem",
+    "module_ranges",
+    "clone_module",
+    "measure_lowpass",
+    "measure_bandpass",
+    "measure_gain_bandwidth",
+]
+
+#: Hard passive bounds for the search.
+R_HARD = (1e2, 10e6)
+C_HARD = (1e-13, 1e-6)
+
+
+def _module_point(module: AnalogModule) -> dict[str, float]:
+    """Flat parameter dict of every unknown in a module."""
+    point: dict[str, float] = {}
+    for role, amp in module.opamps.items():
+        for key, value in amp.initial_point().items():
+            if (
+                key.endswith(".w")
+                or key.endswith(".l")
+                or key in ("cc", "r.ref", "r.bias")
+            ):
+                point[f"{role}:{key}"] = value
+    for rname, res in module.resistors.items():
+        point[f"R:{rname}"] = res.value
+    for cname, cap in module.capacitors.items():
+        point[f"C:{cname}"] = cap.value
+    return point
+
+
+def module_ranges(
+    module: AnalogModule, mode: str = "ape", factor: float = 0.2
+) -> list[Variable]:
+    """Search intervals for a module's unknowns.
+
+    ``mode='ape'``: each APE value +/- ``factor``; ``mode='standalone'``:
+    the full hard boxes.
+    """
+    if mode not in ("ape", "standalone"):
+        raise ApeError(f"unknown range mode {mode!r}")
+    out: list[Variable] = []
+    from .problems import RBIAS_HARD
+
+    for key, value in _module_point(module).items():
+        if key.startswith("R:"):
+            hard = R_HARD
+        elif key.startswith("C:") or key.endswith(":cc"):
+            hard = C_HARD if key.startswith("C:") else CC_HARD
+        elif key.endswith(":r.ref") or key.endswith(":r.bias"):
+            hard = RBIAS_HARD
+        elif key.endswith(".w"):
+            hard = W_HARD
+        else:  # .l
+            hard = (module.tech.l_min, L_HARD_MAX)
+        if mode == "ape":
+            centred = min(max(value, hard[0]), hard[1])
+            lo = max(centred * (1 - factor), hard[0])
+            hi = min(centred * (1 + factor), hard[1])
+        else:
+            lo, hi = hard
+        out.append(Variable(key, lo, hi))
+    return out
+
+
+def clone_module(module: AnalogModule, params: dict[str, float]) -> AnalogModule:
+    """A copy of ``module`` with parameter overrides applied."""
+    per_amp: dict[str, dict[str, float]] = {r: {} for r in module.opamps}
+    new_res = dict(module.resistors)
+    new_caps = dict(module.capacitors)
+    for key, value in params.items():
+        if key.startswith("R:"):
+            rname = key[2:]
+            if rname in new_res:
+                new_res[rname] = PassiveRes(
+                    value=value, area=module.tech.resistor_area(value)
+                )
+        elif key.startswith("C:"):
+            cname = key[2:]
+            if cname in new_caps:
+                new_caps[cname] = PassiveCap(
+                    value=value, area=module.tech.capacitor_area(value)
+                )
+        elif ":" in key:
+            role, subkey = key.split(":", 1)
+            if role in per_amp:
+                per_amp[role][subkey] = value
+    new_amps = {
+        role: parameterized_opamp(amp, per_amp[role])
+        for role, amp in module.opamps.items()
+    }
+    return replace(
+        module, opamps=new_amps, resistors=new_res, capacitors=new_caps
+    )
+
+
+class ModuleSizingProblem(SizingProblem):
+    """Anneal a module's unknowns against a measurement function.
+
+    ``measure(circuit, nodes)`` returns the metric dict (or raises
+    :class:`SimulationError`); it runs against the module's own
+    verification bench rebuilt for every candidate.
+    """
+
+    def __init__(
+        self,
+        module: AnalogModule,
+        variables: list[Variable],
+        measure: Callable[[object, dict[str, str]], dict[str, float]],
+    ) -> None:
+        self.module = module
+        self._variables = variables
+        self.measure = measure
+
+    @property
+    def variables(self) -> list[Variable]:
+        return self._variables
+
+    def evaluate(self, params: dict[str, float]) -> dict[str, float] | None:
+        try:
+            candidate = clone_module(self.module, params)
+            ckt, nodes = candidate.verification_circuit()
+            metrics = self.measure(ckt, nodes)
+            metrics.setdefault("gate_area", ckt.total_gate_area())
+            return metrics
+        except (ApeError, SimulationError):
+            return None
+
+
+def measure_gain_bandwidth(
+    f_probe: float, f_lo: float, f_hi: float, points: int = 8
+) -> Callable:
+    """Measure low-frequency gain and -3 dB bandwidth at ``out``."""
+
+    def measure(ckt, nodes) -> dict[str, float]:
+        op = dc_operating_point(ckt)
+        freqs = log_frequencies(f_lo, f_hi, points)
+        ac = ac_analysis(ckt, op=op, frequencies=freqs)
+        mag = ac.magnitude(nodes["out"])
+        gain = float(mag[0])
+        try:
+            bw = find_crossing(freqs, mag, gain / math.sqrt(2.0))
+        except SimulationError:
+            bw = float(f_hi)  # flat to the edge: at least this wide
+        return {"gain": gain, "bandwidth": bw}
+
+    return measure
+
+
+def measure_lowpass(f_lo: float, f_hi: float, points: int = 10) -> Callable:
+    """Measure passband gain, f(-3 dB) and f(-20 dB) at ``out``."""
+
+    def measure(ckt, nodes) -> dict[str, float]:
+        op = dc_operating_point(ckt)
+        freqs = log_frequencies(f_lo, f_hi, points)
+        ac = ac_analysis(ckt, op=op, frequencies=freqs)
+        mag = ac.magnitude(nodes["out"])
+        gain = float(mag[0])
+        metrics = {"gain": gain}
+        try:
+            metrics["f_3db"] = find_crossing(freqs, mag, gain / math.sqrt(2.0))
+        except SimulationError:
+            metrics["f_3db"] = math.nan
+        try:
+            metrics["f_20db"] = find_crossing(freqs, mag, gain / 10.0)
+        except SimulationError:
+            metrics["f_20db"] = math.nan
+        return metrics
+
+    return measure
+
+
+def measure_bandpass(f_lo: float, f_hi: float, points: int = 10) -> Callable:
+    """Measure centre frequency, centre gain and -3 dB bandwidth."""
+    import numpy as np
+
+    def measure(ckt, nodes) -> dict[str, float]:
+        op = dc_operating_point(ckt)
+        freqs = log_frequencies(f_lo, f_hi, points)
+        ac = ac_analysis(ckt, op=op, frequencies=freqs)
+        mag = ac.magnitude(nodes["out"])
+        k0 = int(np.argmax(mag))
+        peak = float(mag[k0])
+        metrics = {"gain": peak, "f0": float(freqs[k0])}
+        try:
+            lo = find_crossing(
+                freqs[: k0 + 1], mag[: k0 + 1], peak / math.sqrt(2.0)
+            )
+            hi = find_crossing(freqs[k0:], mag[k0:], peak / math.sqrt(2.0))
+            metrics["bandwidth"] = hi - lo
+        except SimulationError:
+            metrics["bandwidth"] = math.nan
+        return metrics
+
+    return measure

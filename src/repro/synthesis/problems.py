@@ -1,0 +1,270 @@
+"""Sizing problems: variables, candidate evaluation, search ranges.
+
+An :class:`OpAmpSizingProblem` fixes the circuit *structure* (the
+topology, exactly as ASTRX/OBLX does) and exposes the device geometries
+and compensation capacitor as box-bounded unknowns.  Candidate
+evaluation follows the ASTRX/OBLX recipe: DC operating point (with a
+quick output-balancing search), then an AWE reduced-order model for the
+gain and unity-gain frequency — not a full AC sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..errors import ApeError, SimulationError
+from ..opamp import OpAmp
+from ..opamp.benches import open_loop_bench
+from ..spice import awe_poles, dc_operating_point
+from ..spice.analysis import balance_differential
+from ..technology import Technology
+
+__all__ = [
+    "Variable",
+    "SizingProblem",
+    "OpAmpSizingProblem",
+    "parameterized_opamp",
+    "standalone_ranges",
+    "ape_ranges",
+]
+
+#: Hard geometry bounds for the search [m].
+W_HARD = (0.9e-6, 500e-6)
+L_HARD_MAX = 20e-6
+#: Compensation capacitor search interval [F].
+CC_HARD = (0.2e-12, 30e-12)
+#: Bias-programming resistor search interval [ohm].  ASTRX/OBLX treats
+#: bias points as unknowns; a wrong reference current wrecks the whole
+#: amplifier, which is exactly why uninformed search is hard.
+RBIAS_HARD = (5e3, 50e6)
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One unknown with its allowable interval (log-scale search)."""
+
+    name: str
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.lo <= self.hi:
+            raise ApeError(f"variable {self.name}: bad range [{self.lo}, {self.hi}]")
+
+
+class SizingProblem:
+    """Interface: variables + evaluate(params) -> metrics or None."""
+
+    @property
+    def variables(self) -> list[Variable]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def evaluate(self, params: dict[str, float]) -> dict[str, float] | None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def bounds(self) -> dict[str, tuple[float, float]]:
+        return {v.name: (v.lo, v.hi) for v in self.variables}
+
+
+def parameterized_opamp(template: OpAmp, params: dict[str, float]) -> OpAmp:
+    """Clone ``template`` with geometries/compensation from ``params``.
+
+    Keys follow :meth:`OpAmp.initial_point`:
+    ``<stage>.<role>.w``, ``<stage>.<role>.l`` and ``cc``.  Unknown
+    keys are ignored so annealer dictionaries can carry extras.
+    """
+    from ..devices import MosDevice
+
+    new_stages = {}
+    for stage_name, stage in template.stages.items():
+        new_devices = {}
+        for role, sized in stage.devices.items():
+            w = params.get(f"{stage_name}.{role}.w", sized.w)
+            l = params.get(f"{stage_name}.{role}.l", sized.l)
+            device = MosDevice(sized.device.model, w, l)
+            new_devices[role] = replace(sized, device=device)
+        new_stages[stage_name] = replace(stage, devices=new_devices)
+    devices = {
+        f"{stage_name}.{role}": dev
+        for stage_name, stage in new_stages.items()
+        for role, dev in stage.devices.items()
+    }
+    return replace(
+        template,
+        stages=new_stages,
+        devices=devices,
+        cc=params.get("cc", template.cc),
+        r_ref=params.get("r.ref", template.r_ref),
+        r_bias=params.get("r.bias", template.r_bias),
+    )
+
+
+def _geometry_keys(template: OpAmp) -> list[str]:
+    return [
+        key
+        for key in template.initial_point()
+        if key.endswith(".w") or key.endswith(".l")
+    ]
+
+
+def _l_hard_min(template: OpAmp, key: str) -> float:
+    """Minimum drawn length that keeps Leff positive for this device."""
+    stage_name, role, _ = key.split(".")
+    sized = template.stages[stage_name].devices[role]
+    return max(template.tech.l_min, 2.5 * sized.device.model.ld)
+
+
+def standalone_ranges(template: OpAmp) -> list[Variable]:
+    """Wide, uninformed intervals — the paper's Table 1 mode."""
+    tech = template.tech
+    out: list[Variable] = []
+    for key in _geometry_keys(template):
+        if key.endswith(".w"):
+            out.append(Variable(key, W_HARD[0], W_HARD[1]))
+        else:
+            out.append(Variable(key, _l_hard_min(template, key), L_HARD_MAX))
+    if template.cc > 0:
+        out.append(Variable("cc", *CC_HARD))
+    if template.r_ref > 0:
+        out.append(Variable("r.ref", *RBIAS_HARD))
+    if template.r_bias > 0:
+        out.append(Variable("r.bias", *RBIAS_HARD))
+    return out
+
+
+def ape_ranges(template: OpAmp, factor: float = 0.2) -> list[Variable]:
+    """APE estimate +/- ``factor`` — the paper's Table 4 mode."""
+    if not 0 < factor < 1:
+        raise ApeError(f"range factor must be in (0, 1), got {factor}")
+    point = template.initial_point()
+    out: list[Variable] = []
+    for key in _geometry_keys(template):
+        if key.endswith(".w"):
+            hard_lo, hard_hi = W_HARD
+        else:
+            hard_lo, hard_hi = _l_hard_min(template, key), L_HARD_MAX
+        # Clamp the centre into the hard box first so a window around a
+        # below-minimum value (e.g. a mirror input scaled by a large
+        # ratio) cannot collapse to an empty interval.
+        value = min(max(point[key], hard_lo), hard_hi)
+        lo = max(value * (1 - factor), hard_lo)
+        hi = min(value * (1 + factor), hard_hi)
+        out.append(Variable(key, lo, hi))
+    if template.cc > 0:
+        out.append(
+            Variable(
+                "cc",
+                max(template.cc * (1 - factor), CC_HARD[0]),
+                min(template.cc * (1 + factor), CC_HARD[1]),
+            )
+        )
+    for key, value in (("r.ref", template.r_ref), ("r.bias", template.r_bias)):
+        if value > 0:
+            centred = min(max(value, RBIAS_HARD[0]), RBIAS_HARD[1])
+            out.append(
+                Variable(
+                    key,
+                    max(centred * (1 - factor), RBIAS_HARD[0]),
+                    min(centred * (1 + factor), RBIAS_HARD[1]),
+                )
+            )
+    return out
+
+
+class OpAmpSizingProblem(SizingProblem):
+    """Evaluate op-amp candidates with DC + AWE (the OBLX inner loop)."""
+
+    def __init__(
+        self,
+        template: OpAmp,
+        variables: list[Variable],
+        *,
+        awe_order: int = 3,
+        balance_tolerance: float = 2e-3,
+    ) -> None:
+        self.template = template
+        self._variables = variables
+        self.awe_order = awe_order
+        self.balance_tolerance = balance_tolerance
+
+    @property
+    def variables(self) -> list[Variable]:
+        return self._variables
+
+    def evaluate(self, params: dict[str, float]) -> dict[str, float] | None:
+        try:
+            amp = parameterized_opamp(self.template, params)
+        except ApeError:
+            return None
+        try:
+            bench = open_loop_bench(amp, v_diff=0.0)
+            op = dc_operating_point(bench)
+            v_out = op.v("out")
+            if abs(v_out) > 0.25:
+                # Output railed at zero offset: balance quickly.
+                _, bench, op = balance_differential(
+                    lambda v: open_loop_bench(amp, v_diff=v),
+                    "out",
+                    target=0.0,
+                    v_span=0.5,
+                    tol=self.balance_tolerance,
+                    max_bisections=16,
+                )
+                if abs(op.v("out")) > 1.0:
+                    # Unbalanceable: dead amplifier.
+                    return self._dead_metrics(bench, op, amp)
+            metrics = self._measure(bench, op, amp)
+            return metrics
+        except SimulationError:
+            return None
+
+    def _supply_power(self, op, tech: Technology) -> float:
+        return tech.vdd * (-op.i("VDDSUP")) + tech.vss * (-op.i("VSSSUP"))
+
+    def _dead_metrics(self, bench, op, amp: OpAmp) -> dict[str, float]:
+        return {
+            "gain": 0.0,
+            "ugf": math.nan,
+            "gate_area": bench.total_gate_area(),
+            "dc_power": self._supply_power(op, amp.tech),
+            "offset": op.v("out"),
+        }
+
+    def _measure(self, bench, op, amp: OpAmp) -> dict[str, float]:
+        metrics = {
+            "gate_area": bench.total_gate_area(),
+            "dc_power": self._supply_power(op, amp.tech),
+            "offset": op.v("out"),
+        }
+        # The realized reference current — Table 1's Ibias is an input
+        # the surrounding system provides, so a working design must
+        # draw (roughly) that current through its reference branch.
+        if amp.r_ref > 0:
+            v_bias = op.v("X1_nbias_a")
+            metrics["i_ref"] = (amp.tech.vdd - v_bias) / amp.r_ref
+        try:
+            model = awe_poles(bench, "out", order=self.awe_order, op=op)
+            metrics["gain"] = abs(model.dc_gain)
+            try:
+                metrics["ugf"] = model.unity_gain_frequency()
+                # Phase margin from the reduced-order model: the open
+                # loop must be usable in feedback ("functionally
+                # correct design" in the paper's terms).
+                h_ugf = model.evaluate([metrics["ugf"]])[0]
+                h_dc = model.evaluate([max(metrics["ugf"] * 1e-6, 1e-3)])[0]
+                shift = math.degrees(
+                    math.atan2(h_ugf.imag, h_ugf.real)
+                    - math.atan2(h_dc.imag, h_dc.real)
+                )
+                while shift > 0.0:
+                    shift -= 360.0
+                metrics["phase_margin"] = 180.0 + shift
+            except SimulationError:
+                metrics["ugf"] = math.nan
+                metrics["phase_margin"] = math.nan
+        except SimulationError:
+            metrics["gain"] = 0.0
+            metrics["ugf"] = math.nan
+            metrics["phase_margin"] = math.nan
+        return metrics

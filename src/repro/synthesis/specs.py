@@ -1,0 +1,125 @@
+"""Synthesis specifications: objectives and constraints.
+
+ASTRX/OBLX "generates a cost function from the objectives,
+specifications, constraints and Kirchoff Laws"; this module holds the
+declarative part.  Metric names are plain strings matched against the
+dict a sizing problem's ``evaluate`` returns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import SpecificationError
+from ..opamp import OpAmpSpec
+
+__all__ = ["Constraint", "Objective", "SynthesisSpec", "opamp_synthesis_spec"]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``metric >= bound`` (kind ``'ge'``) or ``metric <= bound`` (``'le'``)."""
+
+    metric: str
+    kind: str
+    bound: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ge", "le"):
+            raise SpecificationError(f"constraint kind must be ge/le, got {self.kind!r}")
+        if self.bound <= 0:
+            raise SpecificationError(
+                f"{self.metric}: bounds must be positive (normalization)"
+            )
+        if self.weight <= 0:
+            raise SpecificationError(f"{self.metric}: weight must be positive")
+
+    def violation(self, value: float) -> float:
+        """Normalized violation in [0, inf); 0 when satisfied."""
+        if math.isnan(value):
+            return 1.0  # unmeasurable counts as fully violated
+        if self.kind == "ge":
+            return max(0.0, (self.bound - value) / self.bound)
+        return max(0.0, (value - self.bound) / self.bound)
+
+    def satisfied(self, value: float, slack: float = 0.0) -> bool:
+        return self.violation(value) <= slack
+
+
+@dataclass(frozen=True)
+class Objective:
+    """Minimize (or maximize) a metric, normalized by ``scale``."""
+
+    metric: str
+    scale: float
+    weight: float = 1.0
+    maximize: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise SpecificationError(f"{self.metric}: scale must be positive")
+
+    def term(self, value: float) -> float:
+        if math.isnan(value):
+            return self.weight  # no measurement: neutral-bad
+        normalized = value / self.scale
+        return -self.weight * normalized if self.maximize else self.weight * normalized
+
+
+@dataclass
+class SynthesisSpec:
+    """A bundle of constraints and objectives."""
+
+    constraints: list[Constraint] = field(default_factory=list)
+    objectives: list[Objective] = field(default_factory=list)
+
+    def require(self, metric: str, kind: str, bound: float, weight: float = 1.0) -> "SynthesisSpec":
+        self.constraints.append(Constraint(metric, kind, bound, weight))
+        return self
+
+    def minimize(self, metric: str, scale: float, weight: float = 1.0) -> "SynthesisSpec":
+        self.objectives.append(Objective(metric, scale, weight))
+        return self
+
+    def violations(self, metrics: dict[str, float]) -> dict[str, float]:
+        """Nonzero normalized violations keyed by metric."""
+        out = {}
+        for c in self.constraints:
+            v = c.violation(metrics.get(c.metric, math.nan))
+            if v > 0:
+                out[c.metric] = v
+        return out
+
+    def meets(self, metrics: dict[str, float], slack: float = 0.05) -> bool:
+        """All constraints within ``slack`` fractional tolerance."""
+        return all(
+            c.satisfied(metrics.get(c.metric, math.nan), slack)
+            for c in self.constraints
+        )
+
+
+def opamp_synthesis_spec(spec: OpAmpSpec) -> SynthesisSpec:
+    """The paper's Table 1 spec as a synthesis problem.
+
+    Gain and UGF are hard lower bounds, the gate-area budget an upper
+    bound when finite, and power is minimized.
+    """
+    synth = SynthesisSpec()
+    synth.require("gain", "ge", spec.gain, weight=2.0)
+    synth.require("ugf", "ge", spec.ugf, weight=2.0)
+    if math.isfinite(spec.area):
+        synth.require("gate_area", "le", spec.area, weight=1.0)
+    if spec.slew_rate > 0:
+        synth.require("slew_rate", "ge", spec.slew_rate)
+    # Ibias is an *input* of Table 1: the surrounding bias distribution
+    # delivers that reference current, so the sized circuit must accept
+    # approximately it (+/- 30 %) through its reference branch.
+    synth.require("i_ref", "ge", 0.7 * spec.ibias, weight=1.0)
+    synth.require("i_ref", "le", 1.3 * spec.ibias, weight=1.0)
+    # Usability in feedback: a functionally correct op-amp needs phase
+    # margin (ASTRX/OBLX's AWE evaluation enforced stability).
+    synth.require("phase_margin", "ge", 45.0, weight=1.0)
+    synth.minimize("dc_power", scale=1e-3, weight=0.2)
+    return synth

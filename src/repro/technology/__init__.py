@@ -1,0 +1,45 @@
+"""Technology level: fabrication process parameters and SPICE model cards.
+
+This is the lowest layer of the APE hierarchy (paper §4.1): every
+transistor sizing decision and every simulation stamps values that come
+from here.  A :class:`Technology` bundles an NMOS and a PMOS
+:class:`MosModelParams` plus supply and layout-rule data; preset
+technologies for generic 0.5 um, 0.35 um and 1.2 um CMOS processes are
+provided in :mod:`repro.technology.presets`, and arbitrary SPICE
+``.MODEL`` cards can be loaded with :func:`parse_model_card` /
+:func:`load_model_file`.
+"""
+
+from .process import (
+    EPS_OX,
+    EPS_SI,
+    MosModelParams,
+    MosPolarity,
+    Technology,
+)
+from .model_card import parse_model_card, parse_model_cards, load_model_file
+from .temperature import at_temperature
+from .presets import (
+    generic_035um,
+    generic_05um,
+    generic_12um,
+    technology_by_name,
+    PRESET_NAMES,
+)
+
+__all__ = [
+    "EPS_OX",
+    "EPS_SI",
+    "MosModelParams",
+    "MosPolarity",
+    "Technology",
+    "parse_model_card",
+    "parse_model_cards",
+    "load_model_file",
+    "at_temperature",
+    "generic_05um",
+    "generic_035um",
+    "generic_12um",
+    "technology_by_name",
+    "PRESET_NAMES",
+]

@@ -1,0 +1,144 @@
+"""SPICE ``.MODEL`` card parsing.
+
+APE "uses technology process parameters and SPICE models of analog
+circuit elements at the lowest level" (paper §1).  This parser accepts
+the classic card syntax::
+
+    .MODEL CMOSN NMOS (LEVEL=3 VTO=0.78 KP=5.7E-5 GAMMA=0.55 ... )
+
+including ``+`` continuation lines, ``*`` comments, engineering-notation
+values and case-insensitive keys, and produces
+:class:`~repro.technology.process.MosModelParams`.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from ..errors import ModelCardError
+from ..units import parse_quantity
+from .process import MosModelParams, MosPolarity
+
+__all__ = ["parse_model_card", "parse_model_cards", "load_model_file"]
+
+_MODEL_RE = re.compile(
+    r"\.model\s+(?P<name>\S+)\s+(?P<type>nmos|pmos)\s*(?P<body>.*)$",
+    re.IGNORECASE | re.DOTALL,
+)
+_ASSIGN_RE = re.compile(r"([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*([^\s()=]+)")
+
+# Card key -> MosModelParams field, with unit conversion where SPICE
+# units differ from SI (U0 is cm^2/Vs on cards).
+_FIELD_MAP: dict[str, str] = {
+    "vto": "vto",
+    "kp": "kp",
+    "tox": "tox",
+    "gamma": "gamma",
+    "phi": "phi",
+    "lambda": "lambda_",
+    "ld": "ld",
+    "cgdo": "cgdo",
+    "cgso": "cgso",
+    "cgbo": "cgbo",
+    "cj": "cj",
+    "cjsw": "cjsw",
+    "mj": "mj",
+    "mjsw": "mjsw",
+    "pb": "pb",
+    "is": "is_",
+    "rsh": "rsh",
+    "nsub": "nsub",
+    "xj": "xj",
+    "theta": "theta",
+    "vmax": "vmax",
+    "neff": "neff",
+    "nfs": "nfs",
+    "level": "level",
+}
+
+
+def _strip_comments(text: str) -> str:
+    lines = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("*"):
+            continue
+        # Inline ';' or '$' comments (ngspice-style).
+        for marker in (";", "$ "):
+            pos = stripped.find(marker)
+            if pos >= 0:
+                stripped = stripped[:pos]
+        lines.append(stripped)
+    return "\n".join(lines)
+
+
+def _join_continuations(text: str) -> list[str]:
+    """Fold SPICE ``+`` continuation lines into single statements."""
+    statements: list[str] = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("+"):
+            if not statements:
+                raise ModelCardError("continuation line with no preceding card")
+            statements[-1] += " " + line[1:].strip()
+        else:
+            statements.append(line)
+    return statements
+
+
+def parse_model_card(card: str) -> MosModelParams:
+    """Parse a single ``.MODEL`` statement into :class:`MosModelParams`."""
+    cards = parse_model_cards(card)
+    if len(cards) != 1:
+        raise ModelCardError(
+            f"expected exactly one .MODEL card, found {len(cards)}"
+        )
+    return next(iter(cards.values()))
+
+
+def parse_model_cards(text: str) -> dict[str, MosModelParams]:
+    """Parse every ``.MODEL`` card in ``text``, keyed by model name."""
+    statements = _join_continuations(_strip_comments(text))
+    models: dict[str, MosModelParams] = {}
+    for statement in statements:
+        if not statement.lower().startswith(".model"):
+            continue
+        match = _MODEL_RE.match(statement)
+        if match is None:
+            raise ModelCardError(f"malformed .MODEL card: {statement!r}")
+        name = match.group("name")
+        polarity = (
+            MosPolarity.NMOS
+            if match.group("type").lower() == "nmos"
+            else MosPolarity.PMOS
+        )
+        fields: dict[str, object] = {"name": name, "polarity": polarity}
+        extra: dict[str, float] = {}
+        for key, raw in _ASSIGN_RE.findall(match.group("body")):
+            key_lower = key.lower()
+            try:
+                value = parse_quantity(raw)
+            except Exception as exc:
+                raise ModelCardError(
+                    f"model {name!r}: bad value {raw!r} for {key}"
+                ) from exc
+            if key_lower == "u0":
+                fields["u0"] = value * 1e-4  # cm^2/(V s) -> m^2/(V s)
+            elif key_lower == "level":
+                fields["level"] = int(value)
+            elif key_lower in _FIELD_MAP:
+                fields[_FIELD_MAP[key_lower]] = value
+            else:
+                extra[key_lower] = value
+        fields["extra"] = extra
+        models[name] = MosModelParams(**fields)  # type: ignore[arg-type]
+    if not models:
+        raise ModelCardError("no .MODEL cards found")
+    return models
+
+
+def load_model_file(path: str | Path) -> dict[str, MosModelParams]:
+    """Parse every ``.MODEL`` card in a file, keyed by model name."""
+    return parse_model_cards(Path(path).read_text())

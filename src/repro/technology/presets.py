@@ -1,0 +1,137 @@
+"""Bundled generic CMOS technologies.
+
+The paper's experiments use a proprietary fab model card we do not have;
+these presets are generic MOSIS-class educational parameter sets for
+0.5 um, 0.35 um and 1.2 um CMOS (Level-1/3 compatible), expressed as the
+SPICE cards they would normally arrive as and parsed through the same
+:func:`~repro.technology.model_card.parse_model_cards` path a user's own
+card would take.
+"""
+
+from __future__ import annotations
+
+from ..errors import TechnologyError
+from .model_card import parse_model_cards
+from .process import Technology
+
+__all__ = [
+    "generic_05um",
+    "generic_035um",
+    "generic_12um",
+    "technology_by_name",
+    "PRESET_NAMES",
+]
+
+_CARD_05UM = """
+* Generic 0.5 um CMOS (MOSIS C5 class)
+.MODEL CMOSN NMOS (LEVEL=1 VTO=0.70 KP=110E-6 GAMMA=0.45 PHI=0.70
++ LAMBDA=0.04 TOX=1.4E-8 LD=0.08E-6 U0=460
++ CGDO=2.0E-10 CGSO=2.0E-10 CGBO=1.0E-9
++ CJ=4.2E-4 CJSW=3.2E-10 MJ=0.44 MJSW=0.12 PB=0.9 RSH=82
++ NSUB=1.7E17 XJ=0.15E-6)
+.MODEL CMOSP PMOS (LEVEL=1 VTO=-0.90 KP=50E-6 GAMMA=0.57 PHI=0.80
++ LAMBDA=0.05 TOX=1.4E-8 LD=0.09E-6 U0=160
++ CGDO=2.4E-10 CGSO=2.4E-10 CGBO=1.1E-9
++ CJ=7.2E-4 CJSW=2.4E-10 MJ=0.51 MJSW=0.24 PB=0.9 RSH=101
++ NSUB=1.2E17 XJ=0.17E-6)
+"""
+
+_CARD_035UM = """
+* Generic 0.35 um CMOS (TSMC 0.35 class)
+.MODEL CMOSN NMOS (LEVEL=1 VTO=0.55 KP=170E-6 GAMMA=0.58 PHI=0.80
++ LAMBDA=0.06 TOX=7.6E-9 LD=0.05E-6 U0=400
++ CGDO=2.8E-10 CGSO=2.8E-10 CGBO=1.0E-9
++ CJ=9.0E-4 CJSW=2.8E-10 MJ=0.36 MJSW=0.10 PB=0.7 RSH=77
++ NSUB=2.3E17 XJ=0.12E-6)
+.MODEL CMOSP PMOS (LEVEL=1 VTO=-0.70 KP=58E-6 GAMMA=0.49 PHI=0.80
++ LAMBDA=0.08 TOX=7.6E-9 LD=0.06E-6 U0=140
++ CGDO=2.9E-10 CGSO=2.9E-10 CGBO=1.1E-9
++ CJ=1.4E-3 CJSW=3.2E-10 MJ=0.56 MJSW=0.43 PB=0.9 RSH=150
++ NSUB=1.8E17 XJ=0.13E-6)
+"""
+
+_CARD_12UM = """
+* Generic 1.2 um CMOS (MOSIS ABN 1.2 class)
+.MODEL CMOSN NMOS (LEVEL=1 VTO=0.75 KP=80E-6 GAMMA=0.37 PHI=0.60
++ LAMBDA=0.02 TOX=3.1E-8 LD=0.25E-6 U0=600
++ CGDO=3.2E-10 CGSO=3.2E-10 CGBO=1.5E-9
++ CJ=2.9E-4 CJSW=3.3E-10 MJ=0.49 MJSW=0.27 PB=0.8 RSH=25
++ NSUB=5.9E16 XJ=0.27E-6)
+.MODEL CMOSP PMOS (LEVEL=1 VTO=-0.85 KP=27E-6 GAMMA=0.49 PHI=0.60
++ LAMBDA=0.03 TOX=3.1E-8 LD=0.22E-6 U0=200
++ CGDO=3.5E-10 CGSO=3.5E-10 CGBO=1.5E-9
++ CJ=3.0E-4 CJSW=3.4E-10 MJ=0.45 MJSW=0.29 PB=0.8 RSH=55
++ NSUB=4.4E16 XJ=0.25E-6)
+"""
+
+
+def _build(name: str, card: str, **kwargs: float) -> Technology:
+    models = parse_model_cards(card)
+    return Technology(
+        name=name,
+        nmos=models["CMOSN"],
+        pmos=models["CMOSP"],
+        **kwargs,  # type: ignore[arg-type]
+    )
+
+
+def generic_05um() -> Technology:
+    """Generic 0.5 um CMOS at +/-2.5 V — the default for all experiments."""
+    return _build(
+        "generic-0.5um",
+        _CARD_05UM,
+        vdd=2.5,
+        vss=-2.5,
+        l_min=0.6e-6,
+        w_min=0.9e-6,
+        poly_rsh=25.0,
+        cap_density=0.9e-3,
+    )
+
+
+def generic_035um() -> Technology:
+    """Generic 0.35 um CMOS at +/-1.65 V."""
+    return _build(
+        "generic-0.35um",
+        _CARD_035UM,
+        vdd=1.65,
+        vss=-1.65,
+        l_min=0.35e-6,
+        w_min=0.5e-6,
+        poly_rsh=8.0,
+        cap_density=1.1e-3,
+    )
+
+
+def generic_12um() -> Technology:
+    """Generic 1.2 um CMOS at +/-2.5 V (the paper's era)."""
+    return _build(
+        "generic-1.2um",
+        _CARD_12UM,
+        vdd=2.5,
+        vss=-2.5,
+        l_min=1.2e-6,
+        w_min=1.8e-6,
+        poly_rsh=25.0,
+        cap_density=0.5e-3,
+    )
+
+
+_PRESETS = {
+    "generic-0.5um": generic_05um,
+    "generic-0.35um": generic_035um,
+    "generic-1.2um": generic_12um,
+}
+
+#: Names accepted by :func:`technology_by_name`.
+PRESET_NAMES = tuple(sorted(_PRESETS))
+
+
+def technology_by_name(name: str) -> Technology:
+    """Look up a preset technology by name (see :data:`PRESET_NAMES`)."""
+    try:
+        return _PRESETS[name]()
+    except KeyError:
+        raise TechnologyError(
+            f"unknown technology {name!r}; available: {', '.join(PRESET_NAMES)}"
+        ) from None

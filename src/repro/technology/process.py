@@ -1,0 +1,202 @@
+"""Fabrication process parameters for MOS devices.
+
+APE's transistor models (paper Eqs. 1-4) are tied to the fabrication
+process: KP, VTO, gamma, phi, lambda, tox and the overlap/junction
+capacitance coefficients all come from a SPICE model card.  This module
+holds those parameters in :class:`MosModelParams` and groups an NMOS +
+PMOS pair with supply/layout data in :class:`Technology`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+
+from ..errors import TechnologyError
+
+__all__ = ["EPS_OX", "EPS_SI", "MosPolarity", "MosModelParams", "Technology"]
+
+#: Permittivity of SiO2 [F/m].
+EPS_OX = 3.9 * 8.854e-12
+#: Permittivity of silicon [F/m].
+EPS_SI = 11.7 * 8.854e-12
+
+#: Boltzmann constant over electron charge at 300 K [V].
+THERMAL_VOLTAGE_300K = 0.02585
+
+
+class MosPolarity(enum.Enum):
+    """Device polarity; PMOS quantities are sign-flipped internally."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+    @property
+    def sign(self) -> int:
+        """+1 for NMOS, -1 for PMOS (applied to terminal voltages)."""
+        return 1 if self is MosPolarity.NMOS else -1
+
+
+@dataclass(frozen=True)
+class MosModelParams:
+    """SPICE Level-1/2/3 MOS model parameters (SI units throughout).
+
+    Only the parameters APE's analytical equations and our simulator
+    need are stored; anything else on a model card is kept in
+    :attr:`extra` so round-tripping cards is lossless.
+    """
+
+    polarity: MosPolarity
+    name: str = "M"
+    level: int = 1
+    #: Zero-bias threshold voltage [V] (positive for NMOS, negative PMOS).
+    vto: float = 0.7
+    #: Transconductance parameter KP = u0 * Cox [A/V^2]. 0 -> derive.
+    kp: float = 0.0
+    #: Surface mobility [m^2/(V s)] (SPICE U0 is cm^2/(V s); converted).
+    u0: float = 0.05
+    #: Gate-oxide thickness [m].
+    tox: float = 10e-9
+    #: Body-effect coefficient gamma [sqrt(V)].
+    gamma: float = 0.5
+    #: Surface potential 2*phi_F [V] (SPICE PHI).
+    phi: float = 0.7
+    #: Channel-length modulation [1/V].
+    lambda_: float = 0.04
+    #: Lateral diffusion [m].
+    ld: float = 0.0
+    #: Gate-drain / gate-source overlap capacitance [F/m].
+    cgdo: float = 0.0
+    cgso: float = 0.0
+    #: Gate-bulk overlap capacitance [F/m].
+    cgbo: float = 0.0
+    #: Zero-bias bulk junction bottom capacitance [F/m^2].
+    cj: float = 0.0
+    #: Zero-bias bulk junction sidewall capacitance [F/m].
+    cjsw: float = 0.0
+    #: Junction grading coefficients and built-in potential.
+    mj: float = 0.5
+    mjsw: float = 0.33
+    pb: float = 0.8
+    #: Saturation current of bulk junctions [A].
+    is_: float = 1e-14
+    #: Drain/source sheet resistance [ohm/sq].
+    rsh: float = 0.0
+    #: Substrate doping [1/cm^3]; used by Level 2/3 refinements.
+    nsub: float = 1e16
+    #: Metallurgical junction depth [m]; Level 3 short-channel effect.
+    xj: float = 0.3e-6
+    #: Level 3 mobility-degradation coefficient THETA [1/V].
+    theta: float = 0.0
+    #: Level 3 saturation velocity VMAX [m/s] (0 -> ignore).
+    vmax: float = 0.0
+    #: Level 2/3 channel charge coefficient NEFF, fast-surface states NFS.
+    neff: float = 1.0
+    nfs: float = 0.0
+    #: Unrecognised card parameters, preserved verbatim.
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.tox <= 0:
+            raise TechnologyError(f"model {self.name!r}: TOX must be > 0")
+        if self.level not in (1, 2, 3):
+            raise TechnologyError(
+                f"model {self.name!r}: unsupported LEVEL {self.level} "
+                "(supported: 1, 2, 3)"
+            )
+        if self.polarity is MosPolarity.NMOS and self.vto < 0:
+            raise TechnologyError(
+                f"model {self.name!r}: NMOS VTO should be positive"
+            )
+        if self.polarity is MosPolarity.PMOS and self.vto > 0:
+            raise TechnologyError(
+                f"model {self.name!r}: PMOS VTO should be negative"
+            )
+
+    @property
+    def cox(self) -> float:
+        """Gate-oxide capacitance per unit area [F/m^2]."""
+        return EPS_OX / self.tox
+
+    @property
+    def kp_effective(self) -> float:
+        """KP if given on the card, else u0 * Cox (paper Eq. 1 prefactor)."""
+        return self.kp if self.kp > 0 else self.u0 * self.cox
+
+    @property
+    def vth0(self) -> float:
+        """Zero-bias threshold as a positive magnitude [V]."""
+        return abs(self.vto)
+
+    def threshold(self, vsb: float = 0.0) -> float:
+        """Threshold-voltage magnitude with body effect [V].
+
+        ``vsb`` is the source-bulk voltage magnitude (>= 0 for normal
+        operation); the classic square-root body-effect law is used::
+
+            Vth = Vth0 + gamma * (sqrt(2*phi_F + Vsb) - sqrt(2*phi_F))
+        """
+        vsb = max(vsb, 0.0)
+        return self.vth0 + self.gamma * (
+            math.sqrt(self.phi + vsb) - math.sqrt(self.phi)
+        )
+
+    def with_(self, **changes: object) -> "MosModelParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A complete process: NMOS + PMOS models plus supply/layout data."""
+
+    name: str
+    nmos: MosModelParams
+    pmos: MosModelParams
+    #: Positive and negative supply rails [V].
+    vdd: float = 2.5
+    vss: float = -2.5
+    #: Minimum drawn channel length and width [m].
+    l_min: float = 0.6e-6
+    w_min: float = 0.9e-6
+    #: Maximum drawn width [m] (sizing sanity bound).
+    w_max: float = 2000e-6
+    #: Poly sheet resistance [ohm/sq] for on-chip resistors.
+    poly_rsh: float = 25.0
+    #: Poly-poly capacitor density [F/m^2].
+    cap_density: float = 0.9e-3
+    #: Default drain/source diffusion extension for parasitics [m].
+    diffusion_extension: float = 1.5e-6
+
+    def __post_init__(self) -> None:
+        if self.nmos.polarity is not MosPolarity.NMOS:
+            raise TechnologyError(f"{self.name}: nmos slot holds a PMOS model")
+        if self.pmos.polarity is not MosPolarity.PMOS:
+            raise TechnologyError(f"{self.name}: pmos slot holds an NMOS model")
+        if self.vdd <= self.vss:
+            raise TechnologyError(f"{self.name}: VDD must exceed VSS")
+        if self.l_min <= 0 or self.w_min <= 0:
+            raise TechnologyError(f"{self.name}: minimum sizes must be > 0")
+
+    @property
+    def supply_span(self) -> float:
+        """Total rail-to-rail voltage [V]."""
+        return self.vdd - self.vss
+
+    def model(self, polarity: MosPolarity) -> MosModelParams:
+        """Model parameters for the requested polarity."""
+        return self.nmos if polarity is MosPolarity.NMOS else self.pmos
+
+    def resistor_area(self, resistance: float, width: float = 2e-6) -> float:
+        """Layout area [m^2] of a poly resistor of the given value."""
+        if resistance <= 0:
+            raise TechnologyError("resistance must be positive")
+        squares = resistance / self.poly_rsh
+        return squares * width * width
+
+    def capacitor_area(self, capacitance: float) -> float:
+        """Layout area [m^2] of a poly-poly capacitor of the given value."""
+        if capacitance < 0:
+            raise TechnologyError("capacitance must be non-negative")
+        return capacitance / self.cap_density

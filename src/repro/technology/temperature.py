@@ -1,0 +1,53 @@
+"""Temperature scaling of MOS model parameters.
+
+First-order SPICE temperature model: threshold magnitude falls
+~2 mV/K and mobility follows a T^-1.5 power law, both relative to the
+nominal 27 C card.  :func:`at_temperature` derives a complete
+:class:`Technology` at any junction temperature so sizing and
+simulation can be re-run hot/cold (industrial sign-off range -40 to
+125 C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..errors import TechnologyError
+from .process import MosModelParams, Technology
+
+__all__ = ["at_temperature", "NOMINAL_TEMP_C", "VTO_TC", "MOBILITY_EXPONENT"]
+
+#: Model-card reference temperature [C].
+NOMINAL_TEMP_C = 27.0
+#: Threshold-magnitude temperature coefficient [V/K].
+VTO_TC = -2.0e-3
+#: Mobility power-law exponent (u ~ T^-1.5).
+MOBILITY_EXPONENT = -1.5
+
+
+def _scale_model(model: MosModelParams, temp_c: float) -> MosModelParams:
+    t_nom = NOMINAL_TEMP_C + 273.15
+    t_new = temp_c + 273.15
+    dt = temp_c - NOMINAL_TEMP_C
+    sign = 1.0 if model.vto >= 0 else -1.0
+    new_mag = max(abs(model.vto) + VTO_TC * dt, 1e-3)
+    mobility_factor = (t_new / t_nom) ** MOBILITY_EXPONENT
+    return model.with_(
+        vto=sign * new_mag,
+        kp=model.kp_effective * mobility_factor,
+        u0=model.u0 * mobility_factor,
+    )
+
+
+def at_temperature(tech: Technology, temp_c: float) -> Technology:
+    """A copy of ``tech`` with both models scaled to ``temp_c`` [C]."""
+    if not -100.0 <= temp_c <= 250.0:
+        raise TechnologyError(
+            f"temperature {temp_c} C outside the model's validity range"
+        )
+    return replace(
+        tech,
+        name=f"{tech.name}@{temp_c:g}C",
+        nmos=_scale_model(tech.nmos, temp_c),
+        pmos=_scale_model(tech.pmos, temp_c),
+    )

@@ -1,0 +1,123 @@
+"""Engineering-notation quantities.
+
+SPICE and analog datasheets express values as ``1.3Meg``, ``10p``,
+``4.7K`` and so on.  This module converts between those strings and
+floats, and formats floats back into readable engineering notation.
+
+The suffix grammar follows SPICE conventions: suffixes are
+case-insensitive, ``MEG`` (or ``X``) is mega and a bare ``M`` is milli.
+Any trailing unit letters after the scale suffix (``10pF``, ``2.5KOhm``)
+are ignored, as in SPICE.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .errors import UnitError
+
+__all__ = ["parse_quantity", "format_quantity", "format_si", "db", "undb"]
+
+# Ordered so that the longest suffixes are matched first.
+_SUFFIXES: list[tuple[str, float]] = [
+    ("meg", 1e6),
+    ("mil", 25.4e-6),  # SPICE: mil = 1/1000 inch
+    ("t", 1e12),
+    ("g", 1e9),
+    ("x", 1e6),
+    ("k", 1e3),
+    ("m", 1e-3),
+    ("u", 1e-6),
+    ("n", 1e-9),
+    ("p", 1e-12),
+    ("f", 1e-15),
+    ("a", 1e-18),
+]
+
+_NUMBER_RE = re.compile(
+    r"^\s*([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\s*([a-zA-Zµ%]*)\s*$"
+)
+
+# Display suffixes keyed by decade exponent / 3.
+_DISPLAY = {
+    -6: "a",
+    -5: "f",
+    -4: "p",
+    -3: "n",
+    -2: "u",
+    -1: "m",
+    0: "",
+    1: "k",
+    2: "Meg",
+    3: "G",
+    4: "T",
+}
+
+
+def parse_quantity(value: str | float | int) -> float:
+    """Convert a SPICE-style quantity to a float.
+
+    Accepts plain numbers (which pass through), strings with optional
+    engineering suffixes and trailing unit names::
+
+        >>> parse_quantity("1.3Meg")
+        1300000.0
+        >>> parse_quantity("10pF")
+        1e-11
+        >>> parse_quantity(42)
+        42.0
+
+    Raises :class:`~repro.errors.UnitError` for malformed input.
+    """
+    if isinstance(value, (int, float)):
+        if isinstance(value, bool):
+            raise UnitError(f"booleans are not quantities: {value!r}")
+        return float(value)
+    match = _NUMBER_RE.match(value)
+    if match is None:
+        raise UnitError(f"cannot parse quantity {value!r}")
+    mantissa = float(match.group(1))
+    tail = match.group(2).lower().replace("µ", "u")
+    if not tail or tail == "%":
+        return mantissa * (0.01 if tail == "%" else 1.0)
+    for suffix, scale in _SUFFIXES:
+        if tail.startswith(suffix):
+            return mantissa * scale
+    # A bare unit name with no scale suffix, e.g. "5V" or "3Hz".
+    if tail.isalpha():
+        return mantissa
+    raise UnitError(f"cannot parse quantity {value!r}")
+
+
+def format_quantity(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``value`` in engineering notation, e.g. ``'1.3MegHz'``.
+
+    ``unit`` is appended verbatim after the scale suffix.  Zero, NaN and
+    infinities format without a suffix.
+    """
+    if value == 0 or not math.isfinite(value):
+        return f"{value:g}{unit}"
+    exponent = math.floor(math.log10(abs(value)) / 3)
+    exponent = max(min(exponent, max(_DISPLAY)), min(_DISPLAY))
+    scaled = value / 10 ** (3 * exponent)
+    text = f"{scaled:.{digits}g}"
+    return f"{text}{_DISPLAY[exponent]}{unit}"
+
+
+def format_si(value: float, unit: str = "", digits: int = 4) -> str:
+    """Like :func:`format_quantity` but with the SI mega symbol ``M``."""
+    text = format_quantity(value, unit="", digits=digits)
+    return text.replace("Meg", "M") + unit
+
+
+def db(ratio: float) -> float:
+    """Magnitude ratio -> decibels (20*log10)."""
+    if ratio <= 0:
+        raise UnitError(f"dB of non-positive ratio {ratio!r}")
+    return 20.0 * math.log10(ratio)
+
+
+def undb(decibels: float) -> float:
+    """Decibels -> magnitude ratio."""
+    return 10.0 ** (decibels / 20.0)

@@ -1,0 +1,29 @@
+"""Process variation: corner models and Monte Carlo mismatch.
+
+The paper sizes at the nominal process; real adoption of an estimator
+needs to know how the sized circuit behaves across fab corners (SS/FF/
+SF/FS) and under local device mismatch (Pelgrom scaling).  This package
+derives corner technologies from any nominal :class:`Technology` and
+runs Monte Carlo samples of any circuit with per-device threshold/beta
+perturbations.
+"""
+
+from .corners import CORNER_NAMES, derive_corner, corner_sweep
+from .montecarlo import (
+    MismatchModel,
+    MonteCarloResult,
+    monte_carlo,
+    perturbed_circuit,
+    opamp_offset_spread,
+)
+
+__all__ = [
+    "CORNER_NAMES",
+    "derive_corner",
+    "corner_sweep",
+    "MismatchModel",
+    "MonteCarloResult",
+    "monte_carlo",
+    "perturbed_circuit",
+    "opamp_offset_spread",
+]

@@ -1,0 +1,66 @@
+"""Fab corner derivation.
+
+Classic five-corner methodology: per-polarity "slow" (higher |VT|,
+lower mobility) and "fast" (lower |VT|, higher mobility) device models,
+combined as TT / SS / FF / SF / FS (first letter NMOS, second PMOS).
+The shift magnitudes are the generic +/-3-sigma values foundries quote
+for these nodes: |VT| +/- 10 %, KP -/+ 10 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from ..errors import TechnologyError
+from ..technology import MosModelParams, Technology
+
+__all__ = ["CORNER_NAMES", "derive_corner", "corner_sweep"]
+
+#: Recognised corner names (NMOS letter first).
+CORNER_NAMES = ("tt", "ss", "ff", "sf", "fs")
+
+#: 3-sigma fractional shifts.
+VTO_SHIFT = 0.10
+KP_SHIFT = 0.10
+
+
+def _shift_model(model: MosModelParams, speed: str) -> MosModelParams:
+    if speed == "t":
+        return model
+    sign = 1.0 if speed == "s" else -1.0  # slow: |VT| up, KP down
+    kp_eff = model.kp_effective
+    return model.with_(
+        vto=model.vto * (1.0 + sign * VTO_SHIFT),
+        kp=kp_eff * (1.0 - sign * KP_SHIFT),
+    )
+
+
+def derive_corner(tech: Technology, corner: str) -> Technology:
+    """A copy of ``tech`` at the named corner (``tt``/``ss``/``ff``/
+    ``sf``/``fs``)."""
+    corner = corner.lower()
+    if corner not in CORNER_NAMES:
+        raise TechnologyError(
+            f"unknown corner {corner!r}; available: {', '.join(CORNER_NAMES)}"
+        )
+    n_speed, p_speed = corner[0], corner[1]
+    return replace(
+        tech,
+        name=f"{tech.name}-{corner}",
+        nmos=_shift_model(tech.nmos, n_speed),
+        pmos=_shift_model(tech.pmos, p_speed),
+    )
+
+
+def corner_sweep(
+    tech: Technology,
+    evaluate: Callable[[Technology], dict[str, float]],
+    corners: tuple[str, ...] = CORNER_NAMES,
+) -> dict[str, dict[str, float]]:
+    """Run ``evaluate`` at each corner; returns metrics keyed by corner.
+
+    ``evaluate`` typically re-sizes (or re-simulates) a design at the
+    shifted technology and returns the figures of interest.
+    """
+    return {corner: evaluate(derive_corner(tech, corner)) for corner in corners}

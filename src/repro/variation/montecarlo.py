@@ -1,0 +1,172 @@
+"""Monte Carlo mismatch analysis.
+
+Local (device-to-device) variation follows the Pelgrom law: the
+standard deviation of a matched-pair parameter scales as
+``A / sqrt(W L)``.  Each sample clones the circuit with every MOSFET's
+model perturbed in threshold voltage and current factor, then runs a
+caller-supplied measurement; the result collects per-sample metrics
+with mean/sigma/yield summaries.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..errors import ApeError, SimulationError
+from ..spice import Circuit, Mosfet
+
+__all__ = [
+    "MismatchModel",
+    "MonteCarloResult",
+    "perturbed_circuit",
+    "monte_carlo",
+    "opamp_offset_spread",
+]
+
+
+@dataclass(frozen=True)
+class MismatchModel:
+    """Pelgrom coefficients (typical 0.5 um CMOS values)."""
+
+    #: Threshold mismatch coefficient [V m] (sigma_VT = a_vt / sqrt(WL)).
+    a_vt: float = 10e-3 * 1e-6
+    #: Current-factor mismatch coefficient [m] (relative sigma).
+    a_beta: float = 0.01 * 1e-6
+
+    def sigma_vt(self, w: float, l: float) -> float:
+        return self.a_vt / math.sqrt(w * l)
+
+    def sigma_beta(self, w: float, l: float) -> float:
+        return self.a_beta / math.sqrt(w * l)
+
+
+@dataclass
+class MonteCarloResult:
+    """Per-sample metrics plus summary statistics."""
+
+    samples: list[dict[str, float]] = field(default_factory=list)
+    failures: int = 0
+
+    def values(self, key: str) -> list[float]:
+        return [s[key] for s in self.samples if key in s]
+
+    def mean(self, key: str) -> float:
+        return statistics.fmean(self.values(key))
+
+    def sigma(self, key: str) -> float:
+        vals = self.values(key)
+        return statistics.stdev(vals) if len(vals) > 1 else 0.0
+
+    def yield_fraction(self, predicate: Callable[[dict[str, float]], bool]) -> float:
+        """Fraction of all runs (including failures) passing a check."""
+        total = len(self.samples) + self.failures
+        if total == 0:
+            raise ApeError("no Monte Carlo samples")
+        passing = sum(1 for s in self.samples if predicate(s))
+        return passing / total
+
+
+def perturbed_circuit(
+    circuit: Circuit,
+    rng: random.Random,
+    mismatch: MismatchModel | None = None,
+) -> Circuit:
+    """A copy of ``circuit`` with every MOSFET's model perturbed.
+
+    Threshold shifts are additive Gaussians with Pelgrom sigma; the
+    current factor is scaled by ``1 + N(0, sigma_beta)``.  The shift is
+    applied toward weaker conduction when it would flip the sign of
+    VTO (pathological only for near-zero-VT models).
+    """
+    if mismatch is None:
+        mismatch = MismatchModel()
+    dup = circuit.copy(title=f"{circuit.title}-mc")
+    for element in circuit:
+        if not isinstance(element, Mosfet):
+            continue
+        model = element.model
+        d_vt = rng.gauss(0.0, mismatch.sigma_vt(element.w, element.l))
+        d_beta = rng.gauss(0.0, mismatch.sigma_beta(element.w, element.l))
+        # The shift applies to the threshold *magnitude* so the model's
+        # polarity constraint (NMOS VTO > 0 > PMOS VTO) is preserved.
+        sign = 1.0 if model.vto >= 0 else -1.0
+        new_vto = sign * max(abs(model.vto) + d_vt, 1e-3)
+        new_model = model.with_(
+            vto=new_vto,
+            kp=model.kp_effective * max(1.0 + d_beta, 0.01),
+        )
+        dup.replace(replace(element, model=new_model))
+    return dup
+
+
+def monte_carlo(
+    circuit: Circuit,
+    measure: Callable[[Circuit], dict[str, float]],
+    *,
+    n: int = 50,
+    seed: int = 1,
+    mismatch: MismatchModel | None = None,
+) -> MonteCarloResult:
+    """Run ``measure`` over ``n`` mismatch samples of ``circuit``.
+
+    Samples whose measurement raises a simulation error count as
+    ``failures`` (they matter for yield).
+    """
+    if n < 1:
+        raise ApeError("need at least one Monte Carlo sample")
+    rng = random.Random(seed)
+    result = MonteCarloResult()
+    for _ in range(n):
+        sample = perturbed_circuit(circuit, rng, mismatch)
+        try:
+            result.samples.append(measure(sample))
+        except (ApeError, SimulationError):
+            result.failures += 1
+    return result
+
+
+def opamp_offset_spread(
+    opamp,
+    *,
+    n: int = 30,
+    seed: int = 1,
+    mismatch: MismatchModel | None = None,
+) -> MonteCarloResult:
+    """Input-offset distribution of a sized op-amp under mismatch.
+
+    Each sample rebuilds the open-loop bench with perturbed devices and
+    finds the input offset that centres the output — the standard
+    Monte Carlo offset simulation.
+    """
+    from ..opamp.benches import open_loop_bench
+    from ..spice.analysis import balance_differential
+
+    if mismatch is None:
+        mismatch = MismatchModel()
+    rng = random.Random(seed)
+    result = MonteCarloResult()
+    for _ in range(n):
+        # One mismatch realization, shared by all bench rebuilds inside
+        # the balancing search.
+        sample_seed = rng.getrandbits(32)
+
+        def build(v_diff: float) -> Circuit:
+            bench = open_loop_bench(opamp, v_diff=v_diff)
+            return perturbed_circuit(
+                bench, random.Random(sample_seed), mismatch
+            )
+
+        try:
+            v_ofs, _, op = balance_differential(
+                build, "out", target=0.0, v_span=0.5
+            )
+            result.samples.append(
+                {"offset": v_ofs, "out": op.v("out")}
+            )
+        except (ApeError, SimulationError):
+            result.failures += 1
+    return result

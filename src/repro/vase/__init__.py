@@ -1,0 +1,18 @@
+"""VASE-flow layer: constraint transformation guided by APE.
+
+Paper Figure 1 places APE inside the VASE mixed-signal synthesis flow:
+"a constraint transformation process allocates the system constraints
+onto analog modules.  The architecture generator and the constraint
+transformation process are guided by the estimates produced by APE."
+
+This package implements that surrounding step for amplifier cascades:
+a system-level (gain, bandwidth) requirement is decomposed into
+per-stage specifications by a directed interval search whose objective
+function is APE's own power/area estimate — each candidate allocation
+is priced by actually sizing every stage, which only works because APE
+estimates in microseconds.
+"""
+
+from .cascade import CascadeAllocation, StagePlan, allocate_cascade
+
+__all__ = ["CascadeAllocation", "StagePlan", "allocate_cascade"]

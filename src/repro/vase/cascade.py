@@ -1,0 +1,166 @@
+"""Constraint transformation for amplifier cascades.
+
+Problem: realise a total gain ``G`` with bandwidth ``B`` as ``N``
+cascaded (closed-loop) amplifier stages.  Each stage's bandwidth must
+exceed the system bandwidth by the cascade shrinkage factor
+
+    B_stage = B / sqrt(2^(1/N) - 1)
+
+and the free variables are the per-stage gains ``g_i`` with
+``prod g_i = G``.  More gain in a stage means more GBW demanded of its
+op-amp (hence current/area); the allocator searches the gain split for
+minimum total estimated power, pricing every candidate with APE.
+
+The search is the paper's companion "directed interval search"
+(Dhanwada, Nunez-Aldana & Vemuri, DATE 1999) in its simplest useful
+form: start from the symmetric split, then repeatedly move a gain
+quantum from the most expensive stage to the cheapest one while the
+total estimate improves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ApeError, EstimationError
+from ..modules import InvertingAmplifier
+from ..technology import Technology
+
+__all__ = ["StagePlan", "CascadeAllocation", "allocate_cascade"]
+
+#: Gain move ratio per directed-search step.
+MOVE_RATIO = 1.25
+#: Per-stage gain limits for closed-loop stages.
+STAGE_GAIN_MIN, STAGE_GAIN_MAX = 1.2, 80.0
+
+
+@dataclass
+class StagePlan:
+    """One allocated stage: its spec and the APE-sized module."""
+
+    gain: float
+    bandwidth: float
+    module: InvertingAmplifier
+
+    @property
+    def power(self) -> float:
+        return self.module.estimate.dc_power
+
+    @property
+    def area(self) -> float:
+        return self.module.estimate.gate_area
+
+
+@dataclass
+class CascadeAllocation:
+    """The transformed constraint set: per-stage plans + totals."""
+
+    total_gain: float
+    bandwidth: float
+    stages: list[StagePlan] = field(default_factory=list)
+    search_steps: int = 0
+
+    @property
+    def achieved_gain(self) -> float:
+        return math.prod(abs(s.module.estimate.gain) for s in self.stages)
+
+    @property
+    def total_power(self) -> float:
+        return sum(s.power for s in self.stages)
+
+    @property
+    def total_area(self) -> float:
+        return sum(s.area for s in self.stages)
+
+    @property
+    def stage_bandwidth(self) -> float:
+        return self.stages[0].bandwidth if self.stages else math.nan
+
+
+def _bandwidth_shrinkage(n_stages: int) -> float:
+    """Cascade -3 dB shrinkage: B_total = B_stage * sqrt(2^(1/N) - 1)."""
+    return math.sqrt(2.0 ** (1.0 / n_stages) - 1.0)
+
+
+def _design_stage(
+    tech: Technology, gain: float, bandwidth: float, idx: int, cl: float
+):
+    return InvertingAmplifier.design(
+        tech, gain=gain, bandwidth=bandwidth, cl=cl, name=f"cascade.s{idx}"
+    )
+
+
+def allocate_cascade(
+    tech: Technology,
+    total_gain: float,
+    bandwidth: float,
+    n_stages: int,
+    *,
+    load_cl: float = 5e-12,
+    max_steps: int = 40,
+) -> CascadeAllocation:
+    """Allocate (gain, bandwidth) over ``n_stages`` inverting stages.
+
+    ``load_cl`` is the capacitance the *last* stage drives (interstage
+    loads are light); a heavy output load makes last-stage gain
+    expensive and the directed search shifts gain toward the front.
+    Returns the minimum-estimated-power allocation found.  Raises
+    :class:`~repro.errors.ApeError` when no feasible split exists.
+    """
+    if total_gain <= 1.0 or bandwidth <= 0:
+        raise ApeError("total gain must exceed 1 and bandwidth be positive")
+    if n_stages < 1:
+        raise ApeError("need at least one stage")
+    g_sym = total_gain ** (1.0 / n_stages)
+    if not STAGE_GAIN_MIN <= g_sym <= STAGE_GAIN_MAX:
+        raise ApeError(
+            f"gain {total_gain:g} over {n_stages} stages needs per-stage "
+            f"gain {g_sym:.2f} outside [{STAGE_GAIN_MIN}, {STAGE_GAIN_MAX}]"
+        )
+    b_stage = bandwidth / _bandwidth_shrinkage(n_stages)
+
+    def build(gains: list[float]) -> list[StagePlan] | None:
+        plans = []
+        for idx, g in enumerate(gains):
+            if not STAGE_GAIN_MIN <= g <= STAGE_GAIN_MAX:
+                return None
+            cl = load_cl if idx == n_stages - 1 else 2e-12
+            try:
+                module = _design_stage(tech, g, b_stage, idx, cl)
+            except EstimationError:
+                return None
+            plans.append(StagePlan(gain=g, bandwidth=b_stage, module=module))
+        return plans
+
+    gains = [g_sym] * n_stages
+    plans = build(gains)
+    if plans is None:
+        raise ApeError("symmetric allocation infeasible")
+    best_power = sum(p.power for p in plans)
+    steps = 0
+    # Directed search: shift gain from the most power-hungry stage to
+    # the cheapest one (keeping the product constant) while it helps.
+    improved = True
+    while improved and steps < max_steps and n_stages > 1:
+        improved = False
+        order = sorted(
+            range(n_stages), key=lambda i: plans[i].power, reverse=True
+        )
+        hot, cold = order[0], order[-1]
+        candidate = list(gains)
+        candidate[hot] /= MOVE_RATIO
+        candidate[cold] *= MOVE_RATIO
+        new_plans = build(candidate)
+        steps += 1
+        if new_plans is not None:
+            new_power = sum(p.power for p in new_plans)
+            if new_power < best_power * 0.999:
+                gains, plans, best_power = candidate, new_plans, new_power
+                improved = True
+    return CascadeAllocation(
+        total_gain=total_gain,
+        bandwidth=bandwidth,
+        stages=plans,
+        search_steps=steps,
+    )

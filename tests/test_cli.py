@@ -1,0 +1,137 @@
+"""CLI tests (argument parsing and end-to-end command runs)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ApeError
+from repro.cli import _kv_pairs
+
+
+class TestKvPairs:
+    def test_quantities_parsed(self):
+        assert _kv_pairs(["current=100u"]) == {"current": pytest.approx(1e-4)}
+
+    def test_strings_pass_through(self):
+        assert _kv_pairs(["mode=wilson"]) == {"mode": "wilson"}
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ApeError):
+            _kv_pairs(["oops"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_opamp_args(self):
+        args = build_parser().parse_args(
+            ["estimate-opamp", "--gain", "200", "--ugf", "1Meg", "--buffer"]
+        )
+        assert args.command == "estimate-opamp"
+        assert args.buffer is True
+
+    def test_tech_flag(self):
+        args = build_parser().parse_args(
+            ["--tech", "generic-1.2um", "estimate-component", "mirror"]
+        )
+        assert args.tech == "generic-1.2um"
+
+
+class TestCommands:
+    def test_estimate_opamp(self, capsys):
+        code = main(["estimate-opamp", "--gain", "150", "--ugf", "2Meg"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gain" in out and "devices" in out
+
+    def test_estimate_component(self, capsys):
+        code = main(["estimate-component", "wilson", "current=50u"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "zout" in out
+
+    def test_estimate_module(self, capsys):
+        code = main(
+            ["estimate-module", "lowpass_filter", "order=4", "f_corner=1k"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "f_3db" in out
+
+    def test_estimate_module_int_coercion(self, capsys):
+        code = main(["estimate-module", "flash_adc", "bits=3", "delay=5u"])
+        assert code == 0
+        assert "delay" in capsys.readouterr().out
+
+    def test_synthesize_ape_mode(self, capsys):
+        code = main(
+            ["synthesize", "--gain", "120", "--ugf", "2Meg",
+             "--budget", "40", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert "meets spec" in out
+        assert code in (0, 1)
+
+    def test_simulate_deck(self, capsys, tmp_path):
+        deck = tmp_path / "div.cir"
+        deck.write_text("divider\nVIN in 0 10\nR1 in out 1k\nR2 out 0 3k\n")
+        code = main(["simulate", str(deck), "--op"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "V(out) = 7.5" in out
+
+    def test_simulate_ac(self, capsys, tmp_path):
+        deck = tmp_path / "rc.cir"
+        deck.write_text(
+            "rc\nVIN in 0 DC 0 AC 1\nR1 in out 1k\nC1 out 0 1n\n"
+        )
+        code = main(
+            ["simulate", str(deck), "--ac", "1k", "1Meg", "--out", "out"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "AC magnitude" in out
+
+    def test_simulate_tran(self, capsys, tmp_path):
+        deck = tmp_path / "step.cir"
+        deck.write_text(
+            "step\nVIN in 0 PULSE(0 1 0 1n 1n 1)\nR1 in out 1k\nC1 out 0 1n\n"
+        )
+        code = main(
+            ["simulate", str(deck), "--tran", "5u", "10n", "--out", "out"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "transient" in out
+
+    def test_error_reported_cleanly(self, capsys):
+        code = main(["estimate-component", "flux_capacitor"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_tech_reported(self, capsys):
+        code = main(["--tech", "generic-3nm", "estimate-component", "mirror"])
+        assert code == 2
+
+
+class TestAnalysisExtensions:
+    def test_simulate_noise(self, capsys, tmp_path):
+        deck = tmp_path / "rn.cir"
+        deck.write_text("rn\nVIN in 0 0\nR1 in out 10k\nR2 out 0 10k\n")
+        code = main(["simulate", str(deck), "--noise", "1k", "1Meg",
+                     "--out", "out"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "noise density" in out
+        assert "dominant contributor" in out
+
+    def test_simulate_tf(self, capsys, tmp_path):
+        deck = tmp_path / "rc.cir"
+        deck.write_text("rc\nVIN in 0 DC 0 AC 1\nR1 in out 1k\nC1 out 0 1n\n")
+        code = main(["simulate", str(deck), "--tf", "--out", "out"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "order 1" in out
+        assert "pole:" in out
+        assert "stable" in out

@@ -1,0 +1,359 @@
+"""APE level-2 component tests: sizing sanity and estimate-vs-simulation.
+
+The est-vs-sim assertions are the repository's miniature Table 2: every
+component is sized analytically, netlisted, and simulated with the MNA
+engine; estimates must land within engineering tolerance of simulation.
+"""
+
+import math
+
+import pytest
+
+from repro.components import (
+    CascodeCurrentSource,
+    CurrentMirror,
+    DcVoltageBias,
+    DiffCmos,
+    DiffNmos,
+    GainCmos,
+    GainCmosH,
+    GainNmos,
+    SourceFollower,
+    current_source_by_name,
+    diff_pair_by_name,
+)
+from repro.errors import EstimationError, TopologyError
+from repro.spice import (
+    ac_analysis,
+    balance_differential,
+    dc_operating_point,
+    gain_at,
+)
+from repro.technology import MosPolarity, generic_05um
+
+TECH = generic_05um()
+
+
+class TestDcVoltageBias:
+    def test_estimate_fields(self):
+        comp = DcVoltageBias.design(TECH, v_out=0.0, current=100e-6)
+        est = comp.estimate
+        assert est.dc_power == pytest.approx(5.0 * 100e-6)
+        assert est.current == 100e-6
+        assert est.gain == 0.0  # the produced voltage
+        assert est.gate_area > 0
+
+    def test_simulated_output_voltage(self):
+        comp = DcVoltageBias.design(TECH, v_out=0.0, current=100e-6)
+        ckt, nodes = comp.verification_circuit()
+        op = dc_operating_point(ckt)
+        assert op.v(nodes["out"]) == pytest.approx(0.0, abs=0.15)
+
+    def test_simulated_current(self):
+        comp = DcVoltageBias.design(TECH, v_out=0.5, current=50e-6)
+        ckt, nodes = comp.verification_circuit()
+        op = dc_operating_point(ckt)
+        assert op.supply_current(nodes["supply"]) == pytest.approx(
+            50e-6, rel=0.25
+        )
+
+    def test_output_too_low_rejected(self):
+        with pytest.raises(EstimationError, match="Vov"):
+            DcVoltageBias.design(TECH, v_out=TECH.vss + 0.3, current=10e-6)
+
+    def test_output_outside_rails_rejected(self):
+        with pytest.raises(EstimationError, match="rails"):
+            DcVoltageBias.design(TECH, v_out=5.0, current=10e-6)
+
+    def test_nonpositive_current_rejected(self):
+        with pytest.raises(EstimationError):
+            DcVoltageBias.design(TECH, v_out=0.0, current=0.0)
+
+
+class TestCurrentMirror:
+    def test_estimate_zout_is_ro(self):
+        comp = CurrentMirror.design(TECH, current=100e-6)
+        out = comp.devices["output"]
+        assert comp.estimate.zout == pytest.approx(out.ss.ro)
+
+    def test_simulated_copy_accuracy(self):
+        comp = CurrentMirror.design(TECH, current=100e-6)
+        ckt, nodes = comp.verification_circuit()
+        op = dc_operating_point(ckt)
+        i_out = abs(op.i(nodes["meter"]))
+        assert i_out == pytest.approx(100e-6, rel=0.15)
+
+    def test_ratio_scales_output(self):
+        comp = CurrentMirror.design(TECH, current=200e-6, ratio=2.0)
+        ckt, nodes = comp.verification_circuit()
+        op = dc_operating_point(ckt)
+        assert abs(op.i(nodes["meter"])) == pytest.approx(200e-6, rel=0.2)
+
+    def test_pmos_mirror(self):
+        comp = CurrentMirror.design(
+            TECH, current=50e-6, polarity=MosPolarity.PMOS
+        )
+        ckt, nodes = comp.verification_circuit()
+        op = dc_operating_point(ckt)
+        assert abs(op.i(nodes["meter"])) == pytest.approx(50e-6, rel=0.2)
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(EstimationError):
+            CurrentMirror.design(TECH, current=-1e-6)
+        with pytest.raises(EstimationError):
+            CurrentMirror.design(TECH, current=1e-6, ratio=0.0)
+
+
+class TestCascodeAndWilson:
+    def test_cascode_zout_beats_simple(self):
+        simple = CurrentMirror.design(TECH, current=100e-6)
+        cascode = CascodeCurrentSource.design(TECH, current=100e-6)
+        assert cascode.estimate.zout > 10 * simple.estimate.zout
+
+    def test_wilson_zout_between(self):
+        from repro.components import WilsonCurrentSource
+
+        simple = CurrentMirror.design(TECH, current=100e-6)
+        wilson = WilsonCurrentSource.design(TECH, current=100e-6)
+        cascode = CascodeCurrentSource.design(TECH, current=100e-6)
+        assert simple.estimate.zout < wilson.estimate.zout <= cascode.estimate.zout
+
+    def test_wilson_area_larger_than_simple(self):
+        from repro.components import WilsonCurrentSource
+
+        simple = CurrentMirror.design(TECH, current=100e-6)
+        wilson = WilsonCurrentSource.design(TECH, current=100e-6)
+        assert wilson.estimate.gate_area > simple.estimate.gate_area
+
+    def test_cascode_simulated_copy(self):
+        comp = CascodeCurrentSource.design(TECH, current=100e-6)
+        ckt, nodes = comp.verification_circuit()
+        op = dc_operating_point(ckt)
+        assert abs(op.i(nodes["meter"])) == pytest.approx(100e-6, rel=0.1)
+
+    def test_wilson_simulated_copy(self):
+        from repro.components import WilsonCurrentSource
+
+        comp = WilsonCurrentSource.design(TECH, current=100e-6)
+        ckt, nodes = comp.verification_circuit()
+        op = dc_operating_point(ckt)
+        assert abs(op.i(nodes["meter"])) == pytest.approx(100e-6, rel=0.1)
+
+    def test_topology_lookup(self):
+        assert current_source_by_name("Wilson").__name__ == "WilsonCurrentSource"
+        assert current_source_by_name("Mirror").__name__ == "CurrentMirror"
+        assert current_source_by_name("CASCODE").__name__ == "CascodeCurrentSource"
+        with pytest.raises(TopologyError):
+            current_source_by_name("teleporter")
+
+
+class TestGainNmos:
+    def test_estimated_gain_close_to_spec(self):
+        comp = GainNmos.design(TECH, gain=-8.0, current=100e-6, cl=1e-12)
+        assert abs(comp.estimate.gain) == pytest.approx(8.0, rel=0.25)
+        assert comp.estimate.gain < 0
+
+    def test_sim_gain_matches_estimate(self):
+        comp = GainNmos.design(TECH, gain=-8.0, current=100e-6, cl=1e-12)
+        ckt, nodes = comp.verification_circuit()
+        sim_gain = gain_at(ckt, nodes["out"], 1e3)
+        assert sim_gain == pytest.approx(abs(comp.estimate.gain), rel=0.3)
+
+    def test_ugf_consistency(self):
+        comp = GainNmos.design(TECH, gain=-8.0, current=100e-6, cl=1e-12)
+        est = comp.estimate
+        assert est.ugf == pytest.approx(abs(est.gain) * est.bandwidth, rel=0.05)
+
+    def test_excessive_gain_rejected(self):
+        with pytest.raises(EstimationError):
+            GainNmos.design(TECH, gain=-500.0, current=10e-6)
+
+    def test_sub_unity_gain_rejected(self):
+        with pytest.raises(EstimationError):
+            GainNmos.design(TECH, gain=-0.5, current=10e-6)
+
+
+class TestGainCmos:
+    def test_estimated_gain_close_to_spec(self):
+        comp = GainCmos.design(TECH, gain=-40.0, current=100e-6, cl=1e-12)
+        assert abs(comp.estimate.gain) == pytest.approx(40.0, rel=0.3)
+
+    def test_sim_gain_matches_estimate(self):
+        comp = GainCmos.design(TECH, gain=-40.0, current=100e-6, cl=1e-12)
+        ckt, nodes = comp.verification_circuit()
+        sim_gain = gain_at(ckt, nodes["out"], 1e3)
+        assert sim_gain == pytest.approx(abs(comp.estimate.gain), rel=0.4)
+
+    def test_gain_too_high_rejected(self):
+        with pytest.raises(EstimationError, match="limit"):
+            GainCmos.design(TECH, gain=-100000.0, current=10e-6)
+
+    def test_gain_too_low_rejected(self):
+        with pytest.raises(EstimationError, match="too low"):
+            GainCmos.design(TECH, gain=-2.0, current=10e-6)
+
+    def test_power_estimate(self):
+        comp = GainCmos.design(TECH, gain=-40.0, current=120e-6)
+        assert comp.estimate.dc_power == pytest.approx(5.0 * 120e-6)
+
+
+class TestGainCmosH:
+    def test_gain_is_technology_pinned(self):
+        comp = GainCmosH.design(TECH, current=50e-6, cl=1e-12)
+        assert comp.estimate.gain < -1.0
+
+    def test_lower_power_than_gain_cmos(self):
+        h = GainCmosH.design(TECH, current=46e-6)
+        full = GainCmos.design(TECH, gain=-40.0, current=120e-6)
+        assert h.estimate.dc_power < full.estimate.dc_power
+
+    def test_sim_gain_matches_estimate(self):
+        comp = GainCmosH.design(TECH, current=50e-6, cl=1e-12)
+        ckt, nodes = comp.verification_circuit()
+        sim_gain = gain_at(ckt, nodes["out"], 1e3)
+        assert sim_gain == pytest.approx(abs(comp.estimate.gain), rel=0.5)
+
+    def test_devices_carry_spec_current(self):
+        comp = GainCmosH.design(TECH, current=50e-6)
+        assert comp.devices["nmos"].ids == pytest.approx(50e-6, rel=0.02)
+        assert comp.devices["pmos"].ids == pytest.approx(50e-6, rel=0.02)
+
+
+class TestSourceFollower:
+    def test_gain_below_unity(self):
+        comp = SourceFollower.design(TECH, current=100e-6)
+        assert 0.5 < comp.estimate.gain < 1.0
+
+    def test_zout_spec_honoured(self):
+        comp = SourceFollower.design(TECH, current=100e-6, z_out=1e3)
+        assert comp.estimate.zout == pytest.approx(1e3, rel=0.4)
+
+    def test_sim_gain_matches_estimate(self):
+        comp = SourceFollower.design(TECH, current=100e-6)
+        ckt, nodes = comp.verification_circuit()
+        sim_gain = gain_at(ckt, nodes["out"], 1e3)
+        assert sim_gain == pytest.approx(comp.estimate.gain, rel=0.15)
+
+    def test_resistive_load_derates_gain(self):
+        light = SourceFollower.design(TECH, current=100e-6)
+        heavy = SourceFollower.design(TECH, current=100e-6, r_load=1e3)
+        assert heavy.estimate.gain < light.estimate.gain
+
+    def test_bad_zout_rejected(self):
+        with pytest.raises(EstimationError):
+            SourceFollower.design(TECH, current=100e-6, z_out=-1.0)
+
+
+class TestDiffCmos:
+    def test_estimate_follows_eq5(self):
+        comp = DiffCmos.design(TECH, adm=300.0, tail_current=2e-6, cl=1e-12)
+        pair, load = comp.devices["pair"], comp.devices["load"]
+        eq5 = pair.gm / (load.gds + pair.gds)
+        assert comp.estimate.gain == pytest.approx(eq5)
+
+    def test_estimated_gain_close_to_spec(self):
+        comp = DiffCmos.design(TECH, adm=300.0, tail_current=2e-6)
+        assert comp.estimate.gain == pytest.approx(300.0, rel=0.35)
+
+    def test_cmrr_eq7(self):
+        comp = DiffCmos.design(TECH, adm=300.0, tail_current=2e-6)
+        pair, load = comp.devices["pair"], comp.devices["load"]
+        g0 = comp.estimate.extras["g0"]
+        eq7 = 2 * pair.gm * load.gm / (g0 * pair.gds)
+        assert comp.estimate.cmrr == pytest.approx(eq7)
+
+    def test_sim_gain_matches_estimate(self):
+        comp = DiffCmos.design(TECH, adm=300.0, tail_current=2e-6, cl=1e-12)
+
+        def build(vofs):
+            ckt, _ = comp.bench("differential", v_diff=vofs)
+            return ckt
+
+        _, ckt, op = balance_differential(build, "out", target=0.0)
+        sim_gain = gain_at(ckt, "out", 100.0, op=op)
+        assert sim_gain == pytest.approx(comp.estimate.gain, rel=0.45)
+
+    def test_sim_cmrr_reasonable(self):
+        comp = DiffCmos.design(TECH, adm=300.0, tail_current=2e-6, cl=1e-12)
+
+        def build(vofs):
+            ckt, _ = comp.bench("differential", v_diff=vofs)
+            return ckt
+
+        vofs, _, _ = balance_differential(build, "out", target=0.0)
+        ckt_d, _ = comp.bench("differential", v_diff=vofs)
+        adm = gain_at(ckt_d, "out", 100.0)
+        ckt_c, _ = comp.bench("common", v_diff=vofs)
+        acm = gain_at(ckt_c, "out", 100.0)
+        cmrr_sim = adm / max(acm, 1e-12)
+        # Eq. 7 ignores the mirror's diode/mirror asymmetry, so it is
+        # optimistic versus full simulation (the paper's tables leave
+        # the simulated CMRR blank for the same reason); require the
+        # simulated rejection to be strong rather than equal.
+        assert cmrr_sim > 1e3
+        assert comp.estimate.cmrr > cmrr_sim
+
+    def test_infeasible_gain_rejected(self):
+        with pytest.raises(EstimationError, match="limit"):
+            DiffCmos.design(TECH, adm=1e6, tail_current=1e-6)
+        with pytest.raises(EstimationError, match="too low"):
+            DiffCmos.design(TECH, adm=2.0, tail_current=1e-6)
+
+
+class TestDiffNmos:
+    def test_estimated_gain_close_to_spec(self):
+        comp = DiffNmos.design(TECH, adm=-10.0, tail_current=2e-6)
+        assert abs(comp.estimate.gain) == pytest.approx(10.0, rel=0.3)
+        assert comp.estimate.gain < 0
+
+    def test_sim_differential_gain(self):
+        comp = DiffNmos.design(TECH, adm=-10.0, tail_current=2e-6, cl=1e-12)
+        ckt, nodes = comp.bench("differential")
+        op = dc_operating_point(ckt)
+        ac = ac_analysis(ckt, op=op, frequencies=[100.0])
+        diff_gain = abs(ac.differential(nodes["outp"], nodes["outn"])[0])
+        assert diff_gain == pytest.approx(abs(comp.estimate.gain), rel=0.35)
+
+    def test_pair_width_scales_with_current(self):
+        # More tail current -> wider input devices.  (Total area need
+        # not grow: low-current diode loads go *long* to keep their
+        # aspect ratio, which dominates the area at microamp bias.)
+        small = DiffNmos.design(TECH, adm=-10.0, tail_current=1e-6)
+        large = DiffNmos.design(TECH, adm=-10.0, tail_current=10e-6)
+        assert large.devices["pair"].w > small.devices["pair"].w
+
+    def test_pair_lookup(self):
+        assert diff_pair_by_name("CMOS") is DiffCmos
+        assert diff_pair_by_name("nmos") is DiffNmos
+        with pytest.raises(TopologyError):
+            diff_pair_by_name("bipolar")
+
+
+class TestComponentBase:
+    def test_gate_area_sums_devices(self):
+        comp = CurrentMirror.design(TECH, current=100e-6)
+        assert comp.gate_area == pytest.approx(
+            sum(d.gate_area for d in comp.devices.values())
+        )
+
+    def test_device_lookup_error(self):
+        comp = CurrentMirror.design(TECH, current=100e-6)
+        with pytest.raises(EstimationError, match="no device"):
+            comp.device("flux_capacitor")
+
+    def test_estimate_as_dict_skips_nan(self):
+        comp = CurrentMirror.design(TECH, current=100e-6)
+        d = comp.estimate.as_dict()
+        assert "gain" not in d  # mirrors have no voltage gain
+        assert "zout" in d and "current" in d
+
+    def test_gain_db(self):
+        comp = DiffCmos.design(TECH, adm=100.0, tail_current=2e-6)
+        assert comp.estimate.gain_db == pytest.approx(
+            20 * math.log10(comp.estimate.gain)
+        )
+
+    def test_estimate_str(self):
+        comp = CurrentMirror.design(TECH, current=100e-6)
+        text = str(comp.estimate)
+        assert "current=" in text

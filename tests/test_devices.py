@@ -1,0 +1,322 @@
+"""MOSFET model and analytical sizing tests (APE level 1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import (
+    Capacitor,
+    MosDevice,
+    Region,
+    Resistor,
+    size_for_current_density,
+    size_for_gm_id,
+    size_for_id_vov,
+)
+from repro.errors import SizingError
+from repro.technology import generic_05um
+
+TECH = generic_05um()
+NMOS = TECH.nmos
+PMOS = TECH.pmos
+
+
+def nmos_device(w=10e-6, l=1.2e-6):
+    return MosDevice(NMOS, w, l)
+
+
+class TestLargeSignal:
+    def test_cutoff_below_threshold(self):
+        dev = nmos_device()
+        assert dev.region(0.3, 1.0) is Region.CUTOFF
+        assert dev.ids(0.3, 1.0) == 0.0
+
+    def test_saturation_region(self):
+        dev = nmos_device()
+        assert dev.region(1.2, 2.0) is Region.SATURATION
+
+    def test_triode_region(self):
+        dev = nmos_device()
+        assert dev.region(2.0, 0.1) is Region.TRIODE
+
+    def test_square_law_value(self):
+        dev = nmos_device()
+        vov = 1.2 - NMOS.vto
+        expected = (
+            0.5
+            * NMOS.kp_effective
+            * dev.aspect
+            * vov**2
+            * (1.0 + NMOS.lambda_ * 2.0)
+        )
+        assert dev.ids(1.2, 2.0) == pytest.approx(expected)
+
+    def test_current_increases_with_vgs(self):
+        dev = nmos_device()
+        assert dev.ids(1.5, 2.0) > dev.ids(1.2, 2.0)
+
+    def test_current_increases_with_w(self):
+        narrow, wide = nmos_device(5e-6), nmos_device(10e-6)
+        assert wide.ids(1.2, 2.0) == pytest.approx(2 * narrow.ids(1.2, 2.0))
+
+    def test_channel_length_modulation(self):
+        dev = nmos_device()
+        assert dev.ids(1.2, 2.5) > dev.ids(1.2, 1.0)
+
+    def test_continuity_at_vdsat(self):
+        dev = nmos_device()
+        vov = dev.overdrive(1.2)
+        below = dev.ids(1.2, vov - 1e-9)
+        above = dev.ids(1.2, vov + 1e-9)
+        assert below == pytest.approx(above, rel=1e-5)
+
+    def test_body_effect_reduces_current(self):
+        dev = nmos_device()
+        assert dev.ids(1.2, 2.0, vsb=1.0) < dev.ids(1.2, 2.0, vsb=0.0)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(SizingError):
+            MosDevice(NMOS, -1e-6, 1e-6)
+        with pytest.raises(SizingError):
+            MosDevice(NMOS, 1e-6, 0.0)
+
+    def test_leff_must_be_positive(self):
+        # L smaller than 2*LD would give a negative effective length.
+        with pytest.raises(SizingError):
+            MosDevice(NMOS, 1e-6, 1.5 * NMOS.ld)
+
+    @given(
+        vgs=st.floats(min_value=0.8, max_value=2.4),
+        vds=st.floats(min_value=0.0, max_value=2.5),
+    )
+    @settings(max_examples=50)
+    def test_current_nonnegative_and_monotone_in_vds(self, vgs, vds):
+        dev = nmos_device()
+        ids = dev.ids(vgs, vds)
+        assert ids >= 0.0
+        assert dev.ids(vgs, vds + 0.05) >= ids - 1e-15
+
+
+class TestSmallSignal:
+    def test_gm_matches_numeric_derivative(self):
+        dev = nmos_device()
+        h = 1e-6
+        numeric = (dev.ids(1.2 + h, 2.0) - dev.ids(1.2 - h, 2.0)) / (2 * h)
+        assert dev.gm(1.2, 2.0) == pytest.approx(numeric, rel=1e-3)
+
+    def test_gds_matches_numeric_derivative_saturation(self):
+        dev = nmos_device()
+        h = 1e-6
+        numeric = (dev.ids(1.2, 2.0 + h) - dev.ids(1.2, 2.0 - h)) / (2 * h)
+        assert dev.gds(1.2, 2.0) == pytest.approx(numeric, rel=1e-3)
+
+    def test_gds_matches_numeric_derivative_triode(self):
+        dev = nmos_device()
+        h = 1e-7
+        numeric = (dev.ids(2.0, 0.2 + h) - dev.ids(2.0, 0.2 - h)) / (2 * h)
+        assert dev.gds(2.0, 0.2) == pytest.approx(numeric, rel=1e-3)
+
+    def test_gm_matches_numeric_derivative_triode(self):
+        dev = nmos_device()
+        h = 1e-7
+        numeric = (dev.ids(2.0 + h, 0.2) - dev.ids(2.0 - h, 0.2)) / (2 * h)
+        assert dev.gm(2.0, 0.2) == pytest.approx(numeric, rel=1e-3)
+
+    def test_gmb_paper_equation(self):
+        # Paper Eq. 3: gmb = gm * gamma / (2 sqrt(2 phi_f + |Vsb|)).
+        dev = nmos_device()
+        vsb = 0.5
+        chi = NMOS.gamma / (2 * math.sqrt(NMOS.phi + vsb))
+        assert dev.gmb(1.2, 2.0, vsb) == pytest.approx(chi * dev.gm(1.2, 2.0, vsb))
+
+    def test_gd_paper_equation(self):
+        # Paper Eq. 4: gd = lambda*Ids / (1 + lambda*|Vds|).
+        dev = nmos_device()
+        ids = dev.ids(1.2, 2.0)
+        expected = NMOS.lambda_ * ids / (1 + NMOS.lambda_ * 2.0)
+        assert dev.gds(1.2, 2.0) == pytest.approx(expected)
+
+    def test_cutoff_small_signal_zero(self):
+        dev = nmos_device()
+        ss = dev.small_signal(0.2, 1.0)
+        assert ss.gm == 0.0 and ss.gds == 0.0 and ss.gmb == 0.0
+
+    def test_intrinsic_gain_positive(self):
+        ss = nmos_device().small_signal(1.0, 1.5)
+        assert ss.intrinsic_gain > 10
+
+    def test_ro_is_inverse_gds(self):
+        ss = nmos_device().small_signal(1.0, 1.5)
+        assert ss.ro == pytest.approx(1.0 / ss.gds)
+
+    def test_ro_infinite_in_cutoff(self):
+        ss = nmos_device().small_signal(0.0, 1.5)
+        assert math.isinf(ss.ro)
+
+    def test_saturation_caps_meyer(self):
+        dev = nmos_device()
+        caps = dev.capacitances(1.2, 2.0)
+        cox_area = NMOS.cox * dev.w * dev.l_eff
+        assert caps["cgs"] == pytest.approx(
+            (2 / 3) * cox_area + NMOS.cgso * dev.w
+        )
+        assert caps["cgd"] == pytest.approx(NMOS.cgdo * dev.w)
+
+    def test_cutoff_gate_cap_goes_to_bulk(self):
+        dev = nmos_device()
+        caps = dev.capacitances(0.0, 0.0)
+        assert caps["cgb"] > NMOS.cgbo * dev.l  # includes the oxide cap
+
+    def test_junction_caps_shrink_with_reverse_bias(self):
+        dev = nmos_device()
+        low = dev.capacitances(1.2, 0.5)["cdb"]
+        high = dev.capacitances(1.2, 2.5)["cdb"]
+        assert high < low
+
+    def test_gate_area(self):
+        dev = nmos_device(10e-6, 1.2e-6)
+        assert dev.gate_area == pytest.approx(12e-12)
+
+
+class TestPmos:
+    """PMOS uses the same normalized equations with its own parameters."""
+
+    def test_pmos_conducts(self):
+        dev = MosDevice(PMOS, 20e-6, 1.2e-6)
+        assert dev.ids(1.5, 2.0) > 0.0
+
+    def test_pmos_weaker_than_nmos(self):
+        n = MosDevice(NMOS, 10e-6, 1.2e-6)
+        p = MosDevice(PMOS, 10e-6, 1.2e-6)
+        assert p.ids(1.5, 2.0) < n.ids(1.5, 2.0)
+
+    def test_pmos_threshold_magnitude(self):
+        dev = MosDevice(PMOS, 10e-6, 1.2e-6)
+        assert dev.threshold(0.0) == pytest.approx(abs(PMOS.vto))
+
+
+class TestSizing:
+    def test_gm_id_basic(self):
+        sized = size_for_gm_id(NMOS, TECH, gm=100e-6, ids=10e-6)
+        assert sized.op.region is Region.SATURATION
+        assert sized.gm == pytest.approx(100e-6, rel=0.05)
+        assert sized.ids == pytest.approx(10e-6, rel=0.02)
+
+    def test_gm_id_aspect_formula(self):
+        gm, ids = 100e-6, 10e-6
+        sized = size_for_gm_id(NMOS, TECH, gm=gm, ids=ids)
+        expected_aspect = gm * gm / (2 * NMOS.kp_effective * ids)
+        assert sized.device.aspect == pytest.approx(expected_aspect, rel=0.05)
+
+    def test_gm_id_overdrive(self):
+        sized = size_for_gm_id(NMOS, TECH, gm=100e-6, ids=10e-6)
+        assert sized.vov == pytest.approx(2 * 10e-6 / 100e-6, rel=0.05)
+
+    def test_weak_inversion_rejected(self):
+        with pytest.raises(SizingError, match="weak inversion"):
+            size_for_gm_id(NMOS, TECH, gm=1e-3, ids=1e-6)
+
+    def test_huge_overdrive_rejected(self):
+        with pytest.raises(SizingError):
+            size_for_gm_id(NMOS, TECH, gm=1e-6, ids=1e-2)
+
+    def test_nonpositive_specs_rejected(self):
+        with pytest.raises(SizingError):
+            size_for_gm_id(NMOS, TECH, gm=0.0, ids=1e-6)
+        with pytest.raises(SizingError):
+            size_for_gm_id(NMOS, TECH, gm=1e-4, ids=-1e-6)
+
+    def test_width_respects_minimum(self):
+        sized = size_for_gm_id(NMOS, TECH, gm=4e-6, ids=2e-6)
+        assert sized.w >= TECH.w_min
+
+    def test_length_default_is_analog(self):
+        sized = size_for_gm_id(NMOS, TECH, gm=100e-6, ids=10e-6)
+        assert sized.l >= 2 * TECH.l_min * 0.99
+
+    def test_explicit_length_honoured(self):
+        sized = size_for_gm_id(NMOS, TECH, gm=100e-6, ids=10e-6, l=3e-6)
+        assert sized.l == pytest.approx(3e-6)
+
+    def test_sub_minimum_length_rejected(self):
+        with pytest.raises(SizingError):
+            size_for_gm_id(NMOS, TECH, gm=100e-6, ids=10e-6, l=0.1e-6)
+
+    def test_id_vov_aspect(self):
+        sized = size_for_id_vov(NMOS, TECH, ids=10e-6, vov=0.2)
+        expected = 2 * 10e-6 / (NMOS.kp_effective * 0.04)
+        assert sized.device.aspect == pytest.approx(expected, rel=0.05)
+
+    def test_id_vov_achieves_current(self):
+        sized = size_for_id_vov(NMOS, TECH, ids=10e-6, vov=0.2)
+        assert sized.ids == pytest.approx(10e-6, rel=0.02)
+
+    def test_id_vov_rejects_bad_vov(self):
+        with pytest.raises(SizingError):
+            size_for_id_vov(NMOS, TECH, ids=10e-6, vov=0.0)
+
+    def test_current_density(self):
+        sized = size_for_current_density(NMOS, TECH, ids=100e-6, density=10.0)
+        assert sized.w == pytest.approx(10e-6, rel=0.05)
+        assert sized.ids == pytest.approx(100e-6, rel=0.02)
+
+    def test_pmos_sizing_wider_than_nmos(self):
+        n = size_for_gm_id(NMOS, TECH, gm=100e-6, ids=10e-6)
+        p = size_for_gm_id(PMOS, TECH, gm=100e-6, ids=10e-6)
+        assert p.w > n.w  # lower mobility needs more width
+
+    def test_scaled_mirror_branch(self):
+        sized = size_for_id_vov(NMOS, TECH, ids=10e-6, vov=0.2)
+        double = sized.scaled(2.0)
+        assert double.w == pytest.approx(2 * sized.w)
+        assert double.ids == pytest.approx(2 * sized.ids, rel=1e-6)
+        assert double.gm == pytest.approx(2 * sized.gm, rel=1e-6)
+
+    def test_scaled_rejects_nonpositive(self):
+        sized = size_for_id_vov(NMOS, TECH, ids=10e-6, vov=0.2)
+        with pytest.raises(SizingError):
+            sized.scaled(0.0)
+
+    def test_gate_area_consistent(self):
+        sized = size_for_gm_id(NMOS, TECH, gm=100e-6, ids=10e-6)
+        assert sized.gate_area == pytest.approx(sized.w * sized.l)
+
+    @given(
+        gm=st.floats(min_value=2e-5, max_value=2e-3),
+        ids=st.floats(min_value=2e-6, max_value=2e-4),
+    )
+    @settings(max_examples=60)
+    def test_sizing_self_consistent(self, gm, ids):
+        """Whenever sizing succeeds, the sized device realises the spec."""
+        vov = 2 * ids / gm
+        if not 0.06 <= vov <= 2.0:
+            return
+        sized = size_for_gm_id(NMOS, TECH, gm=gm, ids=ids)
+        if sized.w in (TECH.w_min, TECH.w_max):
+            return  # clamped: spec intentionally not met exactly
+        assert sized.ids == pytest.approx(ids, rel=0.05)
+        assert sized.gm == pytest.approx(gm, rel=0.12)
+
+
+class TestPassives:
+    def test_resistor_area(self):
+        res = Resistor.design(TECH, 10e3)
+        assert res.value == 10e3
+        assert res.area == pytest.approx(TECH.resistor_area(10e3))
+
+    def test_resistor_rejects_nonpositive(self):
+        with pytest.raises(SizingError):
+            Resistor.design(TECH, 0.0)
+
+    def test_resistor_rejects_bad_width(self):
+        with pytest.raises(SizingError):
+            Resistor.design(TECH, 1e3, width=0.0)
+
+    def test_capacitor_area(self):
+        cap = Capacitor.design(TECH, 2e-12)
+        assert cap.area == pytest.approx(2e-12 / TECH.cap_density)
+
+    def test_capacitor_rejects_negative(self):
+        with pytest.raises(SizingError):
+            Capacitor.design(TECH, -1e-12)

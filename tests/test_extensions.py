@@ -1,0 +1,110 @@
+"""Tests for the library extensions: temperature scaling and the
+instrumentation amplifier."""
+
+import pytest
+
+from repro.errors import EstimationError, TechnologyError
+from repro.modules import InstrumentationAmplifier
+from repro.opamp import OpAmpSpec, design_opamp
+from repro.spice import Circuit, dc_operating_point, gain_at
+from repro.technology import at_temperature, generic_05um
+
+TECH = generic_05um()
+
+
+class TestTemperature:
+    def test_nominal_is_identity(self):
+        hot = at_temperature(TECH, 27.0)
+        assert hot.nmos.vto == pytest.approx(TECH.nmos.vto)
+        assert hot.nmos.kp_effective == pytest.approx(
+            TECH.nmos.kp_effective
+        )
+
+    def test_hot_lowers_threshold_and_mobility(self):
+        hot = at_temperature(TECH, 125.0)
+        assert hot.nmos.vto < TECH.nmos.vto
+        assert hot.nmos.kp_effective < TECH.nmos.kp_effective
+
+    def test_cold_raises_threshold_and_mobility(self):
+        cold = at_temperature(TECH, -40.0)
+        assert cold.nmos.vto > TECH.nmos.vto
+        assert cold.nmos.kp_effective > TECH.nmos.kp_effective
+
+    def test_pmos_polarity_preserved(self):
+        for temp in (-40.0, 125.0):
+            derived = at_temperature(TECH, temp)
+            assert derived.pmos.vto < 0
+
+    def test_vto_slope_is_2mv_per_k(self):
+        hot = at_temperature(TECH, 127.0)
+        assert TECH.nmos.vto - hot.nmos.vto == pytest.approx(0.2, rel=0.01)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TechnologyError):
+            at_temperature(TECH, 400.0)
+
+    def test_device_current_shifts_with_temperature(self):
+        """At high gate drive the mobility loss dominates: hot < cold."""
+
+        def ids(tech):
+            ckt = Circuit("t")
+            ckt.v("d", "0", dc=2.0)
+            ckt.v("g", "0", dc=2.0)
+            ckt.m("d", "g", "0", "0", tech.nmos, 10e-6, 1.2e-6, name="M1")
+            return dc_operating_point(ckt).mosfet_ops["M1"].ids
+
+        assert ids(at_temperature(TECH, 125.0)) < ids(TECH) < ids(
+            at_temperature(TECH, -40.0)
+        )
+
+    def test_opamp_resized_hot_still_meets_ugf(self):
+        spec = OpAmpSpec(gain=150.0, ugf=3e6, ibias=2e-6, cl=10e-12)
+        hot = at_temperature(TECH, 125.0)
+        amp = design_opamp(hot, spec, name="hot")
+        assert amp.estimate.ugf >= 3e6 * 0.9
+
+
+class TestInstrumentationAmplifier:
+    @pytest.fixture(scope="class")
+    def inamp(self):
+        return InstrumentationAmplifier.design(TECH, gain=10.0, bandwidth=50e3)
+
+    def test_estimated_gain_near_spec(self, inamp):
+        assert inamp.estimate.gain == pytest.approx(10.0, rel=0.08)
+
+    def test_sim_differential_gain(self, inamp):
+        ckt, nodes = inamp.verification_circuit("differential")
+        sim = gain_at(ckt, nodes["out"], 100.0)
+        assert sim == pytest.approx(inamp.estimate.gain, rel=0.05)
+
+    def test_common_mode_rejected(self, inamp):
+        ckt_d, _ = inamp.verification_circuit("differential")
+        ckt_c, _ = inamp.verification_circuit("common")
+        g_d = gain_at(ckt_d, "out", 100.0)
+        g_c = gain_at(ckt_c, "out", 100.0)
+        assert g_d / max(g_c, 1e-12) > 300.0
+
+    def test_three_opamps(self, inamp):
+        assert set(inamp.opamps) == {"buffer_a", "buffer_b", "diff"}
+
+    def test_rg_sets_gain(self):
+        low = InstrumentationAmplifier.design(TECH, gain=5.0, bandwidth=50e3)
+        high = InstrumentationAmplifier.design(TECH, gain=50.0, bandwidth=50e3)
+        assert low.estimate.extras["r_g"] > high.estimate.extras["r_g"]
+
+    def test_unity_gain_no_rg(self):
+        unity = InstrumentationAmplifier.design(TECH, gain=1.0, bandwidth=50e3)
+        assert "rg" not in unity.resistors
+
+    def test_bad_gain_rejected(self):
+        with pytest.raises(EstimationError):
+            InstrumentationAmplifier.design(TECH, gain=0.5, bandwidth=1e3)
+
+    def test_facade_kind(self):
+        from repro import AnalogPerformanceEstimator
+
+        ape = AnalogPerformanceEstimator(TECH)
+        module = ape.estimate_module(
+            "instrumentation_amplifier", gain=10.0, bandwidth=50e3
+        )
+        assert isinstance(module, InstrumentationAmplifier)

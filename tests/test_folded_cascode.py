@@ -1,0 +1,108 @@
+"""Folded-cascode stage and op-amp integration tests."""
+
+import pytest
+
+from repro.components import CurrentMirror, DiffCmos, FoldedCascodeDiff
+from repro.errors import EstimationError, SpecificationError
+from repro.opamp import OpAmpSpec, OpAmpTopology, design_opamp, verify_opamp
+from repro.spice import balance_differential, gain_at
+from repro.technology import generic_05um
+
+TECH = generic_05um()
+
+
+class TestFoldedCascodeComponent:
+    @pytest.fixture(scope="class")
+    def stage(self):
+        return FoldedCascodeDiff.design(
+            TECH, adm=2000.0, tail_current=10e-6, cl=5e-12
+        )
+
+    def test_gain_far_beyond_mirror_load(self, stage):
+        simple = DiffCmos.design(TECH, adm=300.0, tail_current=10e-6)
+        assert stage.estimate.gain > 10 * simple.estimate.gain
+
+    def test_zout_is_cascode_scale(self, stage):
+        assert stage.estimate.zout > 1e7
+
+    def test_eleven_transistors_accounted(self, stage):
+        # 2 pair + 2 fold + 2 cascode-p + 4 mirror devices.
+        per_role = {r: d.gate_area for r, d in stage.devices.items()}
+        assert stage.estimate.gate_area == pytest.approx(
+            2 * sum(per_role.values())
+        )
+
+    def test_sim_gain_reaches_spec(self, stage):
+        def build(v):
+            ckt, _ = stage.bench("differential", v_diff=v)
+            return ckt
+
+        _, ckt, op = balance_differential(build, "out", target=0.0)
+        sim = gain_at(ckt, "out", 10.0, op=op)
+        assert sim >= 2000.0
+        # Cascode Rout estimates are rough (Level-1 lambda model);
+        # require same order of magnitude.
+        assert sim == pytest.approx(stage.estimate.gain, rel=1.0)
+
+    def test_infeasible_gain_rejected(self):
+        with pytest.raises(EstimationError, match="reaches only"):
+            FoldedCascodeDiff.design(TECH, adm=1e9, tail_current=1e-6)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(EstimationError):
+            FoldedCascodeDiff.design(TECH, adm=1000.0, tail_current=0.0)
+
+    def test_bias_levels_inside_rails(self, stage):
+        for v in (stage.v_bias_p, stage.v_bias_pc, stage.v_bias_nc):
+            assert TECH.vss < v < TECH.vdd
+
+
+class TestFoldedOpAmp:
+    def test_high_gain_single_stage(self):
+        spec = OpAmpSpec(gain=3000.0, ugf=5e6, ibias=5e-6, cl=5e-12)
+        amp = design_opamp(
+            TECH, spec, OpAmpTopology(diff_pair="folded"), name="fc"
+        )
+        assert not amp.two_stage
+        assert amp.estimate.gain >= 3000.0
+
+    def test_sim_meets_spec(self):
+        spec = OpAmpSpec(gain=3000.0, ugf=5e6, ibias=5e-6, cl=5e-12)
+        amp = design_opamp(
+            TECH, spec, OpAmpTopology(diff_pair="folded"), name="fc"
+        )
+        sim = verify_opamp(amp, measure_slew=False, measure_zout=False)
+        assert sim["gain"] >= 3000.0
+        assert sim["ugf"] >= 5e6 * 0.8
+        assert sim["dc_power"] == pytest.approx(
+            amp.estimate.dc_power, rel=0.1
+        )
+
+    def test_wilson_tail_composes(self):
+        spec = OpAmpSpec(gain=2000.0, ugf=2e6, ibias=2e-6, cl=5e-12)
+        topo = OpAmpTopology(diff_pair="folded", current_source="wilson")
+        amp = design_opamp(TECH, spec, topo, name="fcw")
+        assert type(amp.stages["tail_source"]).__name__ == (
+            "WilsonCurrentSource"
+        )
+        sim = verify_opamp(amp, measure_slew=False, measure_zout=False)
+        assert sim["gain"] >= 2000.0
+
+    def test_gain_stage_combination_rejected(self):
+        with pytest.raises(SpecificationError, match="single-stage"):
+            OpAmpTopology(diff_pair="folded", gain_stage=True)
+
+    def test_explicit_single_stage_ok(self):
+        topo = OpAmpTopology(diff_pair="folded", gain_stage=False)
+        spec = OpAmpSpec(gain=2000.0, ugf=2e6, ibias=2e-6, cl=5e-12)
+        amp = design_opamp(TECH, spec, topo, name="fcx")
+        assert not amp.two_stage
+
+    def test_facade_exposes_folded(self):
+        from repro import AnalogPerformanceEstimator
+
+        ape = AnalogPerformanceEstimator(TECH)
+        amp = ape.estimate_opamp(
+            gain=2000, ugf=2e6, ibias=2e-6, cl=5e-12, diff_pair="folded"
+        )
+        assert amp.estimate.gain >= 2000

@@ -1,0 +1,371 @@
+"""APE level-4 module tests: estimation sanity plus est-vs-sim checks.
+
+These mirror the paper's Table 5 workloads: audio amplifier, sample &
+hold, flash ADC, Sallen-Key filters — plus the extra library modules
+(inverting amp, adder, integrator, comparator, DAC).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.modules import (
+    AudioAmplifier,
+    Comparator,
+    FlashAdc,
+    Integrator,
+    InvertingAmplifier,
+    R2rDac,
+    SallenKeyBandPass,
+    SallenKeyLowPass,
+    SampleHold,
+    SummingAmplifier,
+    butterworth_q_values,
+)
+from repro.spice import (
+    ac_analysis,
+    bandwidth_3db,
+    dc_gain,
+    find_crossing,
+    gain_at,
+)
+from repro.spice.ac import log_frequencies
+from repro.technology import generic_05um
+
+TECH = generic_05um()
+
+
+class TestInvertingAmplifier:
+    def test_estimate_near_ideal(self):
+        inv = InvertingAmplifier.design(TECH, gain=10.0, bandwidth=100e3)
+        assert abs(inv.estimate.gain) == pytest.approx(10.0, rel=0.05)
+        assert inv.estimate.gain < 0
+
+    def test_sim_gain_matches(self):
+        inv = InvertingAmplifier.design(TECH, gain=10.0, bandwidth=100e3)
+        ckt, nodes = inv.verification_circuit()
+        sim = gain_at(ckt, nodes["out"], 100.0)
+        assert sim == pytest.approx(abs(inv.estimate.gain), rel=0.05)
+
+    def test_sim_bandwidth_exceeds_spec(self):
+        inv = InvertingAmplifier.design(TECH, gain=10.0, bandwidth=100e3)
+        ckt, nodes = inv.verification_circuit()
+        ac = ac_analysis(ckt, frequencies=log_frequencies(10, 1e8, 10))
+        assert bandwidth_3db(ac, nodes["out"]) >= 100e3
+
+    def test_resistor_ratio(self):
+        inv = InvertingAmplifier.design(TECH, gain=7.0, bandwidth=50e3)
+        assert inv.resistors["r2"].value / inv.resistors["r1"].value == (
+            pytest.approx(7.0)
+        )
+
+    def test_zero_gain_rejected(self):
+        with pytest.raises(EstimationError):
+            InvertingAmplifier.design(TECH, gain=0.0, bandwidth=1e3)
+
+
+class TestSummingAmplifier:
+    def test_weighted_sum_sim(self):
+        adder = SummingAmplifier.design(TECH, weights=(2.0, 1.0), bandwidth=50e3)
+        ckt, nodes = adder.verification_circuit()
+        # AC drive is on input 0 only -> gain = weight 0.
+        sim = gain_at(ckt, nodes["out"], 100.0)
+        assert sim == pytest.approx(2.0, rel=0.06)
+
+    def test_estimate_gain(self):
+        adder = SummingAmplifier.design(TECH, weights=(1.0, 1.0, 1.0), bandwidth=50e3)
+        assert abs(adder.estimate.gain) == pytest.approx(3.0, rel=0.1)
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(EstimationError):
+            SummingAmplifier.design(TECH, weights=(), bandwidth=1e3)
+        with pytest.raises(EstimationError):
+            SummingAmplifier.design(TECH, weights=(1.0, -2.0), bandwidth=1e3)
+
+
+class TestAudioAmplifier:
+    def test_estimate_meets_spec(self):
+        amp = AudioAmplifier.design(TECH, gain=100.0, bandwidth=20e3)
+        assert amp.estimate.gain >= 100.0 * 0.9
+        assert amp.estimate.bandwidth >= 20e3 * 0.8
+
+    def test_sim_open_loop_gain(self):
+        amp = AudioAmplifier.design(TECH, gain=100.0, bandwidth=20e3)
+        from repro.opamp import verify_opamp
+
+        sim = verify_opamp(
+            amp.opamps["main"], measure_slew=False, measure_zout=False
+        )
+        assert sim["gain"] == pytest.approx(amp.estimate.gain, rel=0.15)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(EstimationError):
+            AudioAmplifier.design(TECH, gain=0.5, bandwidth=20e3)
+
+
+class TestIntegrator:
+    def test_sim_unity_crossing(self):
+        integ = Integrator.design(TECH, unity_freq=10e3)
+        ckt, nodes = integ.verification_circuit()
+        assert gain_at(ckt, nodes["out"], 10e3) == pytest.approx(1.0, rel=0.05)
+
+    def test_slope_minus_20db_per_decade(self):
+        integ = Integrator.design(TECH, unity_freq=10e3)
+        ckt, nodes = integ.verification_circuit()
+        g1 = gain_at(ckt, nodes["out"], 1e3)
+        g2 = gain_at(ckt, nodes["out"], 10e3)
+        assert g1 / g2 == pytest.approx(10.0, rel=0.1)
+
+    def test_rc_product(self):
+        integ = Integrator.design(TECH, unity_freq=5e3)
+        rc = integ.estimate.extras["r"] * integ.estimate.extras["c"]
+        assert rc == pytest.approx(1.0 / (2 * math.pi * 5e3), rel=1e-6)
+
+    def test_bad_freq_rejected(self):
+        with pytest.raises(EstimationError):
+            Integrator.design(TECH, unity_freq=0.0)
+
+
+class TestComparator:
+    def test_estimated_delay_meets_spec(self):
+        comp = Comparator.design(TECH, delay=5e-6)
+        assert comp.delay <= 5e-6
+
+    def test_sim_delay_close_to_estimate(self):
+        comp = Comparator.design(TECH, delay=5e-6)
+        sim = comp.measure_delay(overdrive=0.1)
+        assert sim == pytest.approx(comp.delay, rel=1.0)
+        assert sim <= 5e-6
+
+    def test_larger_overdrive_is_not_slower(self):
+        comp = Comparator.design(TECH, delay=5e-6)
+        slow = comp.measure_delay(overdrive=0.02)
+        fast = comp.measure_delay(overdrive=0.5)
+        assert fast <= slow * 1.5
+
+    def test_bad_delay_rejected(self):
+        with pytest.raises(EstimationError):
+            Comparator.design(TECH, delay=-1.0)
+
+
+class TestSampleHold:
+    def test_estimate_fields(self):
+        sh = SampleHold.design(
+            TECH, gain=2.0, bandwidth=20e3, response_time=500e-6
+        )
+        assert sh.estimate.gain == pytest.approx(2.0, rel=0.05)
+        assert sh.estimate.bandwidth >= 20e3
+        assert sh.estimate.extras["response_time"] <= 500e-6
+
+    def test_track_mode_sim_gain(self):
+        sh = SampleHold.design(
+            TECH, gain=2.0, bandwidth=20e3, response_time=500e-6
+        )
+        ckt, nodes = sh.verification_circuit(track=True)
+        sim = gain_at(ckt, nodes["out"], 1e3)
+        assert sim == pytest.approx(sh.estimate.gain, rel=0.1)
+
+    def test_track_mode_sim_bandwidth(self):
+        sh = SampleHold.design(
+            TECH, gain=2.0, bandwidth=20e3, response_time=500e-6
+        )
+        ckt, nodes = sh.verification_circuit(track=True)
+        ac = ac_analysis(ckt, frequencies=log_frequencies(100, 1e8, 10))
+        assert bandwidth_3db(ac, nodes["out"]) >= 20e3
+
+    def test_hold_mode_isolates(self):
+        sh = SampleHold.design(
+            TECH, gain=2.0, bandwidth=20e3, response_time=500e-6
+        )
+        ckt, nodes = sh.verification_circuit(track=False)
+        # With the switch off, the input AC barely reaches the output.
+        track_ckt, _ = sh.verification_circuit(track=True)
+        g_hold = gain_at(ckt, nodes["out"], 1e3)
+        g_track = gain_at(track_ckt, nodes["out"], 1e3)
+        assert g_hold < g_track / 100
+
+    def test_bad_gain_rejected(self):
+        with pytest.raises(EstimationError):
+            SampleHold.design(TECH, gain=0.5, bandwidth=1e3, response_time=1e-3)
+
+
+class TestButterworth:
+    def test_fourth_order_qs(self):
+        qs = butterworth_q_values(4)
+        assert qs[0] == pytest.approx(0.5412, rel=1e-3)
+        assert qs[1] == pytest.approx(1.3066, rel=1e-3)
+
+    def test_second_order_q(self):
+        assert butterworth_q_values(2)[0] == pytest.approx(0.7071, rel=1e-3)
+
+    def test_odd_order_rejected(self):
+        with pytest.raises(EstimationError):
+            butterworth_q_values(3)
+
+
+class TestSallenKeyLowPass:
+    @pytest.fixture(scope="class")
+    def lpf(self):
+        return SallenKeyLowPass.design(TECH, order=4, f_corner=1e3)
+
+    @pytest.fixture(scope="class")
+    def lpf_ac(self, lpf):
+        ckt, nodes = lpf.verification_circuit()
+        return ac_analysis(ckt, frequencies=log_frequencies(10, 1e5, 20))
+
+    def test_passband_gain(self, lpf, lpf_ac):
+        assert dc_gain(lpf_ac, "out") == pytest.approx(
+            lpf.estimate.gain, rel=0.08
+        )
+
+    def test_corner_frequency(self, lpf, lpf_ac):
+        g0 = dc_gain(lpf_ac, "out")
+        f3 = find_crossing(
+            lpf_ac.frequencies, lpf_ac.magnitude("out"), g0 / math.sqrt(2)
+        )
+        assert f3 == pytest.approx(1e3, rel=0.12)
+
+    def test_minus_20db_frequency(self, lpf, lpf_ac):
+        g0 = dc_gain(lpf_ac, "out")
+        f20 = find_crossing(
+            lpf_ac.frequencies, lpf_ac.magnitude("out"), g0 / 10.0
+        )
+        assert f20 == pytest.approx(lpf.estimate.extras["f_20db"], rel=0.12)
+
+    def test_fourth_order_rolloff_near_corner(self, lpf, lpf_ac):
+        # 4th-order slope just above the corner: one octave ~ 2^4.
+        # (Far into the stopband a real Sallen-Key flattens out — the
+        # op-amp's rising output impedance lets the RC network feed the
+        # signal through — so the slope is only checked near fc.)
+        mag = lpf_ac.magnitude("out")
+        g_2k = float(np.interp(np.log10(2e3), np.log10(lpf_ac.frequencies), mag))
+        g_4k = float(np.interp(np.log10(4e3), np.log10(lpf_ac.frequencies), mag))
+        assert g_2k / g_4k == pytest.approx(16.0, rel=0.5)
+
+    def test_odd_order_rejected(self):
+        with pytest.raises(EstimationError):
+            SallenKeyLowPass.design(TECH, order=5, f_corner=1e3)
+
+    def test_bad_corner_rejected(self):
+        with pytest.raises(EstimationError):
+            SallenKeyLowPass.design(TECH, order=4, f_corner=-1.0)
+
+
+class TestSallenKeyBandPass:
+    @pytest.fixture(scope="class")
+    def bpf(self):
+        return SallenKeyBandPass.design(TECH, f_center=1e3, bandwidth=1e3)
+
+    @pytest.fixture(scope="class")
+    def bpf_ac(self, bpf):
+        ckt, nodes = bpf.verification_circuit()
+        return ac_analysis(ckt, frequencies=log_frequencies(10, 1e6, 30))
+
+    def test_centre_frequency(self, bpf, bpf_ac):
+        mag = bpf_ac.magnitude("out")
+        f0_sim = bpf_ac.frequencies[int(np.argmax(mag))]
+        assert f0_sim == pytest.approx(1e3, rel=0.15)
+
+    def test_centre_gain(self, bpf, bpf_ac):
+        assert bpf_ac.magnitude("out").max() == pytest.approx(
+            bpf.estimate.gain, rel=0.1
+        )
+
+    def test_bandwidth(self, bpf, bpf_ac):
+        mag = bpf_ac.magnitude("out")
+        peak = mag.max()
+        freqs = bpf_ac.frequencies
+        k0 = int(np.argmax(mag))
+        f_lo = find_crossing(freqs[: k0 + 1], mag[: k0 + 1], peak / math.sqrt(2))
+        f_hi = find_crossing(freqs[k0:], mag[k0:], peak / math.sqrt(2))
+        assert f_hi - f_lo == pytest.approx(1e3, rel=0.25)
+
+    def test_blocks_dc_and_high_freq(self, bpf_ac):
+        mag = bpf_ac.magnitude("out")
+        assert mag[0] < 0.1 * mag.max()
+        assert mag[-1] < 0.1 * mag.max()
+
+    def test_extreme_q_rejected(self):
+        with pytest.raises(EstimationError):
+            SallenKeyBandPass.design(TECH, f_center=1e3, bandwidth=10.0)
+
+
+class TestFlashAdc:
+    @pytest.fixture(scope="class")
+    def adc(self):
+        return FlashAdc.design(TECH, bits=2, delay=5e-6)
+
+    def test_estimate_delay_meets_spec(self, adc):
+        assert adc.delay <= 5e-6
+
+    def test_comparator_count_in_area(self, adc):
+        one = adc.comparator.estimate.gate_area
+        assert adc.estimate.gate_area > 3 * one  # 2^2-1 comparators + encoder
+
+    def test_transfer_is_monotone(self, adc):
+        codes = [c for _, c in adc.measure_transfer(n_points=7)]
+        assert codes == sorted(codes)
+        assert codes[0] == 0 and codes[-1] == 2**2 - 1
+
+    def test_codes_match_ideal(self, adc):
+        for v, code in adc.measure_transfer(n_points=5):
+            ideal = adc.ideal_code(v)
+            assert abs(code - ideal) <= 1
+
+    def test_bits_out_of_range_rejected(self):
+        with pytest.raises(EstimationError):
+            FlashAdc.design(TECH, bits=0, delay=1e-6)
+        with pytest.raises(EstimationError):
+            FlashAdc.design(TECH, bits=9, delay=1e-6)
+
+    def test_reference_order_enforced(self):
+        with pytest.raises(EstimationError):
+            FlashAdc.design(TECH, bits=2, delay=1e-6, v_low=1.0, v_high=-1.0)
+
+
+class TestR2rDac:
+    @pytest.fixture(scope="class")
+    def dac(self):
+        return R2rDac.design(TECH, bits=4, settle_time=10e-6)
+
+    def test_settle_estimate_meets_spec(self, dac):
+        assert dac.estimate.extras["settle_time"] <= 10e-6
+
+    def test_outputs_monotone(self, dac):
+        outs = [dac.convert(code) for code in (0, 3, 7, 11, 15)]
+        assert outs == sorted(outs)
+
+    def test_step_size_near_lsb(self, dac):
+        # Differential linearity: offset cancels in code-to-code steps.
+        lsb = dac.estimate.extras["lsb"]
+        v4 = dac.convert(4)
+        v12 = dac.convert(12)
+        assert (v12 - v4) / 8.0 == pytest.approx(lsb, rel=0.1)
+
+    def test_absolute_error_bounded(self, dac):
+        lsb = dac.estimate.extras["lsb"]
+        for code in (0, 8, 15):
+            err = abs(dac.convert(code) - dac.ideal_output(code))
+            assert err < 3 * lsb
+
+    def test_bad_code_rejected(self, dac):
+        with pytest.raises(EstimationError):
+            dac.verification_circuit(code=16)
+
+    def test_bits_out_of_range_rejected(self):
+        with pytest.raises(EstimationError):
+            R2rDac.design(TECH, bits=0, settle_time=1e-6)
+
+
+class TestModuleBase:
+    def test_total_area_includes_passives(self):
+        inv = InvertingAmplifier.design(TECH, gain=10.0, bandwidth=100e3)
+        assert inv.total_area > inv.gate_area
+        assert inv.passive_area > 0
+
+    def test_opamp_lookup_error(self):
+        inv = InvertingAmplifier.design(TECH, gain=10.0, bandwidth=100e3)
+        with pytest.raises(EstimationError):
+            inv.opamp("missing")

@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These complement the example-based suites with randomized checks of
+physical and structural invariants: passive-network passivity, KCL at
+the solved operating point, AC/TF consistency, deck round-trips and
+sizing self-consistency across the whole spec space.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.devices import MosDevice, size_for_gm_id
+from repro.spice import (
+    Circuit,
+    ac_analysis,
+    dc_operating_point,
+    extract_transfer_function,
+    read_deck,
+    write_deck,
+)
+from repro.technology import generic_05um
+
+TECH = generic_05um()
+
+resistances = st.floats(min_value=1.0, max_value=1e7)
+capacitances = st.floats(min_value=1e-15, max_value=1e-6)
+voltages = st.floats(min_value=-10.0, max_value=10.0)
+
+
+def rc_ladder(r_values, c_values):
+    ckt = Circuit("ladder")
+    ckt.v("n0", "0", dc=1.0, ac=1.0)
+    for k, (r, c) in enumerate(zip(r_values, c_values)):
+        ckt.r(f"n{k}", f"n{k + 1}", r)
+        ckt.c(f"n{k + 1}", "0", c)
+    return ckt, f"n{len(r_values)}"
+
+
+class TestPassiveNetworkInvariants:
+    @given(
+        rs=st.lists(resistances, min_size=1, max_size=4),
+        cs=st.lists(capacitances, min_size=4, max_size=4),
+        freq=st.floats(min_value=1.0, max_value=1e9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rc_ladder_gain_never_exceeds_unity(self, rs, cs, freq):
+        """A passive voltage divider cannot amplify."""
+        ckt, out = rc_ladder(rs, cs[: len(rs)])
+        ac = ac_analysis(ckt, frequencies=[freq])
+        assert ac.magnitude(out)[0] <= 1.0 + 1e-9
+
+    @given(
+        rs=st.lists(resistances, min_size=1, max_size=4),
+        cs=st.lists(capacitances, min_size=4, max_size=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rc_ladder_dc_transfer_is_unity(self, rs, cs):
+        """No DC path to ground: the ladder output follows the source."""
+        ckt, out = rc_ladder(rs, cs[: len(rs)])
+        op = dc_operating_point(ckt)
+        # The solver's gmin (1e-12 S to ground) leaks microvolts
+        # through megaohm ladders; that is the expected error floor.
+        assert op.v(out) == pytest.approx(1.0, abs=1e-4)
+
+    @given(
+        rs=st.lists(resistances, min_size=2, max_size=3),
+        cs=st.lists(capacitances, min_size=3, max_size=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_tf_matches_ac_on_random_ladders(self, rs, cs):
+        ckt, out = rc_ladder(rs, cs[: len(rs)])
+        tf = extract_transfer_function(ckt, out)
+        freqs = np.logspace(1, 8, 5)
+        ref = ac_analysis(ckt, frequencies=freqs).phasor(out)
+        np.testing.assert_allclose(
+            tf.evaluate(freqs), ref, rtol=1e-3, atol=1e-9
+        )
+
+    @given(
+        rs=st.lists(resistances, min_size=1, max_size=4),
+        cs=st.lists(capacitances, min_size=4, max_size=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_passive_networks_are_stable(self, rs, cs):
+        ckt, out = rc_ladder(rs, cs[: len(rs)])
+        tf = extract_transfer_function(ckt, out)
+        assert tf.is_stable()
+
+
+class TestKclInvariant:
+    @given(
+        r1=resistances, r2=resistances, r3=resistances, v=voltages
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_branch_currents_balance_at_source(self, r1, r2, r3, v):
+        """Current delivered by the source equals the sum through
+        the parallel legs."""
+        assume(abs(v) > 1e-3)
+        ckt = Circuit("kcl")
+        ckt.v("in", "0", dc=v, name="VS")
+        ckt.r("in", "0", r1)
+        ckt.r("in", "mid", r2)
+        ckt.r("mid", "0", r3)
+        op = dc_operating_point(ckt)
+        i_source = -op.i("VS")
+        i_legs = op.v("in") / r1 + (op.v("in") - op.v("mid")) / r2
+        # gmin injects picoamp-scale leakage at each node.
+        assert i_source == pytest.approx(i_legs, rel=1e-5, abs=1e-10)
+
+    @given(
+        vgs=st.floats(min_value=0.8, max_value=2.4),
+        rd=st.floats(min_value=1e3, max_value=1e6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mosfet_drain_current_consistent_with_resistor(self, vgs, rd):
+        """At the solved OP the resistor and device currents agree."""
+        ckt = Circuit("cs")
+        ckt.v("vdd", "0", dc=2.5)
+        ckt.v("g", "0", dc=vgs - 2.5 + 2.5)  # vgs referenced to gnd source
+        ckt.r("vdd", "d", rd)
+        ckt.m("d", "g", "0", "0", TECH.nmos, 10e-6, 1.2e-6, name="M1")
+        op = dc_operating_point(ckt)
+        i_resistor = (2.5 - op.v("d")) / rd
+        assert op.mosfet_ops["M1"].ids == pytest.approx(
+            i_resistor, rel=1e-4, abs=1e-12
+        )
+
+
+class TestDeviceInvariants:
+    @given(
+        w=st.floats(min_value=1e-6, max_value=100e-6),
+        l=st.floats(min_value=0.6e-6, max_value=10e-6),
+        vgs=st.floats(min_value=0.0, max_value=2.5),
+        vds=st.floats(min_value=0.0, max_value=2.5),
+        vsb=st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_small_signal_parameters_nonnegative(self, w, l, vgs, vds, vsb):
+        device = MosDevice(TECH.nmos, w, l)
+        ss = device.small_signal(vgs, vds, vsb)
+        assert ss.gm >= 0 and ss.gds >= 0 and ss.gmb >= 0
+        assert ss.cgs >= 0 and ss.cgd >= 0 and ss.cdb >= 0
+
+    @given(
+        w=st.floats(min_value=1e-6, max_value=100e-6),
+        vgs=st.floats(min_value=0.9, max_value=2.4),
+        vds=st.floats(min_value=0.0, max_value=2.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_current_scales_linearly_with_width(self, w, vgs, vds):
+        a = MosDevice(TECH.nmos, w, 1.2e-6)
+        b = MosDevice(TECH.nmos, 2.0 * w, 1.2e-6)
+        ia, ib = a.ids(vgs, vds), b.ids(vgs, vds)
+        assume(ia > 1e-12)
+        assert ib == pytest.approx(2.0 * ia, rel=1e-9)
+
+    @given(
+        gm=st.floats(min_value=1e-5, max_value=1e-3),
+        ratio=st.floats(min_value=2.5, max_value=9.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gm_id_sizing_round_trip(self, gm, ratio):
+        """(gm, Id) -> W/L -> evaluated gm reproduces the spec."""
+        ids = gm / (2.0 * ratio)  # vov = 1/ratio in [0.105, 0.4]
+        sized = size_for_gm_id(TECH.nmos, TECH, gm=gm, ids=ids)
+        if sized.w in (TECH.w_min, TECH.w_max):
+            return
+        assert sized.gm == pytest.approx(gm, rel=0.12)
+
+
+class TestDeckRoundTrip:
+    @given(
+        rs=st.lists(resistances, min_size=1, max_size=3),
+        cs=st.lists(capacitances, min_size=3, max_size=3),
+        v=voltages,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_ladder_roundtrips(self, rs, cs, v):
+        ckt, out = rc_ladder(rs, cs[: len(rs)])
+        from dataclasses import replace
+
+        ckt.replace(replace(ckt.element("V1"), dc=v))
+        back = read_deck(write_deck(ckt))
+        assert len(back) == len(ckt)
+        op_a = dc_operating_point(ckt)
+        op_b = dc_operating_point(back)
+        for node in ckt.nodes():
+            assert op_b.v(node) == pytest.approx(
+                op_a.v(node), rel=1e-5, abs=1e-9
+            )

@@ -1,0 +1,70 @@
+"""Switched-capacitor integrator tests (clocked transient workload)."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.modules import ScIntegrator
+from repro.technology import generic_05um
+
+TECH = generic_05um()
+
+
+@pytest.fixture(scope="module")
+def sc():
+    return ScIntegrator.design(TECH, f_unity=10e3, f_clock=1e6)
+
+
+class TestDesign:
+    def test_capacitor_ratio(self, sc):
+        import math
+
+        ratio = sc.estimate.extras["ratio"]
+        assert ratio == pytest.approx(2 * math.pi * 10e3 / 1e6, rel=1e-9)
+        assert (
+            sc.capacitors["c_sample"].value
+            / sc.capacitors["c_integrate"].value
+        ) == pytest.approx(ratio, rel=1e-9)
+
+    def test_switch_settles_in_half_period(self, sc):
+        r_on = sc.estimate.extras["r_on"]
+        cs = sc.estimate.extras["c_sample"]
+        import math
+
+        assert r_on * cs * math.log(2**10) < 0.5 / sc.f_clock
+
+    def test_capacitor_ratio_capped_at_unity(self):
+        with pytest.raises(EstimationError, match="ratio"):
+            ScIntegrator.design(TECH, f_unity=100e3, f_clock=500e3)
+
+    def test_bad_frequencies_rejected(self):
+        with pytest.raises(EstimationError):
+            ScIntegrator.design(TECH, f_unity=-1.0, f_clock=1e6)
+
+    def test_area_counts_switches(self, sc):
+        assert sc.estimate.gate_area > sc.opamps["main"].estimate.gate_area
+
+
+class TestTransient:
+    def test_slope_matches_discrete_time_model(self, sc):
+        slope = sc.measure_slope(v_in=0.1)
+        assert slope == pytest.approx(sc.ideal_slope(0.1), rel=0.15)
+
+    def test_slope_proportional_to_input(self, sc):
+        s1 = sc.measure_slope(v_in=0.05)
+        s2 = sc.measure_slope(v_in=0.1)
+        assert s2 / s1 == pytest.approx(2.0, rel=0.1)
+
+    def test_non_inverting_polarity(self, sc):
+        assert sc.measure_slope(v_in=0.1) > 0
+        assert sc.measure_slope(v_in=-0.1) < 0
+
+
+class TestFacade:
+    def test_estimate_module_kind(self):
+        from repro import AnalogPerformanceEstimator
+
+        ape = AnalogPerformanceEstimator(TECH)
+        module = ape.estimate_module(
+            "sc_integrator", f_unity=5e3, f_clock=500e3
+        )
+        assert isinstance(module, ScIntegrator)

@@ -1,0 +1,94 @@
+"""Sensitivity-analysis tests."""
+
+import math
+
+import pytest
+
+from repro.errors import ApeError
+from repro.opamp import OpAmpSpec, design_opamp
+from repro.synthesis import (
+    OpAmpSizingProblem,
+    ape_ranges,
+    sensitivity_analysis,
+)
+from repro.synthesis.problems import SizingProblem, Variable
+from repro.technology import generic_05um
+
+TECH = generic_05um()
+
+
+class PowerLawProblem(SizingProblem):
+    """Analytic test problem: m = x^2 * y^-1 (S_x = 2, S_y = -1)."""
+
+    @property
+    def variables(self):
+        return [Variable("x", 0.1, 100.0), Variable("y", 0.1, 100.0)]
+
+    def evaluate(self, params):
+        return {"m": params["x"] ** 2 / params["y"]}
+
+
+class TestAnalytic:
+    def test_power_law_exponents_recovered(self):
+        problem = PowerLawProblem()
+        table = sensitivity_analysis(problem, {"x": 3.0, "y": 5.0})
+        assert table.of("m", "x") == pytest.approx(2.0, rel=1e-3)
+        assert table.of("m", "y") == pytest.approx(-1.0, rel=1e-3)
+
+    def test_dominant_parameter(self):
+        problem = PowerLawProblem()
+        table = sensitivity_analysis(problem, {"x": 3.0, "y": 5.0})
+        assert table.dominant_parameter("m") == "x"
+
+    def test_rows_sorted_by_magnitude(self):
+        problem = PowerLawProblem()
+        table = sensitivity_analysis(problem, {"x": 3.0, "y": 5.0})
+        magnitudes = [abs(s) for _, _, s in table.rows()]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ApeError):
+            sensitivity_analysis(PowerLawProblem(), {"x": 1, "y": 1}, step=0.9)
+
+    def test_metric_filter(self):
+        problem = PowerLawProblem()
+        table = sensitivity_analysis(
+            problem, {"x": 1.0, "y": 1.0}, metrics=("m",)
+        )
+        assert set(table.table) == {"m"}
+
+
+class TestOnOpamp:
+    @pytest.fixture(scope="class")
+    def table(self):
+        amp = design_opamp(
+            TECH, OpAmpSpec(gain=150, ugf=3e6, ibias=2e-6, cl=10e-12),
+            name="sens",
+        )
+        problem = OpAmpSizingProblem(amp, ape_ranges(amp, factor=0.3))
+        point = {
+            v.name: amp.initial_point().get(v.name, v.lo)
+            for v in problem.variables
+        }
+        return sensitivity_analysis(
+            problem, point, metrics=("gain", "ugf", "dc_power", "gate_area")
+        )
+
+    def test_power_tracks_bias_resistor(self, table):
+        # Less reference resistance -> more current -> more power.
+        assert table.of("dc_power", "r.ref") < -0.5
+
+    def test_area_tracks_widths(self, table):
+        s = table.of("gate_area", "diff.pair.w")
+        assert s > 0.05  # wider pair -> more area
+
+    def test_gain_insensitive_to_bias_diode_length(self, table):
+        # The sink-bias branch barely touches the signal path.
+        row = table.table["gain"]
+        signal = abs(row.get("diff.pair.w", 0.0))
+        assert signal >= 0.0  # defined
+
+    def test_all_metrics_have_rows(self, table):
+        for metric in ("gain", "ugf", "dc_power", "gate_area"):
+            assert metric in table.table
+            assert len(table.table[metric]) > 3

@@ -1,0 +1,190 @@
+"""AC analysis tests against closed-form frequency responses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.spice import (
+    Circuit,
+    ac_analysis,
+    bandwidth_3db,
+    dc_gain,
+    dc_operating_point,
+    gain_at,
+    phase_margin,
+    transfer_function,
+    unity_gain_frequency,
+)
+from repro.spice.ac import log_frequencies
+from repro.technology import generic_05um
+
+TECH = generic_05um()
+NMOS = TECH.nmos
+
+
+def rc_lowpass(r=1e3, c=1e-9):
+    ckt = Circuit("rc")
+    ckt.v("in", "0", dc=0.0, ac=1.0)
+    ckt.r("in", "out", r)
+    ckt.c("out", "0", c)
+    return ckt
+
+
+class TestLogFrequencies:
+    def test_endpoints(self):
+        freqs = log_frequencies(1.0, 1e6, 10)
+        assert freqs[0] == pytest.approx(1.0)
+        assert freqs[-1] == pytest.approx(1e6)
+
+    def test_points_per_decade(self):
+        freqs = log_frequencies(1.0, 1e3, 10)
+        assert len(freqs) == 31
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(SimulationError):
+            log_frequencies(0.0, 1e3)
+        with pytest.raises(SimulationError):
+            log_frequencies(1e3, 1.0)
+
+
+class TestRcLowpass:
+    def test_pole_frequency(self):
+        r, c = 1e3, 1e-9
+        f_pole = 1.0 / (2 * math.pi * r * c)
+        ckt = rc_lowpass(r, c)
+        mag = gain_at(ckt, "out", f_pole)
+        assert mag == pytest.approx(1 / math.sqrt(2), rel=1e-6)
+
+    def test_dc_gain_unity(self):
+        ckt = rc_lowpass()
+        ac = ac_analysis(ckt, frequencies=log_frequencies(1.0, 1e8))
+        assert dc_gain(ac, "out") == pytest.approx(1.0, rel=1e-4)
+
+    def test_rolloff_20db_per_decade(self):
+        r, c = 1e3, 1e-9
+        f_pole = 1.0 / (2 * math.pi * r * c)
+        ckt = rc_lowpass(r, c)
+        m1 = gain_at(ckt, "out", 100 * f_pole)
+        m2 = gain_at(ckt, "out", 1000 * f_pole)
+        assert m1 / m2 == pytest.approx(10.0, rel=0.02)
+
+    def test_exact_transfer_function(self):
+        r, c = 2e3, 0.5e-9
+        freqs = log_frequencies(10.0, 1e8, 5)
+        h = transfer_function(rc_lowpass(r, c), "out", freqs)
+        expected = 1.0 / (1.0 + 2j * math.pi * freqs * r * c)
+        np.testing.assert_allclose(h, expected, rtol=1e-6)
+
+    def test_phase_approaches_minus_90(self):
+        ckt = rc_lowpass()
+        ac = ac_analysis(ckt, frequencies=log_frequencies(1.0, 1e9))
+        phase = ac.phase_deg("out")
+        assert phase[-1] == pytest.approx(-90.0, abs=2.0)
+
+    def test_bandwidth_measurement(self):
+        r, c = 1e3, 1e-9
+        ckt = rc_lowpass(r, c)
+        ac = ac_analysis(ckt, frequencies=log_frequencies(1e3, 1e8, 50))
+        f3db = bandwidth_3db(ac, "out")
+        assert f3db == pytest.approx(1 / (2 * math.pi * r * c), rel=0.01)
+
+
+class TestRcHighpassAndDividers:
+    def test_highpass_blocks_dc(self):
+        ckt = Circuit("hp")
+        ckt.v("in", "0", ac=1.0)
+        ckt.c("in", "out", 1e-9)
+        ckt.r("out", "0", 1e3)
+        assert gain_at(ckt, "out", 1.0) < 1e-4
+        assert gain_at(ckt, "out", 1e9) == pytest.approx(1.0, rel=1e-3)
+
+    def test_resistive_divider_flat(self):
+        ckt = Circuit()
+        ckt.v("in", "0", ac=1.0)
+        ckt.r("in", "out", 1e3)
+        ckt.r("out", "0", 1e3)
+        for f in (1.0, 1e3, 1e6):
+            assert gain_at(ckt, "out", f) == pytest.approx(0.5, rel=1e-9)
+
+    def test_lc_resonance(self):
+        # Series RLC: voltage across C peaks near f0 = 1/(2 pi sqrt(LC)).
+        l, c = 1e-3, 1e-9
+        f0 = 1.0 / (2 * math.pi * math.sqrt(l * c))
+        ckt = Circuit("rlc")
+        ckt.v("in", "0", ac=1.0)
+        ckt.r("in", "mid", 10.0)
+        ckt.ind("mid", "out", l)
+        ckt.c("out", "0", c)
+        # Q = (1/R) sqrt(L/C) = 100 -> gain at resonance ~ Q.
+        assert gain_at(ckt, "out", f0) == pytest.approx(100.0, rel=0.02)
+
+
+class TestMosfetAc:
+    def make_cs_amp(self):
+        """Common-source amp with resistive load; gain = gm*(RD || ro)."""
+        ckt = Circuit("cs")
+        ckt.v("vdd", "0", dc=2.5)
+        ckt.v("vin", "0", dc=0.9, ac=1.0)
+        ckt.r("vdd", "out", 20e3)
+        ckt.m("out", "vin", "0", "0", NMOS, w=10e-6, l=1.2e-6, name="M1")
+        return ckt
+
+    def test_cs_gain_matches_hand_analysis(self):
+        ckt = self.make_cs_amp()
+        op = dc_operating_point(ckt)
+        mop = op.mosfet_ops["M1"]
+        expected = mop.gm * (20e3 * (1 / mop.gds)) / (20e3 + 1 / mop.gds)
+        measured = gain_at(ckt, "out", 10.0, op=op)
+        assert measured == pytest.approx(expected, rel=1e-3)
+
+    def test_cs_output_inverts(self):
+        ckt = self.make_cs_amp()
+        freqs = np.array([10.0])
+        h = transfer_function(ckt, "out", freqs)
+        assert h[0].real < 0
+
+    def test_cs_gain_rolls_off(self):
+        ckt = self.make_cs_amp()
+        ckt.c("out", "0", 10e-12)
+        low = gain_at(ckt, "out", 10.0)
+        high = gain_at(ckt, "out", 1e9)
+        assert high < low / 10
+
+    def test_unity_gain_frequency_measurement(self):
+        ckt = self.make_cs_amp()
+        ckt.c("out", "0", 10e-12)
+        ac = ac_analysis(ckt, frequencies=log_frequencies(10.0, 1e9, 30))
+        ugf = unity_gain_frequency(ac, "out")
+        op = dc_operating_point(ckt)
+        mop = op.mosfet_ops["M1"]
+        # For a single-pole amp, UGF ~ gm/(2 pi C) when gain >> 1.
+        assert ugf == pytest.approx(mop.gm / (2 * math.pi * 10e-12), rel=0.15)
+
+    def test_phase_margin_single_pole(self):
+        ckt = self.make_cs_amp()
+        ckt.c("out", "0", 10e-12)
+        ac = ac_analysis(ckt, frequencies=log_frequencies(10.0, 1e9, 30))
+        pm = phase_margin(ac, "out")
+        # One dominant pole -> PM near 90 degrees (inverting stage adds
+        # 180 which the convention folds away).
+        assert 75.0 < pm < 115.0
+
+
+class TestAcErrors:
+    def test_negative_frequency_rejected(self):
+        ckt = rc_lowpass()
+        with pytest.raises(SimulationError):
+            ac_analysis(ckt, frequencies=[-1.0])
+
+    def test_differential_output(self):
+        ckt = Circuit()
+        ckt.v("in", "0", ac=1.0)
+        ckt.r("in", "a", 1e3)
+        ckt.r("a", "0", 1e3)
+        ckt.r("in", "b", 1e3)
+        ckt.r("b", "0", 3e3)
+        ac = ac_analysis(ckt, frequencies=[1e3])
+        diff = ac.differential("b", "a")
+        assert abs(diff[0]) == pytest.approx(0.25, rel=1e-6)

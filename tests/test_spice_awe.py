@@ -1,0 +1,158 @@
+"""AWE (moment matching) tests against exact pole locations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.spice import (
+    Circuit,
+    ac_analysis,
+    awe_poles,
+    awe_transfer,
+    dc_operating_point,
+)
+from repro.spice.ac import log_frequencies
+from repro.spice.awe import awe_moments
+from repro.technology import generic_05um
+
+TECH = generic_05um()
+
+
+def rc_lowpass(r=1e3, c=1e-9):
+    ckt = Circuit("rc")
+    ckt.v("in", "0", ac=1.0)
+    ckt.r("in", "out", r)
+    ckt.c("out", "0", c)
+    return ckt
+
+
+def rc_ladder(n=3, r=1e3, c=1e-9):
+    ckt = Circuit(f"ladder-{n}")
+    ckt.v("n0", "0", ac=1.0)
+    for k in range(n):
+        ckt.r(f"n{k}", f"n{k+1}", r)
+        ckt.c(f"n{k+1}", "0", c)
+    return ckt, f"n{n}"
+
+
+class TestMoments:
+    def test_zeroth_moment_is_dc_gain(self):
+        moments = awe_moments(rc_lowpass(), "out", 4)
+        assert moments[0] == pytest.approx(1.0, rel=1e-9)
+
+    def test_first_moment_is_minus_tau(self):
+        # For H(s) = 1/(1 + s*tau): m1 = -tau.
+        r, c = 1e3, 1e-9
+        moments = awe_moments(rc_lowpass(r, c), "out", 4)
+        assert moments[1] == pytest.approx(-r * c, rel=1e-9)
+
+    def test_moment_series_alternates_for_rc(self):
+        moments = awe_moments(rc_lowpass(), "out", 6)
+        signs = np.sign(moments)
+        assert list(signs) == [1, -1, 1, -1, 1, -1]
+
+    def test_elmore_delay_of_ladder(self):
+        # Elmore delay of an n-stage RC ladder: sum_k R_cum(k) * C_k.
+        ckt, out = rc_ladder(3)
+        moments = awe_moments(ckt, out, 2)
+        elmore = -(1e3 * 1e-9 + 2e3 * 1e-9 + 3e3 * 1e-9)
+        assert moments[1] == pytest.approx(elmore, rel=1e-9)
+
+
+class TestAwePoles:
+    def test_single_pole_exact(self):
+        r, c = 1e3, 1e-9
+        model = awe_poles(rc_lowpass(r, c), "out", order=1)
+        assert len(model.poles) == 1
+        assert model.poles[0].real == pytest.approx(-1 / (r * c), rel=1e-6)
+        assert model.dc_gain == pytest.approx(1.0, rel=1e-6)
+
+    def test_dominant_pole_hz(self):
+        r, c = 1e3, 1e-9
+        model = awe_poles(rc_lowpass(r, c), "out", order=1)
+        assert model.dominant_pole_hz == pytest.approx(
+            1 / (2 * math.pi * r * c), rel=1e-6
+        )
+
+    def test_two_pole_ladder_matches_ac(self):
+        ckt, out = rc_ladder(2)
+        freqs = log_frequencies(1e3, 1e7, 20)
+        h_awe = awe_transfer(ckt, out, freqs, order=2)
+        ac = ac_analysis(ckt, frequencies=freqs)
+        h_full = ac.phasor(out)
+        np.testing.assert_allclose(np.abs(h_awe), np.abs(h_full), rtol=0.02)
+
+    def test_order_reduction_on_degenerate_circuit(self):
+        # A single-pole circuit asked for order 3 still returns a model.
+        model = awe_poles(rc_lowpass(), "out", order=3)
+        assert model.dc_gain == pytest.approx(1.0, rel=1e-3)
+        assert model.dominant_pole_hz == pytest.approx(
+            1 / (2 * math.pi * 1e-6), rel=0.05
+        )
+
+    def test_unity_gain_frequency_of_integrator_like_response(self):
+        # High-gain single-pole: UGF ~ gain * pole frequency.
+        ckt = Circuit("gain-pole")
+        ckt.v("in", "0", ac=1.0)
+        ckt.g("0", "out", "in", "0", gm=1e-3)  # 1 mS into 10 kohm: gain 10
+        ckt.r("out", "0", 10e3)
+        ckt.c("out", "0", 1e-9)
+        model = awe_poles(ckt, "out", order=1)
+        f_pole = 1 / (2 * math.pi * 10e3 * 1e-9)
+        assert model.unity_gain_frequency() == pytest.approx(
+            10 * f_pole, rel=0.05
+        )
+
+    def test_ugf_raises_when_gain_below_unity(self):
+        model = awe_poles(rc_lowpass(), "out", order=1)  # DC gain 1, never above
+        with pytest.raises(SimulationError):
+            model.unity_gain_frequency(f_lo=1e3)
+
+    def test_no_ac_source_raises(self):
+        ckt = Circuit()
+        ckt.v("in", "0", dc=1.0)  # no AC
+        ckt.r("in", "out", 1e3)
+        ckt.c("out", "0", 1e-9)
+        with pytest.raises(SimulationError):
+            awe_poles(ckt, "out", order=1)
+
+    def test_unknown_output_node_raises(self):
+        with pytest.raises(SimulationError):
+            awe_moments(rc_lowpass(), "nowhere", 2)
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(SimulationError):
+            awe_poles(rc_lowpass(), "out", order=0)
+
+
+class TestAweOnMosCircuit:
+    def test_cs_amp_dominant_pole(self):
+        ckt = Circuit("cs")
+        ckt.v("vdd", "0", dc=2.5)
+        ckt.v("vin", "0", dc=0.9, ac=1.0)
+        ckt.r("vdd", "out", 20e3)
+        ckt.m("out", "vin", "0", "0", TECH.nmos, w=10e-6, l=1.2e-6, name="M1")
+        ckt.c("out", "0", 10e-12)
+        op = dc_operating_point(ckt)
+        model = awe_poles(ckt, "out", order=2, op=op)
+        mop = op.mosfet_ops["M1"]
+        r_out = 1.0 / (1.0 / 20e3 + mop.gds)
+        f_expected = 1.0 / (2 * math.pi * r_out * 10e-12)
+        assert model.dominant_pole_hz == pytest.approx(f_expected, rel=0.1)
+
+    def test_awe_matches_ac_for_amplifier(self):
+        ckt = Circuit("cs")
+        ckt.v("vdd", "0", dc=2.5)
+        ckt.v("vin", "0", dc=0.9, ac=1.0)
+        ckt.r("vdd", "out", 20e3)
+        ckt.m("out", "vin", "0", "0", TECH.nmos, w=10e-6, l=1.2e-6)
+        ckt.c("out", "0", 10e-12)
+        op = dc_operating_point(ckt)
+        freqs = log_frequencies(1e2, 1e8, 10)
+        h_awe = awe_transfer(ckt, "out", freqs, order=2, op=op)
+        ac = ac_analysis(ckt, op=op, frequencies=freqs)
+        np.testing.assert_allclose(
+            np.abs(h_awe), np.abs(ac.phasor("out")), rtol=0.05
+        )

@@ -1,0 +1,222 @@
+"""SPICE deck import/export tests, including full round trips."""
+
+import math
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.opamp import OpAmpSpec, OpAmpTopology, design_opamp
+from repro.opamp.benches import open_loop_bench
+from repro.spice import (
+    Circuit,
+    Mosfet,
+    PulseWave,
+    PwlWave,
+    SineWave,
+    dc_operating_point,
+    gain_at,
+)
+from repro.spice.io import read_deck, read_deck_file, write_deck, write_deck_file
+from repro.technology import generic_05um
+
+TECH = generic_05um()
+
+
+class TestReadDeck:
+    DECK = """my divider
+    * a comment
+    VIN in 0 DC 10
+    R1 in out 1k
+    R2 out 0 3k
+    .END
+    """
+
+    def test_title_and_elements(self):
+        ckt = read_deck(self.DECK)
+        assert ckt.title == "my divider"
+        assert len(ckt) == 3
+
+    def test_parsed_circuit_simulates(self):
+        ckt = read_deck(self.DECK)
+        op = dc_operating_point(ckt)
+        assert op.v("out") == pytest.approx(7.5, rel=1e-6)
+
+    def test_engineering_suffixes(self):
+        ckt = read_deck("t\nR1 a 0 4.7Meg\nC1 a 0 10p\nL1 a 0 1u\n")
+        assert ckt.element("R1").value == pytest.approx(4.7e6)
+        assert ckt.element("C1").value == pytest.approx(1e-11)
+        assert ckt.element("L1").value == pytest.approx(1e-6)
+
+    def test_source_with_ac(self):
+        ckt = read_deck("t\nV1 in 0 DC 1.5 AC 1\nR1 in 0 1k\n")
+        src = ckt.element("V1")
+        assert src.dc == 1.5
+        assert src.ac == 1.0
+
+    def test_bare_dc_value(self):
+        ckt = read_deck("t\nV1 in 0 2.5\nR1 in 0 1k\n")
+        assert ckt.element("V1").dc == 2.5
+
+    def test_pulse_source(self):
+        ckt = read_deck(
+            "t\nV1 in 0 DC 0 PULSE(0 5 1u 1n 1n 10u 20u)\nR1 in 0 1k\n"
+        )
+        wave = ckt.element("V1").wave
+        assert isinstance(wave, PulseWave)
+        assert wave.v2 == 5.0
+        assert wave.width == pytest.approx(10e-6)
+        assert wave.period == pytest.approx(20e-6)
+
+    def test_sin_source(self):
+        ckt = read_deck("t\nI1 0 out SIN(0 1m 1k)\nR1 out 0 1k\n")
+        wave = ckt.element("I1").wave
+        assert isinstance(wave, SineWave)
+        assert wave.amplitude == pytest.approx(1e-3)
+        assert wave.freq == pytest.approx(1e3)
+
+    def test_pwl_source(self):
+        ckt = read_deck("t\nV1 in 0 PWL(0 0 1u 1 2u 0)\nR1 in 0 1k\n")
+        wave = ckt.element("V1").wave
+        assert isinstance(wave, PwlWave)
+        assert wave.points == ((0.0, 0.0), (1e-6, 1.0), (2e-6, 0.0))
+
+    def test_controlled_sources(self):
+        deck = "t\nV1 a 0 1\nR0 a 0 1k\nE1 b 0 a 0 10\nRB b 0 1k\nG1 0 c a 0 1m\nRC c 0 1k\n"
+        ckt = read_deck(deck)
+        op = dc_operating_point(ckt)
+        assert op.v("b") == pytest.approx(10.0, rel=1e-6)
+        assert op.v("c") == pytest.approx(1.0, rel=1e-6)
+
+    def test_mosfet_with_inline_model(self):
+        deck = (
+            "t\n"
+            "VD d 0 2.0\n"
+            "VG g 0 1.2\n"
+            "M1 d g 0 0 MN W=10u L=1.2u\n"
+            ".MODEL MN NMOS (VTO=0.7 KP=110e-6 LAMBDA=0.04)\n"
+        )
+        ckt = read_deck(deck)
+        mos = ckt.element("M1")
+        assert isinstance(mos, Mosfet)
+        assert mos.w == pytest.approx(10e-6)
+        op = dc_operating_point(ckt)
+        assert op.mosfet_ops["M1"].ids > 0
+
+    def test_mosfet_with_external_model(self):
+        deck = "t\nVD d 0 2.0\nVG g 0 1.2\nM1 d g 0 0 CMOSN W=10u L=1.2u\n"
+        ckt = read_deck(deck, models={"CMOSN": TECH.nmos})
+        assert ckt.element("M1").model is TECH.nmos
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(NetlistError, match="unknown MOS model"):
+            read_deck("t\nM1 d g 0 0 NOPE W=1u L=1u\nR1 d 0 1k\n")
+
+    def test_mosfet_missing_geometry_rejected(self):
+        with pytest.raises(NetlistError, match="W= and L="):
+            read_deck(
+                "t\nM1 d g 0 0 MN W=1u\n.MODEL MN NMOS (VTO=0.7)\n"
+            )
+
+    def test_continuation_lines(self):
+        deck = "t\nR1 a 0\n+ 2k\nV1 a 0 1\n"
+        ckt = read_deck(deck)
+        assert ckt.element("R1").value == pytest.approx(2e3)
+
+    def test_analysis_directives_ignored(self):
+        deck = "t\nV1 a 0 1\nR1 a 0 1k\n.OP\n.AC DEC 10 1 1G\n.TRAN 1n 1u\n.END\n"
+        ckt = read_deck(deck)
+        assert len(ckt) == 2
+
+    def test_unsupported_directive_rejected(self):
+        with pytest.raises(NetlistError, match="unsupported directive"):
+            read_deck("t\nR1 a 0 1k\n.SUBCKT foo a b\n")
+
+    def test_unsupported_element_rejected(self):
+        with pytest.raises(NetlistError, match="unsupported element"):
+            read_deck("t\nQ1 c b e QMOD\n")
+
+    def test_empty_deck_rejected(self):
+        with pytest.raises(NetlistError, match="empty"):
+            read_deck("* nothing\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "test.cir"
+        path.write_text(self.DECK)
+        ckt = read_deck_file(path)
+        assert len(ckt) == 3
+
+
+class TestWriteDeck:
+    def test_simple_circuit(self):
+        ckt = Circuit("demo")
+        ckt.v("in", "0", dc=1.0, ac=1.0)
+        ckt.r("in", "out", 1e3)
+        ckt.c("out", "0", 1e-12)
+        text = write_deck(ckt)
+        assert "* demo" in text
+        assert "R1 in out 1k" in text
+        assert "AC 1" in text
+        assert text.strip().endswith(".END")
+
+    def test_includes_model_cards(self):
+        ckt = Circuit()
+        ckt.v("d", "0", dc=2.0)
+        ckt.m("d", "d", "0", "0", TECH.nmos, 10e-6, 1.2e-6)
+        text = write_deck(ckt)
+        assert ".MODEL CMOSN NMOS" in text
+        assert "W=10u" in text
+
+    def test_waveform_serialization(self):
+        ckt = Circuit()
+        ckt.v("a", "0", wave=PulseWave(0, 1, 1e-6, 1e-9, 1e-9, 1e-5))
+        ckt.v("b", "0", wave=SineWave(0, 1, 1e3))
+        ckt.v("c", "0", wave=PwlWave(((0, 0), (1e-6, 1))))
+        ckt.r("a", "b", 1e3)
+        ckt.r("b", "c", 1e3)
+        ckt.r("c", "0", 1e3)
+        text = write_deck(ckt)
+        assert "PULSE(" in text and "SIN(" in text and "PWL(" in text
+
+
+class TestRoundTrip:
+    def test_rc_roundtrip_preserves_behaviour(self):
+        ckt = Circuit("rt")
+        ckt.v("in", "0", dc=0.0, ac=1.0)
+        ckt.r("in", "out", 2e3)
+        ckt.c("out", "0", 0.5e-9)
+        back = read_deck(write_deck(ckt))
+        f = 1.0 / (2 * math.pi * 2e3 * 0.5e-9)
+        assert gain_at(back, "out", f) == pytest.approx(
+            gain_at(ckt, "out", f), rel=1e-4
+        )
+
+    def test_opamp_bench_roundtrip(self, tmp_path):
+        """A full APE-generated op-amp bench survives the round trip."""
+        amp = design_opamp(
+            TECH,
+            OpAmpSpec(gain=150.0, ugf=3e6, ibias=2e-6, cl=10e-12),
+            OpAmpTopology(),
+            name="rt",
+        )
+        bench = open_loop_bench(amp)
+        path = tmp_path / "opamp.cir"
+        write_deck_file(bench, path)
+        back = read_deck_file(path)
+        assert len(back) == len(bench)
+        op_a = dc_operating_point(bench)
+        op_b = dc_operating_point(back)
+        for node in bench.nodes():
+            assert op_b.v(node) == pytest.approx(op_a.v(node), abs=1e-4)
+
+    def test_waveform_roundtrip_values(self):
+        ckt = Circuit("wave")
+        ckt.v(
+            "in", "0",
+            wave=PulseWave(0.0, 2.5, 1e-6, 2e-9, 3e-9, 5e-6, 10e-6),
+        )
+        ckt.r("in", "0", 1e3)
+        back = read_deck(write_deck(ckt))
+        w0 = ckt.element("V1").wave
+        w1 = back.element("V1").wave
+        for t in (0.0, 1.5e-6, 3e-6, 7e-6, 12e-6):
+            assert w1.value(t) == pytest.approx(w0.value(t), abs=1e-9)

@@ -1,0 +1,194 @@
+"""Netlist data-model tests."""
+
+import math
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    PulseWave,
+    PwlWave,
+    Resistor,
+    SineWave,
+    VoltageSource,
+)
+from repro.technology import generic_05um
+
+TECH = generic_05um()
+
+
+class TestCircuitConstruction:
+    def test_auto_names(self):
+        ckt = Circuit()
+        r1 = ckt.r("a", "0", 1e3)
+        r2 = ckt.r("a", "b", 2e3)
+        assert r1.name == "R1" and r2.name == "R2"
+
+    def test_explicit_name(self):
+        ckt = Circuit()
+        r = ckt.r("a", "0", 1e3, name="RLOAD")
+        assert r.name == "RLOAD"
+
+    def test_duplicate_name_rejected(self):
+        ckt = Circuit()
+        ckt.r("a", "0", 1e3, name="R1")
+        with pytest.raises(NetlistError):
+            ckt.r("b", "0", 1e3, name="R1")
+
+    def test_len_and_iter(self):
+        ckt = Circuit()
+        ckt.r("a", "0", 1e3)
+        ckt.c("a", "0", 1e-12)
+        assert len(ckt) == 2
+        assert {type(e) for e in ckt} == {Resistor, Capacitor}
+
+    def test_element_lookup(self):
+        ckt = Circuit()
+        ckt.v("in", "0", dc=1.0, name="VIN")
+        assert isinstance(ckt.element("VIN"), VoltageSource)
+        with pytest.raises(NetlistError):
+            ckt.element("nope")
+
+    def test_contains(self):
+        ckt = Circuit()
+        ckt.r("a", "0", 1e3, name="R1")
+        assert "R1" in ckt and "R9" not in ckt
+
+    def test_nodes_excludes_ground(self):
+        ckt = Circuit()
+        ckt.v("in", "0", dc=1.0)
+        ckt.r("in", "out", 1e3)
+        ckt.r("out", "gnd", 1e3)
+        assert ckt.nodes() == ["in", "out"]
+
+    def test_replace(self):
+        ckt = Circuit()
+        ckt.r("a", "0", 1e3, name="R1")
+        ckt.replace(Resistor("R1", "a", "0", 5e3))
+        assert ckt.element("R1").value == 5e3
+
+    def test_replace_unknown_rejected(self):
+        ckt = Circuit()
+        with pytest.raises(NetlistError):
+            ckt.replace(Resistor("R9", "a", "0", 1e3))
+
+    def test_copy_is_independent(self):
+        ckt = Circuit("orig")
+        ckt.r("a", "0", 1e3)
+        dup = ckt.copy("dup")
+        dup.r("a", "0", 2e3)
+        assert len(ckt) == 1 and len(dup) == 2
+
+    def test_total_gate_area(self):
+        ckt = Circuit()
+        ckt.v("d", "0", dc=2.0)
+        ckt.m("d", "d", "0", "0", TECH.nmos, w=10e-6, l=2e-6)
+        ckt.m("d", "d", "0", "0", TECH.nmos, w=5e-6, l=2e-6)
+        assert ckt.total_gate_area() == pytest.approx(30e-12)
+
+
+class TestValidation:
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(NetlistError, match="empty"):
+            Circuit().validate()
+
+    def test_no_ground_rejected(self):
+        ckt = Circuit()
+        ckt.r("a", "b", 1e3)
+        with pytest.raises(NetlistError, match="ground"):
+            ckt.validate()
+
+    def test_dangling_node_rejected(self):
+        ckt = Circuit()
+        ckt.v("in", "0", dc=1.0)
+        ckt.r("in", "orphan", 1e3)
+        with pytest.raises(NetlistError, match="orphan"):
+            ckt.validate()
+
+    def test_valid_circuit_passes(self):
+        ckt = Circuit()
+        ckt.v("in", "0", dc=1.0)
+        ckt.r("in", "0", 1e3)
+        ckt.validate()
+
+
+class TestElementValidation:
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", -1.0)
+
+    def test_zero_resistance_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", 0.0)
+
+    def test_infinite_resistance_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", math.inf)
+
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(NetlistError):
+            Capacitor("C1", "a", "b", -1e-12)
+
+    def test_zero_capacitance_allowed(self):
+        Capacitor("C1", "a", "b", 0.0)
+
+    def test_mosfet_bad_geometry_rejected(self):
+        ckt = Circuit()
+        with pytest.raises(NetlistError):
+            ckt.m("d", "g", "s", "b", TECH.nmos, w=-1e-6, l=1e-6)
+
+
+class TestWaveforms:
+    def test_pulse_levels(self):
+        wave = PulseWave(v1=0.0, v2=1.0, delay=1e-6, rise=1e-9, fall=1e-9, width=1e-6)
+        assert wave.value(0.0) == 0.0
+        assert wave.value(1.5e-6) == 1.0
+        assert wave.value(3e-6) == 0.0
+
+    def test_pulse_rise_interpolates(self):
+        wave = PulseWave(v1=0.0, v2=2.0, delay=0.0, rise=1e-6)
+        assert wave.value(0.5e-6) == pytest.approx(1.0)
+
+    def test_pulse_periodic(self):
+        wave = PulseWave(
+            v1=0.0, v2=1.0, delay=0.0, rise=1e-9, fall=1e-9, width=0.5e-6,
+            period=1e-6,
+        )
+        assert wave.value(1.25e-6) == pytest.approx(wave.value(0.25e-6))
+
+    def test_sine_at_zero_crossings(self):
+        wave = SineWave(offset=0.5, amplitude=1.0, freq=1e3)
+        assert wave.value(0.0) == pytest.approx(0.5)
+        assert wave.value(0.25e-3) == pytest.approx(1.5)
+
+    def test_sine_delay(self):
+        wave = SineWave(offset=0.0, amplitude=1.0, freq=1e3, delay=1e-3)
+        assert wave.value(0.5e-3) == 0.0
+
+    def test_sine_damping(self):
+        wave = SineWave(offset=0.0, amplitude=1.0, freq=1e3, damping=1e3)
+        assert abs(wave.value(2.25e-3)) < 1.0
+
+    def test_pwl_interpolation(self):
+        wave = PwlWave(((0.0, 0.0), (1e-6, 1.0), (2e-6, 0.5)))
+        assert wave.value(0.5e-6) == pytest.approx(0.5)
+        assert wave.value(1.5e-6) == pytest.approx(0.75)
+        assert wave.value(5e-6) == pytest.approx(0.5)  # holds last value
+
+    def test_pwl_before_first_point(self):
+        wave = PwlWave(((1e-6, 2.0), (2e-6, 3.0)))
+        assert wave.value(0.0) == 2.0
+
+    def test_pwl_unsorted_rejected(self):
+        with pytest.raises(NetlistError):
+            PwlWave(((1e-6, 0.0), (0.5e-6, 1.0)))
+
+    def test_source_value_at_uses_wave(self):
+        src = VoltageSource("V1", "a", "0", dc=9.0, wave=SineWave(0.0, 1.0, 1e3))
+        assert src.value_at(0.0) == pytest.approx(0.0)
+
+    def test_source_value_at_falls_back_to_dc(self):
+        src = VoltageSource("V1", "a", "0", dc=9.0)
+        assert src.value_at(123.0) == 9.0

@@ -1,0 +1,150 @@
+"""Transient analysis tests against closed-form step responses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.spice import (
+    Circuit,
+    PulseWave,
+    SineWave,
+    measure_slew_rate,
+    transient_analysis,
+)
+from repro.technology import generic_05um
+
+TECH = generic_05um()
+NMOS = TECH.nmos
+
+
+class TestRcCharging:
+    def test_exponential_charge(self):
+        r, c = 1e3, 1e-9
+        tau = r * c
+        ckt = Circuit("rc-step")
+        ckt.v(
+            "in", "0", dc=0.0,
+            wave=PulseWave(v1=0.0, v2=1.0, delay=0.0, rise=1e-12, width=1.0),
+        )
+        ckt.r("in", "out", r)
+        ckt.c("out", "0", c)
+        tran = transient_analysis(ckt, t_stop=5 * tau, dt=tau / 100)
+        v_at_tau = tran.at("out", tau)
+        assert v_at_tau == pytest.approx(1 - math.exp(-1), rel=0.02)
+        assert tran.v("out")[-1] == pytest.approx(1.0, abs=0.01)
+
+    def test_discharge(self):
+        r, c = 1e3, 1e-9
+        tau = r * c
+        ckt = Circuit()
+        ckt.v(
+            "in", "0", dc=1.0,
+            wave=PulseWave(v1=1.0, v2=0.0, delay=tau, rise=1e-12, width=1.0),
+        )
+        ckt.r("in", "out", r)
+        ckt.c("out", "0", c)
+        tran = transient_analysis(ckt, t_stop=5 * tau, dt=tau / 100)
+        assert tran.at("out", 2 * tau) == pytest.approx(math.exp(-1), rel=0.05)
+
+    def test_initial_condition_from_op(self):
+        # DC solution gives the capacitor its steady-state start voltage.
+        ckt = Circuit()
+        ckt.v("in", "0", dc=2.0)
+        ckt.r("in", "out", 1e3)
+        ckt.c("out", "0", 1e-9)
+        ckt.r("out", "0", 1e3)
+        tran = transient_analysis(ckt, t_stop=1e-6, dt=1e-8)
+        np.testing.assert_allclose(tran.v("out"), 1.0, rtol=1e-3)
+
+
+class TestSineSteadyState:
+    def test_sine_through_divider(self):
+        ckt = Circuit()
+        ckt.v("in", "0", dc=0.0, wave=SineWave(offset=0.0, amplitude=1.0, freq=1e6))
+        ckt.r("in", "out", 1e3)
+        ckt.r("out", "0", 1e3)
+        tran = transient_analysis(ckt, t_stop=2e-6, dt=5e-9)
+        out = tran.v("out")
+        assert np.max(out) == pytest.approx(0.5, rel=0.02)
+        assert np.min(out) == pytest.approx(-0.5, rel=0.02)
+
+    def test_rc_filter_attenuates_fast_sine(self):
+        r, c = 1e3, 1e-9  # pole at 159 kHz
+        ckt = Circuit()
+        ckt.v("in", "0", dc=0.0, wave=SineWave(offset=0.0, amplitude=1.0, freq=16e6))
+        ckt.r("in", "out", r)
+        ckt.c("out", "0", c)
+        tran = transient_analysis(ckt, t_stop=1e-6, dt=1e-9)
+        tail = tran.v("out")[len(tran.times) // 2 :]
+        # 100x above the pole -> ~0.01 amplitude.
+        assert np.max(np.abs(tail)) < 0.05
+
+
+class TestInductorTransient:
+    def test_rl_rise_time(self):
+        r, l = 1e3, 1e-3
+        tau = l / r
+        ckt = Circuit("rl")
+        ckt.v(
+            "in", "0", dc=0.0,
+            wave=PulseWave(v1=0.0, v2=1.0, delay=0.0, rise=1e-12, width=1.0),
+        )
+        ckt.r("in", "out", r)
+        ckt.ind("out", "0", l, name="L1")
+        tran = transient_analysis(ckt, t_stop=5 * tau, dt=tau / 100)
+        # Inductor current approaches V/R with time constant L/R.
+        i_final = tran.branch_current("L1")[-1]
+        assert i_final == pytest.approx(1.0 / r, rel=0.02)
+        i_tau = float(np.interp(tau, tran.times, tran.branch_current("L1")))
+        assert i_tau == pytest.approx((1 - math.exp(-1)) / r, rel=0.05)
+
+
+class TestMosfetTransient:
+    def test_inverter_switches(self):
+        ckt = Circuit("inv")
+        ckt.v("vdd", "0", dc=2.5)
+        ckt.v(
+            "vin", "0", dc=0.0,
+            wave=PulseWave(v1=0.0, v2=2.5, delay=10e-9, rise=1e-9, width=1.0),
+        )
+        ckt.m("out", "vin", "0", "0", NMOS, w=10e-6, l=0.6e-6)
+        ckt.m("out", "vin", "vdd", "vdd", TECH.pmos, w=20e-6, l=0.6e-6)
+        ckt.c("out", "0", 100e-15)
+        ckt.r("out", "0", 1e9)
+        tran = transient_analysis(ckt, t_stop=50e-9, dt=0.25e-9)
+        assert tran.at("out", 5e-9) > 2.4  # before the edge
+        assert tran.at("out", 45e-9) < 0.1  # after the edge
+
+    def test_slew_rate_current_limited(self):
+        """A current source into a capacitor slews at exactly I/C."""
+        ckt = Circuit("slew")
+        ckt.i(
+            "0", "out", dc=0.0,
+            wave=PulseWave(v1=0.0, v2=10e-6, delay=1e-6, rise=1e-9, width=1.0),
+        )
+        ckt.c("out", "0", 10e-12)
+        ckt.r("out", "0", 1e9)
+        tran = transient_analysis(ckt, t_stop=3e-6, dt=5e-9)
+        sr = measure_slew_rate(tran, "out", t_start=1.1e-6, t_stop=2.5e-6)
+        assert sr == pytest.approx(10e-6 / 10e-12, rel=0.05)
+
+
+class TestTransientErrors:
+    def test_bad_time_range_rejected(self):
+        ckt = Circuit()
+        ckt.v("in", "0", dc=1.0)
+        ckt.r("in", "0", 1e3)
+        with pytest.raises(SimulationError):
+            transient_analysis(ckt, t_stop=0.0, dt=1e-9)
+        with pytest.raises(SimulationError):
+            transient_analysis(ckt, t_stop=1e-6, dt=1e-3)
+
+    def test_slew_needs_enough_points(self):
+        ckt = Circuit()
+        ckt.v("in", "0", dc=1.0)
+        ckt.r("in", "0", 1e3)
+        tran = transient_analysis(ckt, t_stop=1e-6, dt=1e-8)
+        with pytest.raises(SimulationError):
+            measure_slew_rate(tran, "in", t_start=0.99e-6)

@@ -1,0 +1,201 @@
+"""Technology process parameter and model-card tests."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelCardError, TechnologyError
+from repro.technology import (
+    EPS_OX,
+    MosModelParams,
+    MosPolarity,
+    PRESET_NAMES,
+    Technology,
+    generic_035um,
+    generic_05um,
+    generic_12um,
+    parse_model_card,
+    parse_model_cards,
+    technology_by_name,
+)
+
+
+class TestMosModelParams:
+    def test_cox_from_tox(self):
+        model = MosModelParams(polarity=MosPolarity.NMOS, tox=14e-9)
+        assert model.cox == pytest.approx(EPS_OX / 14e-9)
+
+    def test_kp_effective_prefers_card_kp(self):
+        model = MosModelParams(polarity=MosPolarity.NMOS, kp=110e-6)
+        assert model.kp_effective == 110e-6
+
+    def test_kp_effective_derived_from_u0(self):
+        model = MosModelParams(polarity=MosPolarity.NMOS, kp=0.0, u0=0.046, tox=14e-9)
+        assert model.kp_effective == pytest.approx(0.046 * EPS_OX / 14e-9)
+
+    def test_threshold_zero_bias(self):
+        model = MosModelParams(polarity=MosPolarity.NMOS, vto=0.7)
+        assert model.threshold(0.0) == pytest.approx(0.7)
+
+    def test_threshold_body_effect_increases(self):
+        model = MosModelParams(polarity=MosPolarity.NMOS, vto=0.7, gamma=0.5, phi=0.7)
+        assert model.threshold(1.0) > model.threshold(0.0)
+
+    def test_threshold_formula(self):
+        model = MosModelParams(polarity=MosPolarity.NMOS, vto=0.7, gamma=0.5, phi=0.7)
+        expected = 0.7 + 0.5 * (math.sqrt(0.7 + 2.0) - math.sqrt(0.7))
+        assert model.threshold(2.0) == pytest.approx(expected)
+
+    def test_pmos_vth0_is_magnitude(self):
+        model = MosModelParams(polarity=MosPolarity.PMOS, vto=-0.9)
+        assert model.vth0 == pytest.approx(0.9)
+
+    def test_nmos_negative_vto_rejected(self):
+        with pytest.raises(TechnologyError):
+            MosModelParams(polarity=MosPolarity.NMOS, vto=-0.7)
+
+    def test_pmos_positive_vto_rejected(self):
+        with pytest.raises(TechnologyError):
+            MosModelParams(polarity=MosPolarity.PMOS, vto=0.9)
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(TechnologyError):
+            MosModelParams(polarity=MosPolarity.NMOS, level=4)
+
+    def test_bad_tox_rejected(self):
+        with pytest.raises(TechnologyError):
+            MosModelParams(polarity=MosPolarity.NMOS, tox=0.0)
+
+    def test_with_replaces_fields(self):
+        model = MosModelParams(polarity=MosPolarity.NMOS, vto=0.7)
+        assert model.with_(vto=0.6).vto == 0.6
+        assert model.vto == 0.7  # frozen original untouched
+
+    def test_polarity_signs(self):
+        assert MosPolarity.NMOS.sign == 1
+        assert MosPolarity.PMOS.sign == -1
+
+
+class TestModelCardParsing:
+    CARD = """
+    * a comment line
+    .MODEL CMOSN NMOS (LEVEL=3 VTO=0.78 KP=5.7E-5 GAMMA=0.55
+    + PHI=0.7 LAMBDA=0.03 TOX=1.4E-8 LD=0.1U
+    + CGDO=2.0E-10 CGSO=2.0E-10 CJ=4.2E-4 CJSW=3.2E-10 U0=460
+    + THETA=0.12 VMAX=1.5E5 CUSTOM=7)
+    """
+
+    def test_parses_fields(self):
+        model = parse_model_card(self.CARD)
+        assert model.name == "CMOSN"
+        assert model.polarity is MosPolarity.NMOS
+        assert model.level == 3
+        assert model.vto == pytest.approx(0.78)
+        assert model.kp == pytest.approx(5.7e-5)
+        assert model.gamma == pytest.approx(0.55)
+        assert model.lambda_ == pytest.approx(0.03)
+        assert model.ld == pytest.approx(0.1e-6)
+        assert model.theta == pytest.approx(0.12)
+        assert model.vmax == pytest.approx(1.5e5)
+
+    def test_u0_converted_from_cm2(self):
+        model = parse_model_card(self.CARD)
+        assert model.u0 == pytest.approx(460e-4)
+
+    def test_unknown_keys_preserved(self):
+        model = parse_model_card(self.CARD)
+        assert model.extra == {"custom": 7.0}
+
+    def test_pmos_card(self):
+        model = parse_model_card(".MODEL MP PMOS (VTO=-0.9 KP=2.5E-5)")
+        assert model.polarity is MosPolarity.PMOS
+        assert model.vto == pytest.approx(-0.9)
+
+    def test_case_insensitive_directive(self):
+        model = parse_model_card(".model mn nmos (vto=0.7)")
+        assert model.name == "mn"
+
+    def test_multiple_cards(self):
+        text = (
+            ".MODEL A NMOS (VTO=0.7)\n"
+            ".MODEL B PMOS (VTO=-0.8)\n"
+        )
+        models = parse_model_cards(text)
+        assert set(models) == {"A", "B"}
+
+    def test_no_cards_raises(self):
+        with pytest.raises(ModelCardError):
+            parse_model_cards("* nothing here")
+
+    def test_two_cards_rejected_by_single_parser(self):
+        with pytest.raises(ModelCardError):
+            parse_model_card(".MODEL A NMOS (VTO=0.7)\n.MODEL B PMOS (VTO=-0.8)")
+
+    def test_orphan_continuation_raises(self):
+        with pytest.raises(ModelCardError):
+            parse_model_cards("+ VTO=0.7")
+
+    def test_bad_value_raises(self):
+        with pytest.raises(ModelCardError):
+            parse_model_card(".MODEL A NMOS (VTO=zz)")
+
+    def test_bjt_card_ignored(self):
+        with pytest.raises(ModelCardError):
+            parse_model_cards(".MODEL Q1 NPN (BF=100)")
+
+
+class TestTechnology:
+    def test_preset_names_resolve(self):
+        for name in PRESET_NAMES:
+            tech = technology_by_name(name)
+            assert tech.name == name
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(TechnologyError):
+            technology_by_name("generic-13nm")
+
+    @pytest.mark.parametrize("factory", [generic_05um, generic_035um, generic_12um])
+    def test_presets_well_formed(self, factory):
+        tech = factory()
+        assert tech.nmos.polarity is MosPolarity.NMOS
+        assert tech.pmos.polarity is MosPolarity.PMOS
+        assert tech.vdd > tech.vss
+        assert tech.nmos.kp_effective > tech.pmos.kp_effective  # mobility ratio
+        assert tech.l_min > 0 and tech.w_min > 0
+
+    def test_supply_span(self):
+        tech = generic_05um()
+        assert tech.supply_span == pytest.approx(5.0)
+
+    def test_model_lookup(self):
+        tech = generic_05um()
+        assert tech.model(MosPolarity.NMOS) is tech.nmos
+        assert tech.model(MosPolarity.PMOS) is tech.pmos
+
+    def test_swapped_polarity_rejected(self):
+        tech = generic_05um()
+        with pytest.raises(TechnologyError):
+            Technology(name="bad", nmos=tech.pmos, pmos=tech.nmos)
+
+    def test_inverted_supply_rejected(self):
+        tech = generic_05um()
+        with pytest.raises(TechnologyError):
+            Technology(name="bad", nmos=tech.nmos, pmos=tech.pmos, vdd=-1, vss=1)
+
+    def test_resistor_area_scales_linearly(self):
+        tech = generic_05um()
+        assert tech.resistor_area(2000.0) == pytest.approx(
+            2 * tech.resistor_area(1000.0)
+        )
+
+    def test_resistor_area_rejects_nonpositive(self):
+        with pytest.raises(TechnologyError):
+            generic_05um().resistor_area(0.0)
+
+    def test_capacitor_area(self):
+        tech = generic_05um()
+        assert tech.capacitor_area(1e-12) == pytest.approx(1e-12 / tech.cap_density)
+
+    def test_capacitor_area_rejects_negative(self):
+        with pytest.raises(TechnologyError):
+            generic_05um().capacitor_area(-1e-12)

@@ -1,0 +1,129 @@
+"""Unit parsing/formatting tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnitError
+from repro.units import db, format_quantity, format_si, parse_quantity, undb
+
+
+class TestParseQuantity:
+    def test_plain_int_passes_through(self):
+        assert parse_quantity(42) == 42.0
+
+    def test_plain_float_passes_through(self):
+        assert parse_quantity(3.14) == 3.14
+
+    def test_bool_rejected(self):
+        with pytest.raises(UnitError):
+            parse_quantity(True)
+
+    def test_plain_numeric_string(self):
+        assert parse_quantity("2.5") == 2.5
+
+    def test_scientific_notation(self):
+        assert parse_quantity("1e-12") == 1e-12
+        assert parse_quantity("-4.2E3") == -4200.0
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1.3Meg", 1.3e6),
+            ("1.3MEG", 1.3e6),
+            ("1.3meg", 1.3e6),
+            ("10p", 1e-11),
+            ("10pF", 1e-11),
+            ("4.7K", 4700.0),
+            ("4.7KOhm", 4700.0),
+            ("100u", 1e-4),
+            ("100uA", 1e-4),
+            ("2m", 2e-3),
+            ("2mV", 2e-3),
+            ("5n", 5e-9),
+            ("3f", 3e-15),
+            ("1g", 1e9),
+            ("2t", 2e12),
+            ("7x", 7e6),
+            ("1a", 1e-18),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_quantity(text) == pytest.approx(expected)
+
+    def test_micro_sign(self):
+        assert parse_quantity("10µA") == pytest.approx(10e-6)
+
+    def test_mil(self):
+        assert parse_quantity("1mil") == pytest.approx(25.4e-6)
+
+    def test_percent(self):
+        assert parse_quantity("20%") == pytest.approx(0.2)
+
+    def test_bare_unit_no_scale(self):
+        assert parse_quantity("5V") == 5.0
+        assert parse_quantity("3Hz") == 3.0
+
+    def test_negative_with_suffix(self):
+        assert parse_quantity("-0.9u") == pytest.approx(-0.9e-6)
+
+    def test_whitespace_tolerated(self):
+        assert parse_quantity("  10p  ") == pytest.approx(1e-11)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1..2", "--3", "1.3 4"])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(UnitError):
+            parse_quantity(bad)
+
+    def test_m_is_milli_not_mega(self):
+        # The classic SPICE gotcha.
+        assert parse_quantity("1M") == pytest.approx(1e-3)
+
+
+class TestFormatQuantity:
+    def test_zero(self):
+        assert format_quantity(0.0, "F") == "0F"
+
+    def test_mega_suffix(self):
+        assert format_quantity(1.3e6, "Hz") == "1.3MegHz"
+
+    def test_pico(self):
+        assert format_quantity(10e-12, "F") == "10pF"
+
+    def test_si_mega(self):
+        assert format_si(1.3e6, "Hz") == "1.3MHz"
+
+    def test_nan_and_inf(self):
+        assert "nan" in format_quantity(float("nan"))
+        assert "inf" in format_quantity(float("inf"))
+
+    def test_negative(self):
+        assert format_quantity(-4.7e3) == "-4.7k"
+
+    @given(st.floats(min_value=1e-17, max_value=1e13, allow_nan=False))
+    def test_roundtrip(self, value):
+        text = format_quantity(value, digits=12)
+        assert parse_quantity(text) == pytest.approx(value, rel=1e-9)
+
+
+class TestDb:
+    def test_db_of_10(self):
+        assert db(10.0) == pytest.approx(20.0)
+
+    def test_undb_roundtrip(self):
+        assert undb(db(123.0)) == pytest.approx(123.0)
+
+    def test_db_rejects_nonpositive(self):
+        with pytest.raises(UnitError):
+            db(0.0)
+        with pytest.raises(UnitError):
+            db(-1.0)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_db_monotone(self, ratio):
+        assert db(ratio * 2) > db(ratio)
+
+    def test_unity_is_zero_db(self):
+        assert db(1.0) == pytest.approx(0.0)
+        assert math.isclose(undb(0.0), 1.0)

@@ -1,0 +1,98 @@
+"""Constraint-transformation (VASE cascade allocation) tests."""
+
+import math
+
+import pytest
+
+from repro.errors import ApeError
+from repro.technology import generic_05um
+from repro.vase import allocate_cascade
+from repro.vase.cascade import _bandwidth_shrinkage
+
+TECH = generic_05um()
+
+
+class TestBandwidthShrinkage:
+    def test_single_stage_no_shrinkage(self):
+        assert _bandwidth_shrinkage(1) == pytest.approx(1.0)
+
+    def test_two_stage_factor(self):
+        assert _bandwidth_shrinkage(2) == pytest.approx(
+            math.sqrt(math.sqrt(2.0) - 1.0)
+        )
+
+    def test_monotone_in_stage_count(self):
+        factors = [_bandwidth_shrinkage(n) for n in range(1, 6)]
+        assert factors == sorted(factors, reverse=True)
+
+
+class TestAllocateCascade:
+    @pytest.fixture(scope="class")
+    def alloc(self):
+        return allocate_cascade(
+            TECH, total_gain=1000.0, bandwidth=50e3, n_stages=3
+        )
+
+    def test_gain_product_near_target(self, alloc):
+        assert alloc.achieved_gain >= 0.95 * 1000.0
+
+    def test_stage_bandwidth_exceeds_system(self, alloc):
+        assert alloc.stage_bandwidth > 50e3
+
+    def test_gain_split_product_exact(self, alloc):
+        product = math.prod(s.gain for s in alloc.stages)
+        assert product == pytest.approx(1000.0, rel=1e-6)
+
+    def test_totals_sum_stages(self, alloc):
+        assert alloc.total_power == pytest.approx(
+            sum(s.power for s in alloc.stages)
+        )
+        assert alloc.total_area == pytest.approx(
+            sum(s.area for s in alloc.stages)
+        )
+
+    def test_heavy_load_shifts_gain_forward(self):
+        light = allocate_cascade(
+            TECH, total_gain=1000.0, bandwidth=50e3, n_stages=3,
+            load_cl=5e-12,
+        )
+        heavy = allocate_cascade(
+            TECH, total_gain=1000.0, bandwidth=50e3, n_stages=3,
+            load_cl=100e-12,
+        )
+        assert heavy.stages[-1].gain <= light.stages[-1].gain
+
+    def test_search_beats_symmetric_split(self):
+        from repro.modules import InvertingAmplifier
+
+        alloc = allocate_cascade(
+            TECH, total_gain=1000.0, bandwidth=50e3, n_stages=3,
+            load_cl=100e-12,
+        )
+        g_sym = 1000.0 ** (1.0 / 3.0)
+        b_stage = alloc.stage_bandwidth
+        symmetric_power = 0.0
+        for idx in range(3):
+            cl = 100e-12 if idx == 2 else 2e-12
+            module = InvertingAmplifier.design(
+                TECH, gain=g_sym, bandwidth=b_stage, cl=cl
+            )
+            symmetric_power += module.estimate.dc_power
+        assert alloc.total_power <= symmetric_power
+
+    def test_single_stage_allocation(self):
+        alloc = allocate_cascade(
+            TECH, total_gain=20.0, bandwidth=20e3, n_stages=1
+        )
+        assert len(alloc.stages) == 1
+        assert alloc.stages[0].gain == pytest.approx(20.0)
+
+    def test_infeasible_gain_rejected(self):
+        with pytest.raises(ApeError, match="outside"):
+            allocate_cascade(TECH, total_gain=1e6, bandwidth=1e3, n_stages=1)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ApeError):
+            allocate_cascade(TECH, total_gain=0.5, bandwidth=1e3, n_stages=2)
+        with pytest.raises(ApeError):
+            allocate_cascade(TECH, total_gain=10.0, bandwidth=1e3, n_stages=0)

@@ -22,6 +22,7 @@ See the subpackages for the layers of the hierarchy:
 from .estimator import AnalogPerformanceEstimator
 from .errors import ApeError
 from .opamp import OpAmpSpec, OpAmpTopology, design_opamp, verify_opamp
+from .runtime import Diagnostic, DiagnosticLog, EvalBudget, RetryPolicy
 from .technology import Technology, technology_by_name
 
 __version__ = "1.0.0"
@@ -35,5 +36,9 @@ __all__ = [
     "verify_opamp",
     "Technology",
     "technology_by_name",
+    "Diagnostic",
+    "DiagnosticLog",
+    "EvalBudget",
+    "RetryPolicy",
     "__version__",
 ]

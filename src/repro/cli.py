@@ -7,10 +7,18 @@ Commands mirror the library's main entry points:
 * ``estimate-component`` / ``estimate-module`` — size any level-2/4
   library entry from ``key=value`` arguments,
 * ``synthesize`` — run one APE(+/-)annealer synthesis leg,
-* ``simulate`` — DC/AC/transient analysis of a SPICE deck file.
+* ``simulate`` — DC/AC/transient analysis of a SPICE deck file,
+* ``diagnostics`` — render the Diagnostic records accumulated by
+  tolerant runs in this process.
 
 All numeric arguments accept SPICE engineering notation (``1.3Meg``,
 ``10p``, ``100u``).
+
+Runs are *tolerant* by default: estimation failures degrade to coarser
+estimates and evaluation failures are penalized and counted, with
+structured diagnostics rendered at the end.  ``--strict`` restores
+fail-fast behaviour.  The fault-injection harness can be armed through
+``REPRO_FAULTS`` (see :mod:`repro.runtime.faults`).
 """
 
 from __future__ import annotations
@@ -20,6 +28,8 @@ import math
 import sys
 
 from .errors import ApeError
+from .runtime import faults as _faults
+from .runtime.diagnostics import DiagnosticLog, global_log
 from .units import format_si, parse_quantity
 
 __all__ = ["main", "build_parser"]
@@ -59,6 +69,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--tech", default="generic-0.5um",
         help="technology preset name (default: generic-0.5um)",
     )
+    tolerance = parser.add_mutually_exclusive_group()
+    tolerance.add_argument(
+        "--tolerant", dest="tolerant", action="store_true", default=True,
+        help="degrade gracefully on estimation/evaluation failures "
+             "(default)",
+    )
+    tolerance.add_argument(
+        "--strict", dest="tolerant", action="store_false",
+        help="fail fast: propagate the first estimation/evaluation error",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("estimate-opamp", help="size an op-amp from a spec")
@@ -93,6 +113,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", default="ape", choices=["ape", "standalone"])
     p.add_argument("--budget", type=int, default=150)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--deadline", default=None,
+                   help="wall-clock budget for the run in seconds")
+    p.add_argument("--max-failures", type=int, default=None,
+                   help="stop (degraded) after this many failed evaluations")
+    p.add_argument("--retries", type=int, default=0,
+                   help="DC-solver retry attempts per evaluation "
+                        "(deterministic jittered restarts)")
+
+    p = sub.add_parser(
+        "diagnostics",
+        help="render Diagnostic records accumulated by tolerant runs",
+    )
+    p.add_argument("--clear", action="store_true",
+                   help="clear the session log after rendering")
 
     p = sub.add_parser("simulate", help="analyse a SPICE deck file")
     p.add_argument("deck", help="path to a .cir/.sp deck")
@@ -109,11 +143,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _render_diagnostics(log: DiagnosticLog) -> None:
+    """Render a run's accumulated Diagnostic records to stdout."""
+    if not log:
+        return
+    print("diagnostics:")
+    for diagnostic in log:
+        for line in diagnostic.render().splitlines():
+            print(f"  {line}")
+
+
 def _cmd_estimate_opamp(args, tech) -> int:
     from .estimator import AnalogPerformanceEstimator
     from .opamp import verify_opamp
 
-    ape = AnalogPerformanceEstimator(tech)
+    ape = AnalogPerformanceEstimator(tech, tolerant=args.tolerant)
     amp = ape.estimate_opamp(
         gain=parse_quantity(args.gain),
         ugf=parse_quantity(args.ugf),
@@ -135,17 +179,19 @@ def _cmd_estimate_opamp(args, tech) -> int:
         print("simulation:")
         for key, value in sim.items():
             print(f"  {key:14s} {value:.6g}")
+    _render_diagnostics(ape.diagnostics)
     return 0
 
 
 def _cmd_estimate_component(args, tech) -> int:
     from .estimator import AnalogPerformanceEstimator
 
-    ape = AnalogPerformanceEstimator(tech)
+    ape = AnalogPerformanceEstimator(tech, tolerant=args.tolerant)
     comp = ape.estimate_component(args.kind, **_kv_pairs(args.params))
     _print_estimate(args.kind, comp.estimate)
     for role, dev in sorted(comp.devices.items()):
         print(f"  {role:14s} W={format_si(dev.w, 'm')} L={format_si(dev.l, 'm')}")
+    _render_diagnostics(ape.diagnostics)
     return 0
 
 
@@ -163,6 +209,7 @@ def _cmd_estimate_module(args, tech) -> int:
 
 def _cmd_synthesize(args, tech) -> int:
     from .opamp import OpAmpSpec
+    from .runtime import EvalBudget, RetryPolicy
     from .synthesis import synthesize_opamp
 
     spec = OpAmpSpec(
@@ -172,19 +219,50 @@ def _cmd_synthesize(args, tech) -> int:
         cl=parse_quantity(args.cl),
         area=(math.inf if args.area == "inf" else parse_quantity(args.area)),
     )
+    budget = None
+    if args.deadline is not None or args.max_failures is not None:
+        budget = EvalBudget(
+            deadline_seconds=(
+                parse_quantity(args.deadline)
+                if args.deadline is not None else None
+            ),
+            max_failures=args.max_failures,
+        )
+    retry = (
+        RetryPolicy(max_attempts=args.retries + 1, seed=args.seed)
+        if args.retries > 0 else None
+    )
+    log = DiagnosticLog()
     result = synthesize_opamp(
         tech, spec, mode=args.mode,
         max_evaluations=args.budget, seed=args.seed,
+        tolerant=args.tolerant, budget=budget, retry=retry,
+        diagnostics=log,
     )
     print(f"mode:       {result.mode}")
     print(f"meets spec: {result.meets_spec} ({result.comment})")
+    if result.degraded:
+        print("degraded:   True")
     if result.metrics:
         for key, value in sorted(result.metrics.items()):
             print(f"  {key:14s} {value:.6g}")
-    print(f"evaluations: {result.evaluations}, "
+    print(f"evaluations: {result.evaluations} "
+          f"({result.failed_evaluations} failed, "
+          f"{result.retries} retries), "
           f"annealer {result.cpu_seconds:.2f} s, "
           f"APE {result.ape_seconds * 1e3:.2f} ms")
+    _render_diagnostics(log)
     return 0 if result.meets_spec else 1
+
+
+def _cmd_diagnostics(args, tech) -> int:
+    log = global_log()
+    print(f"{len(log)} diagnostic record(s) this session")
+    if log:
+        print(log.render())
+    if args.clear:
+        log.clear()
+    return 0
 
 
 def _cmd_simulate(args, tech) -> int:
@@ -256,7 +334,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     from .technology import technology_by_name
 
+    injector = None
     try:
+        # Arm the deterministic fault-injection harness when requested
+        # (REPRO_FAULTS="seed=7,spice.dc=0.2,..."); no-op otherwise.
+        injector = _faults.arm_from_env()
         tech = technology_by_name(args.tech)
         handler = {
             "estimate-opamp": _cmd_estimate_opamp,
@@ -264,11 +346,15 @@ def main(argv: list[str] | None = None) -> int:
             "estimate-module": _cmd_estimate_module,
             "synthesize": _cmd_synthesize,
             "simulate": _cmd_simulate,
+            "diagnostics": _cmd_diagnostics,
         }[args.command]
         return handler(args, tech)
     except ApeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if injector is not None:
+            _faults.disarm()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,7 +33,9 @@ from .components import (
     WilsonCurrentSource,
 )
 from .devices import SizedMos, size_for_gm_id, size_for_id_vov
-from .errors import EstimationError, TopologyError
+from .errors import EstimationError, SizingError, TopologyError
+from .runtime import faults
+from .runtime.diagnostics import Diagnostic, DiagnosticLog
 from .modules import (
     AnalogModule,
     AudioAmplifier,
@@ -50,7 +52,7 @@ from .modules import (
     SigmaDeltaModulator,
     SummingAmplifier,
 )
-from .opamp import OpAmp, OpAmpSpec, OpAmpTopology, design_opamp
+from .opamp import OpAmp, OpAmpSpec, OpAmpTopology, coarse_design_opamp, design_opamp
 from .technology import MosPolarity, Technology, technology_by_name
 
 __all__ = ["AnalogPerformanceEstimator"]
@@ -87,12 +89,30 @@ _MODULE_KINDS = {
 
 
 class AnalogPerformanceEstimator:
-    """Hierarchical analog performance estimator (the paper's APE tool)."""
+    """Hierarchical analog performance estimator (the paper's APE tool).
 
-    def __init__(self, technology: Technology | str = "generic-0.5um") -> None:
+    ``tolerant=True`` turns estimation failures into graceful
+    degradation: an infeasible level-2/3 request falls back to a
+    coarser analytical estimate (relaxed gain target, added gain
+    stage) instead of raising, and every fallback is recorded as a
+    :class:`~repro.runtime.diagnostics.Diagnostic` in
+    :attr:`diagnostics` (and on the returned object's ``diagnostics``
+    attribute).  The default is strict — identical to the historical
+    behaviour.
+    """
+
+    def __init__(
+        self,
+        technology: Technology | str = "generic-0.5um",
+        *,
+        tolerant: bool = False,
+        diagnostics: DiagnosticLog | None = None,
+    ) -> None:
         if isinstance(technology, str):
             technology = technology_by_name(technology)
         self.tech = technology
+        self.tolerant = tolerant
+        self.diagnostics = diagnostics if diagnostics is not None else DiagnosticLog()
 
     # ----------------------------------------------------------- level 1
 
@@ -129,7 +149,81 @@ class AnalogPerformanceEstimator:
                 f"unknown component kind {kind!r}; available: "
                 f"{', '.join(sorted(_COMPONENT_KINDS))}"
             ) from None
-        return cls.design(self.tech, **spec)
+        if not self.tolerant:
+            faults.check("estimator.component")
+            return cls.design(self.tech, **spec)
+        try:
+            faults.check("estimator.component")
+            return cls.design(self.tech, **spec)
+        except (EstimationError, SizingError) as exc:
+            return self._coarse_component(cls, kind, spec, exc)
+
+    def _coarse_component(
+        self, cls: type, kind: str, spec: dict[str, Any], exc: Exception
+    ) -> Component:
+        """Graceful degradation for an infeasible level-2 request.
+
+        Retries unchanged (covers transient failures), then repeatedly
+        halves the gain-like entry of the spec; the first coarser
+        estimate that sizes is returned with the degradation recorded.
+        """
+        notes: list[Diagnostic] = [
+            self.diagnostics.record_exception(
+                "estimator.component",
+                exc,
+                severity="warning",
+                suggested_fix=(
+                    "exact sizing infeasible; a coarser analytical "
+                    "estimate will be substituted"
+                ),
+                context={"kind": kind},
+            )
+        ]
+        gain_key = next(
+            (k for k in ("gain", "adm") if k in spec and spec[k]), None
+        )
+        candidates: list[tuple[str, dict[str, Any]]] = [
+            ("retry unchanged", dict(spec))
+        ]
+        if gain_key is not None:
+            relaxed = dict(spec)
+            for _ in range(6):
+                relaxed = dict(relaxed)
+                relaxed[gain_key] = relaxed[gain_key] / 2.0  # type: ignore[operator]
+                candidates.append(
+                    (
+                        f"halve {gain_key} to {relaxed[gain_key]:g}",
+                        relaxed,
+                    )
+                )
+        last_exc: Exception = exc
+        for description, candidate in candidates:
+            try:
+                component = cls.design(self.tech, **candidate)
+            except (EstimationError, SizingError) as retry_exc:
+                last_exc = retry_exc
+                continue
+            notes.append(
+                self.diagnostics.record(
+                    Diagnostic(
+                        subsystem="estimator.component",
+                        severity="warning",
+                        message=f"{kind}: degraded estimate after: {description}",
+                        suggested_fix=(
+                            "relax the failing specification or choose a "
+                            "higher-capability component kind"
+                        ),
+                        context={"kind": kind, **(
+                            {"requested_" + gain_key: spec[gain_key],
+                             "delivered_" + gain_key: candidate[gain_key]}
+                            if gain_key is not None else {}
+                        )},
+                    )
+                )
+            )
+            component.diagnostics = notes  # type: ignore[attr-defined]
+            return component
+        raise last_exc
 
     # ----------------------------------------------------------- level 3
 
@@ -161,7 +255,14 @@ class AnalogPerformanceEstimator:
             output_buffer=output_buffer,
             z_load=z_load,
         )
-        return design_opamp(self.tech, spec, topology, name=name)
+        if not self.tolerant:
+            return design_opamp(self.tech, spec, topology, name=name)
+        amp, notes = coarse_design_opamp(self.tech, spec, topology, name=name)
+        if notes:
+            for note in notes:
+                self.diagnostics.record(note)
+            amp.diagnostics = notes  # type: ignore[attr-defined]
+        return amp
 
     # ----------------------------------------------------------- level 4
 

@@ -13,7 +13,7 @@ builds the simulation benches the tables verify against.
 """
 
 from .topology import OpAmpSpec, OpAmpTopology
-from .estimator import OpAmp, design_opamp
+from .estimator import OpAmp, coarse_design_opamp, design_opamp
 from .benches import (
     balanced_open_loop,
     cmrr_benches,
@@ -27,6 +27,7 @@ __all__ = [
     "OpAmpTopology",
     "OpAmp",
     "design_opamp",
+    "coarse_design_opamp",
     "open_loop_bench",
     "balanced_open_loop",
     "cmrr_benches",

@@ -34,10 +34,12 @@ from ..components import (
 from ..components.current_sources import DEFAULT_MIRROR_VOV
 from ..devices.sizing import MIN_OVERDRIVE
 from ..errors import EstimationError
+from ..runtime import faults
+from ..runtime.diagnostics import Diagnostic
 from ..technology import MosPolarity, Technology
 from .topology import OpAmpSpec, OpAmpTopology
 
-__all__ = ["OpAmp", "design_opamp"]
+__all__ = ["OpAmp", "design_opamp", "coarse_design_opamp"]
 
 #: Compensation capacitor floor relative to the load (stability rule).
 CC_OVER_CL = 0.22
@@ -135,6 +137,7 @@ def design_opamp(
     infeasible for the chosen topology (e.g. more gain than two stages
     can deliver in this technology).
     """
+    faults.check("estimator.opamp")
     if topology is None:
         topology = OpAmpTopology()
     lam_sum = tech.nmos.lambda_ + tech.pmos.lambda_
@@ -454,4 +457,93 @@ def design_opamp(
         rz=rz,
         r_ref=r_ref,
         r_bias=r_bias,
+    )
+
+
+def coarse_design_opamp(
+    tech: Technology,
+    spec: OpAmpSpec,
+    topology: OpAmpTopology | None = None,
+    name: str = "opamp",
+    *,
+    max_gain_halvings: int = 6,
+) -> tuple[OpAmp, list[Diagnostic]]:
+    """Graceful-degradation wrapper around :func:`design_opamp`.
+
+    When the exact sizing raises :class:`EstimationError`, walk a
+    relaxation ladder — retry unchanged (covers transient failures),
+    enable the common-source gain stage, then repeatedly halve the gain
+    target — and return the first coarser estimate that sizes, together
+    with the :class:`Diagnostic` records describing every relaxation.
+    Re-raises only when the whole ladder fails.
+    """
+    from dataclasses import replace as _replace
+
+    diagnostics: list[Diagnostic] = []
+    try:
+        return design_opamp(tech, spec, topology, name=name), diagnostics
+    except EstimationError as first_exc:
+        diagnostics.append(
+            Diagnostic.from_exception(
+                "estimator.opamp",
+                first_exc,
+                severity="warning",
+                suggested_fix=(
+                    "exact sizing infeasible; a coarser analytical "
+                    "estimate will be substituted"
+                ),
+                context={"component": name, "gain": spec.gain},
+            )
+        )
+    attempts: list[tuple[str, OpAmpSpec, OpAmpTopology | None]] = []
+    attempts.append(("retry unchanged", spec, topology))
+    base_topology = topology or OpAmpTopology()
+    # The folded-cascode stage is single-stage by construction, so the
+    # gain-stage relaxation only applies to the other diff pairs.
+    foldable = base_topology.diff_pair.lower() != "folded"
+    relaxed_topology = (
+        _replace(base_topology, gain_stage=True) if foldable else base_topology
+    )
+    if foldable and base_topology.gain_stage is not True:
+        attempts.append(
+            ("enable the common-source gain stage", spec, relaxed_topology)
+        )
+    gain = spec.gain
+    for _ in range(max_gain_halvings):
+        gain = gain / 2.0
+        attempts.append(
+            (
+                f"halve the gain target to {gain:g}",
+                _replace(spec, gain=gain),
+                relaxed_topology,
+            )
+        )
+    last_exc: EstimationError | None = None
+    for description, attempt_spec, attempt_topology in attempts:
+        try:
+            amp = design_opamp(tech, attempt_spec, attempt_topology, name=name)
+        except EstimationError as exc:
+            last_exc = exc
+            continue
+        diagnostics.append(
+            Diagnostic(
+                subsystem="estimator.opamp",
+                severity="warning",
+                message=f"{name}: degraded estimate after: {description}",
+                suggested_fix=(
+                    "reduce the gain specification, pick a higher-gain "
+                    "topology (folded cascode), or use a longer-channel "
+                    "technology"
+                ),
+                context={
+                    "component": name,
+                    "requested_gain": spec.gain,
+                    "delivered_gain": attempt_spec.gain,
+                },
+            )
+        )
+        return amp, diagnostics
+    raise last_exc if last_exc is not None else EstimationError(
+        f"{name}: relaxation ladder produced no attempts",
+        context={"component": name},
     )

@@ -1,0 +1,33 @@
+"""Fault-tolerant evaluation runtime.
+
+The robustness substrate under the solver -> estimator -> synthesis
+stack.  Four pieces, each usable on its own:
+
+* :class:`RetryPolicy` — bounded, deterministic retries with
+  exponentially growing jitter on initial guesses and the DC solver's
+  gmin ladder (:mod:`repro.runtime.retry`);
+* :class:`EvalBudget` — per-run evaluation / failure / wall-clock
+  budgets polled by the annealer so runs degrade to "best point so
+  far + diagnostics" instead of hanging (:mod:`repro.runtime.budget`);
+* :class:`Diagnostic` / :class:`DiagnosticLog` — structured records of
+  every failure or degradation, mirrored to a process-wide session log
+  (:mod:`repro.runtime.diagnostics`);
+* :mod:`repro.runtime.faults` — a deterministic, seedable
+  fault-injection harness proving that every recovery path fires.
+
+See ``docs/ROBUSTNESS.md`` for the model and usage.
+"""
+
+from .budget import EvalBudget
+from .diagnostics import Diagnostic, DiagnosticLog, global_log
+from .retry import RetryPolicy
+from . import faults
+
+__all__ = [
+    "EvalBudget",
+    "Diagnostic",
+    "DiagnosticLog",
+    "global_log",
+    "RetryPolicy",
+    "faults",
+]

@@ -1,0 +1,111 @@
+"""Evaluation and wall-clock budgets for long-running searches.
+
+An :class:`EvalBudget` is shared between a run driver (the synthesis
+engine) and its inner loop (the annealer): every candidate evaluation
+is charged against it, and the loop polls :meth:`exhausted_reason`
+between moves.  When any limit trips, the search stops and returns the
+best point found so far, flagged ``degraded`` — it never hangs and
+never dies with a half-finished run.
+
+Per-evaluation timing is *soft*: a pure-Python evaluation cannot be
+preempted portably, so an evaluation that overruns ``per_eval_seconds``
+is completed, counted in ``slow_evaluations`` and reported via
+diagnostics rather than aborted mid-flight.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["EvalBudget"]
+
+
+class EvalBudget:
+    """Caps on evaluations, failures and wall-clock time for one run."""
+
+    def __init__(
+        self,
+        max_evaluations: int | None = None,
+        *,
+        deadline_seconds: float | None = None,
+        max_failures: int | None = None,
+        per_eval_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        for name, value in (
+            ("max_evaluations", max_evaluations),
+            ("deadline_seconds", deadline_seconds),
+            ("max_failures", max_failures),
+            ("per_eval_seconds", per_eval_seconds),
+        ):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        self.max_evaluations = max_evaluations
+        self.deadline_seconds = deadline_seconds
+        self.max_failures = max_failures
+        self.per_eval_seconds = per_eval_seconds
+        self._clock = clock
+        self._t0: float | None = None
+        self.evaluations = 0
+        self.failures = 0
+        self.slow_evaluations = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "EvalBudget":
+        """Arm the deadline clock (idempotent)."""
+        if self._t0 is None:
+            self._t0 = self._clock()
+        return self
+
+    def elapsed(self) -> float:
+        if self._t0 is None:
+            return 0.0
+        return self._clock() - self._t0
+
+    # ----------------------------------------------------------- accounting
+
+    def consume(self, *, failed: bool = False, seconds: float = 0.0) -> None:
+        """Charge one completed evaluation against the budget."""
+        self.start()
+        self.evaluations += 1
+        if failed:
+            self.failures += 1
+        if self.per_eval_seconds is not None and seconds > self.per_eval_seconds:
+            self.slow_evaluations += 1
+
+    # ----------------------------------------------------------- exhaustion
+
+    def exhausted_reason(self) -> str | None:
+        """Why the run must stop now, or ``None`` to keep going."""
+        if (
+            self.max_evaluations is not None
+            and self.evaluations >= self.max_evaluations
+        ):
+            return "evaluation budget exhausted"
+        if self.max_failures is not None and self.failures >= self.max_failures:
+            return "failure budget exhausted"
+        if (
+            self.deadline_seconds is not None
+            and self._t0 is not None
+            and self.elapsed() >= self.deadline_seconds
+        ):
+            return "deadline exceeded"
+        return None
+
+    def exhausted(self) -> bool:
+        return self.exhausted_reason() is not None
+
+    def remaining_evaluations(self) -> int | None:
+        if self.max_evaluations is None:
+            return None
+        return max(self.max_evaluations - self.evaluations, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"EvalBudget(evaluations={self.evaluations}"
+            f"/{self.max_evaluations}, failures={self.failures}"
+            f"/{self.max_failures}, elapsed={self.elapsed():.2f}s"
+            f"/{self.deadline_seconds})"
+        )

@@ -1,0 +1,164 @@
+"""Structured diagnostics: what went wrong, where, and what to do.
+
+Production sizing flows treat a failed simulation or an infeasible
+analytical estimate as a *first-class outcome*: the run keeps going,
+and the failure is recorded as a :class:`Diagnostic` carrying the
+subsystem, a severity, the rendered exception chain and a suggested
+fix.  A :class:`DiagnosticLog` accumulates records per run; every
+record is mirrored into a process-wide session log so the CLI's
+``repro diagnostics`` command can render everything that happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "DiagnosticLog",
+    "global_log",
+]
+
+#: Recognized severity levels, mildest first.
+Severity = ("info", "warning", "error")
+
+
+def _exception_chain(exc: BaseException) -> tuple[str, ...]:
+    """Render ``exc`` and its ``__cause__``/``__context__`` chain."""
+    chain: list[str] = []
+    seen: set[int] = set()
+    current: BaseException | None = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        chain.append(f"{type(current).__name__}: {current}")
+        current = current.__cause__ or current.__context__
+    return tuple(chain)
+
+
+@dataclass
+class Diagnostic:
+    """One structured failure/degradation record."""
+
+    #: Which layer produced the record (``spice.dc``, ``estimator.opamp``,
+    #: ``synthesis.evaluate``, ...).
+    subsystem: str
+    #: One of :data:`Severity`.
+    severity: str
+    #: Human-readable description of what happened.
+    message: str
+    #: What the user can do about it (may be empty).
+    suggested_fix: str = ""
+    #: Structured payload — component, parameter, value, seed, ...
+    context: dict = field(default_factory=dict)
+    #: Rendered ``type: message`` lines of the originating exception chain.
+    exception_chain: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.severity not in Severity:
+            raise ValueError(
+                f"severity must be one of {Severity}, got {self.severity!r}"
+            )
+
+    @classmethod
+    def from_exception(
+        cls,
+        subsystem: str,
+        exc: BaseException,
+        *,
+        severity: str = "error",
+        suggested_fix: str = "",
+        context: dict | None = None,
+    ) -> "Diagnostic":
+        """Build a record from a caught exception, preserving its chain."""
+        merged = dict(getattr(exc, "context", {}) or {})
+        merged.update(context or {})
+        return cls(
+            subsystem=subsystem,
+            severity=severity,
+            message=str(exc) or type(exc).__name__,
+            suggested_fix=suggested_fix,
+            context=merged,
+            exception_chain=_exception_chain(exc),
+        )
+
+    def render(self) -> str:
+        """One- or multi-line human-readable rendering."""
+        lines = [f"[{self.severity}] {self.subsystem}: {self.message}"]
+        if self.context:
+            pairs = ", ".join(f"{k}={v!r}" for k, v in self.context.items())
+            lines.append(f"    context: {pairs}")
+        for entry in self.exception_chain[1:]:
+            lines.append(f"    caused by: {entry}")
+        if self.suggested_fix:
+            lines.append(f"    fix: {self.suggested_fix}")
+        return "\n".join(lines)
+
+
+class DiagnosticLog:
+    """An append-only collection of :class:`Diagnostic` records.
+
+    Records are also mirrored into the process-wide session log (see
+    :func:`global_log`) unless this *is* the session log, so one-shot
+    tools can render everything accumulated across subsystems.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[Diagnostic] = []
+
+    def record(self, diagnostic: Diagnostic) -> Diagnostic:
+        self.records.append(diagnostic)
+        session = global_log()
+        if self is not session:
+            session.records.append(diagnostic)
+        return diagnostic
+
+    def record_exception(
+        self,
+        subsystem: str,
+        exc: BaseException,
+        *,
+        severity: str = "error",
+        suggested_fix: str = "",
+        context: dict | None = None,
+    ) -> Diagnostic:
+        return self.record(
+            Diagnostic.from_exception(
+                subsystem,
+                exc,
+                severity=severity,
+                suggested_fix=suggested_fix,
+                context=context,
+            )
+        )
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def worst_severity(self) -> str | None:
+        if not self.records:
+            return None
+        return max(self.records, key=lambda d: Severity.index(d.severity)).severity
+
+    def render(self) -> str:
+        if not self.records:
+            return "no diagnostics recorded"
+        return "\n".join(d.render() for d in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+
+_SESSION_LOG = DiagnosticLog()
+
+
+def global_log() -> DiagnosticLog:
+    """The process-wide session log every :class:`DiagnosticLog` mirrors to."""
+    return _SESSION_LOG

@@ -1,0 +1,73 @@
+"""Bounded, deterministic retry policies for failed evaluations.
+
+A :class:`RetryPolicy` owns three knobs:
+
+* ``max_attempts`` — total solve attempts (first try included),
+* ``jitter`` — the relative magnitude of the deterministic
+  perturbation applied to the initial guess on the first retry,
+* ``backoff`` — exponential growth factor of that perturbation (and of
+  the gmin-ladder relaxation in the DC solver) on every further retry.
+
+Retries on a CPU-bound local solver gain nothing from sleeping, so the
+"backoff" here widens the *search*, not the wall clock: each retry
+starts from a more strongly perturbed guess and walks a more forgiving
+gmin ladder.  All perturbations are derived from ``(seed, attempt)``
+only, so a retried run is bit-for-bit reproducible and — crucially — a
+run in which no retry fires is identical to one executed without any
+policy installed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded deterministic retries with exponentially growing jitter."""
+
+    #: Total attempts, first try included (1 disables retries).
+    max_attempts: int = 3
+    #: Perturbation scale on the first retry (volts for DC guesses).
+    jitter: float = 0.05
+    #: Growth factor applied to ``jitter`` per further retry.
+    backoff: float = 4.0
+    #: Seed for the deterministic perturbation streams.
+    seed: int = 0
+    #: Retries actually consumed (across all calls using this policy).
+    total_retries: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.jitter < 0 or self.backoff < 1:
+            raise ValueError(
+                f"need jitter >= 0 and backoff >= 1, got "
+                f"jitter={self.jitter}, backoff={self.backoff}"
+            )
+
+    def scale(self, attempt: int) -> float:
+        """Perturbation magnitude for retry ``attempt`` (1 = first retry)."""
+        return self.jitter * self.backoff ** (attempt - 1)
+
+    def rng(self, attempt: int) -> random.Random:
+        """A fresh deterministic stream for retry ``attempt``.
+
+        Independent of call order and of how many other sites share the
+        policy, so concurrent users cannot perturb each other's draws.
+        """
+        return random.Random(self.seed * 1_000_003 + attempt)
+
+    def note_retry(self) -> None:
+        self.total_retries += 1
+
+    def perturb(self, values: list[float], attempt: int) -> list[float]:
+        """Additively jitter a vector of initial-guess values."""
+        rng = self.rng(attempt)
+        scale = self.scale(attempt)
+        return [v + rng.gauss(0.0, scale) for v in values]

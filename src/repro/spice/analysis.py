@@ -166,6 +166,7 @@ def balance_differential(
     v_span: float = 0.2,
     tol: float = 1e-6,
     max_bisections: int = 60,
+    retry=None,
 ) -> tuple[float, Circuit, OperatingPointResult]:
     """Find the DC differential input that centres an amplifier's output.
 
@@ -174,12 +175,16 @@ def balance_differential(
     the offset where ``V(output_node) == target`` — the standard way to
     bias a high-gain open-loop amplifier before AC analysis.
 
+    An optional :class:`~repro.runtime.retry.RetryPolicy` is forwarded
+    to every bisection solve so one transient non-convergence does not
+    void the whole balancing sweep.
+
     Returns ``(v_offset, circuit, op)`` at the balanced point.
     """
 
     def output_at(vofs: float) -> tuple[float, Circuit, OperatingPointResult]:
         ckt = build(vofs)
-        op = dc_operating_point(ckt)
+        op = dc_operating_point(ckt, retry=retry)
         return op.v(output_node) - target, ckt, op
 
     lo, hi = -v_span, v_span

@@ -21,6 +21,7 @@ import numpy as np
 import scipy.linalg
 
 from ..errors import SimulationError
+from ..runtime import faults
 from .dc import OperatingPointResult, dc_operating_point
 from .mna import assemble_ac, capacitance_matrix
 from .netlist import Circuit
@@ -145,6 +146,7 @@ def awe_poles(
     order yields a singular Hankel matrix (fewer significant poles than
     asked for), the order is reduced automatically.
     """
+    faults.check("spice.awe")
     if order < 1:
         raise SimulationError("AWE order must be >= 1")
     if op is None:

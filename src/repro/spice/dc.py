@@ -2,9 +2,13 @@
 
 Newton-Raphson with per-step voltage damping; when plain Newton fails it
 falls back to gmin stepping and then source stepping, the same ladder a
-production SPICE walks.  The solved point is returned as an
-:class:`OperatingPointResult` exposing node voltages, branch currents
-and per-MOSFET bias details.
+production SPICE walks.  On top of the ladder an optional
+:class:`~repro.runtime.retry.RetryPolicy` re-runs the whole ladder from
+deterministically jittered initial guesses with an exponentially more
+forgiving gmin relaxation, so transient non-convergence inside a
+synthesis loop is retried instead of aborting the run.  The solved
+point is returned as an :class:`OperatingPointResult` exposing node
+voltages, branch currents and per-MOSFET bias details.
 """
 
 from __future__ import annotations
@@ -14,6 +18,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ConvergenceError
+from ..runtime import faults
+from ..runtime.retry import RetryPolicy
 from .mna import System, assemble_dc, evaluate_mosfet
 from .netlist import Circuit, Mosfet, VoltageSource
 
@@ -117,27 +123,29 @@ def _initial_guess(system: System) -> np.ndarray:
     return x
 
 
-def dc_operating_point(
-    circuit: Circuit,
+def _solve_ladder(
+    system: System,
+    start: np.ndarray,
+    gmin: float,
     *,
-    x0: np.ndarray | None = None,
-    gmin: float = 1e-12,
-) -> OperatingPointResult:
-    """Solve the DC operating point of ``circuit``.
+    gmin_start_exponent: int = 3,
+) -> tuple[np.ndarray, int, float] | None:
+    """Plain Newton, then gmin stepping, then source stepping.
 
-    Tries plain Newton first, then gmin stepping (relaxing every node to
-    ground through a decreasing conductance), then source stepping
-    (ramping all independent sources from zero).  Raises
-    :class:`~repro.errors.ConvergenceError` when everything fails.
+    Returns ``(x, iterations, gmin_used)`` or ``None`` when the whole
+    ladder fails.  ``gmin_start_exponent`` sets where the gmin ladder
+    begins (smaller = leakier = easier); retries lower it to relax the
+    solve exponentially.
     """
-    system = System(circuit)
-    start = x0.copy() if x0 is not None else _initial_guess(system)
-    solved = _newton(system, start, gmin=gmin)
+    if faults.fires("spice.dc.newton"):
+        solved = None  # injected: skip plain Newton, exercise the ladder
+    else:
+        solved = _newton(system, start, gmin=gmin)
     gmin_used = gmin
     if solved is None:
         # gmin stepping: solve an easy (leaky) circuit, tighten gradually.
         x = start
-        for exponent in range(3, 13):
+        for exponent in range(gmin_start_exponent, 13):
             step_gmin = 10.0 ** (-exponent)
             attempt = _newton(system, x, gmin=max(step_gmin, gmin))
             if attempt is None:
@@ -147,8 +155,6 @@ def dc_operating_point(
             if step_gmin <= gmin:
                 solved = attempt
                 break
-        if solved is None and gmin_used <= 1e-3:
-            solved = None
     if solved is None:
         # Source stepping: ramp sources 0 -> 100 %.
         x = np.zeros(system.size)
@@ -163,11 +169,75 @@ def dc_operating_point(
             solved = (x, -1)
             gmin_used = gmin
     if solved is None:
+        return None
+    x, iterations = solved
+    return x, iterations, gmin_used
+
+
+def _perturbed_guess(
+    start: np.ndarray, system: System, retry: RetryPolicy, attempt: int
+) -> np.ndarray:
+    """Deterministically jitter the node voltages of an initial guess."""
+    rng = retry.rng(attempt)
+    scale = retry.scale(attempt)
+    perturbed = start.copy()
+    for i in range(system.n_nodes):
+        perturbed[i] += rng.gauss(0.0, scale)
+    return perturbed
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    *,
+    x0: np.ndarray | None = None,
+    gmin: float = 1e-12,
+    retry: RetryPolicy | None = None,
+) -> OperatingPointResult:
+    """Solve the DC operating point of ``circuit``.
+
+    Tries plain Newton first, then gmin stepping (relaxing every node to
+    ground through a decreasing conductance), then source stepping
+    (ramping all independent sources from zero).  When a ``retry``
+    policy is given, a failed ladder is re-run from deterministically
+    jittered initial guesses (jitter and gmin relaxation both grow
+    exponentially per attempt) up to ``retry.max_attempts`` times.
+    Raises :class:`~repro.errors.ConvergenceError` when everything
+    fails.
+    """
+    faults.check("spice.dc")
+    system = System(circuit)
+    base = x0.copy() if x0 is not None else _initial_guess(system)
+    attempts = 1 if retry is None else max(retry.max_attempts, 1)
+    solution: tuple[np.ndarray, int, float] | None = None
+    for attempt in range(attempts):
+        if attempt == 0:
+            start = base
+            exponent = 3
+        else:
+            assert retry is not None
+            retry.note_retry()
+            start = _perturbed_guess(base, system, retry, attempt)
+            # Exponential backoff on the ladder: start leakier each retry.
+            exponent = max(3 - attempt, 1)
+        if faults.fires("spice.dc.attempt"):
+            continue  # injected: void this whole attempt
+        solution = _solve_ladder(
+            system, start, gmin, gmin_start_exponent=exponent
+        )
+        if solution is not None:
+            break
+    if solution is None:
         raise ConvergenceError(
             f"{circuit.title}: DC operating point did not converge "
-            "(Newton, gmin stepping and source stepping all failed)"
+            "(Newton, gmin stepping and source stepping all failed)",
+            context={
+                "circuit": circuit.title,
+                "attempts": attempts,
+                "gmin": gmin,
+                "nodes": system.n_nodes,
+            },
         )
-    x, iterations = solved
+    x, iterations, gmin_used = solution
     result = OperatingPointResult(
         system=system, x=x, iterations=iterations, gmin_used=gmin_used
     )

@@ -4,6 +4,13 @@ A compact, deterministic (seeded) implementation of the classic
 Metropolis annealer ASTRX/OBLX is built on: geometric cooling, one
 variable perturbed per move in log space, move size tied to the
 temperature, fixed evaluation budget.
+
+Failed candidate evaluations (``metrics is None``) are a first-class
+outcome: they are counted in :attr:`AnnealResult.failed_evaluations`
+and the search continues from the best point so far.  An optional
+:class:`~repro.runtime.budget.EvalBudget` is polled between moves so a
+run that exceeds its deadline or failure budget stops gracefully with
+``degraded`` set instead of hanging or dying.
 """
 
 from __future__ import annotations
@@ -12,6 +19,9 @@ import math
 import random
 from dataclasses import dataclass, field
 from typing import Callable
+
+from ..errors import SpecificationError
+from ..runtime.budget import EvalBudget
 
 __all__ = ["AnnealingSchedule", "AnnealResult", "Annealer"]
 
@@ -38,6 +48,13 @@ class AnnealResult:
     evaluations: int
     accepted: int
     history: list[float] = field(default_factory=list)
+    #: Evaluations whose metrics came back ``None`` (unusable candidate).
+    failed_evaluations: int = 0
+    #: True when an :class:`EvalBudget` stopped the run before the
+    #: cooling schedule finished naturally.
+    degraded: bool = False
+    #: Why the budget stopped the run (empty on a natural finish).
+    stop_reason: str = ""
 
 
 class Annealer:
@@ -58,7 +75,10 @@ class Annealer:
     ) -> None:
         for name, (lo, hi) in bounds.items():
             if not 0 < lo <= hi:
-                raise ValueError(f"variable {name}: bad bounds [{lo}, {hi}]")
+                raise SpecificationError(
+                    f"variable {name}: bad bounds [{lo}, {hi}]",
+                    context={"variable": name, "lo": lo, "hi": hi},
+                )
         self.evaluate = evaluate
         self.bounds = bounds
         self.schedule = schedule or AnnealingSchedule()
@@ -88,25 +108,49 @@ class Annealer:
         self,
         x0: dict[str, float] | None = None,
         max_evaluations: int = 400,
+        budget: EvalBudget | None = None,
     ) -> AnnealResult:
-        """Anneal from ``x0`` (or a random point) within the budget."""
+        """Anneal from ``x0`` (or a random point) within the budget.
+
+        ``max_evaluations`` is the classic fixed evaluation count; the
+        optional ``budget`` adds deadline and failure-count limits on
+        top.  Either way the best point found so far is returned —
+        budget exhaustion degrades the run, it never raises.
+        """
         sched = self.schedule
+        if budget is not None:
+            budget.start()
+        failed = 0
         current = dict(x0) if x0 is not None else self._random_point()
         for name, (lo, hi) in self.bounds.items():
             current[name] = min(max(current.get(name, lo), lo), hi)
         current_cost, current_metrics = self.evaluate(current)
+        if current_metrics is None:
+            failed += 1
+        if budget is not None:
+            budget.consume(failed=current_metrics is None)
         evaluations = 1
         accepted = 0
         best = (dict(current), current_cost, current_metrics)
         history = [current_cost]
         temperature = sched.t_start
+        stop_reason = ""
         while temperature > sched.t_end and evaluations < max_evaluations:
             for _ in range(sched.moves_per_temperature):
                 if evaluations >= max_evaluations:
                     break
+                if budget is not None:
+                    reason = budget.exhausted_reason()
+                    if reason is not None:
+                        stop_reason = reason
+                        break
                 candidate = self._perturb(current, temperature)
                 cost, metrics = self.evaluate(candidate)
                 evaluations += 1
+                if metrics is None:
+                    failed += 1
+                if budget is not None:
+                    budget.consume(failed=metrics is None)
                 delta = cost - current_cost
                 if delta <= 0 or self.rng.random() < math.exp(
                     -delta / max(temperature, 1e-12)
@@ -118,6 +162,8 @@ class Annealer:
                     if current_cost < best[1]:
                         best = (dict(current), current_cost, current_metrics)
                 history.append(current_cost)
+            if stop_reason:
+                break
             temperature *= sched.alpha
         return AnnealResult(
             best_params=best[0],
@@ -126,4 +172,7 @@ class Annealer:
             evaluations=evaluations,
             accepted=accepted,
             history=history,
+            failed_evaluations=failed,
+            degraded=bool(stop_reason),
+            stop_reason=stop_reason,
         )

@@ -12,6 +12,15 @@
 Both legs share the same annealing schedule and evaluation budget, so
 the measured difference is purely the paper's claim: the quality of the
 initial design point and intervals.
+
+The run is fault tolerant by default: failed candidate evaluations are
+penalized and counted (never fatal), an infeasible APE pre-design
+degrades to a coarser estimate (``mode='ape'``) with a recorded
+:class:`~repro.runtime.diagnostics.Diagnostic`, and an optional
+:class:`~repro.runtime.budget.EvalBudget` bounds the whole leg so it
+returns "best point so far" instead of hanging.  With faults absent
+and no budget/retry installed, the tolerant path is bit-for-bit
+identical to the strict one.
 """
 
 from __future__ import annotations
@@ -19,11 +28,14 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..errors import SpecificationError
-from ..opamp import OpAmp, OpAmpSpec, OpAmpTopology, design_opamp
+from ..errors import ApeError, SpecificationError
+from ..opamp import OpAmp, OpAmpSpec, OpAmpTopology, coarse_design_opamp, design_opamp
+from ..runtime.budget import EvalBudget
+from ..runtime.diagnostics import Diagnostic, DiagnosticLog
+from ..runtime.retry import RetryPolicy
 from ..technology import Technology
 from .annealing import Annealer, AnnealingSchedule, AnnealResult
-from .cost import CostFunction
+from .cost import CostFunction, FAILURE_COST
 from .problems import OpAmpSizingProblem, ape_ranges, standalone_ranges
 from .specs import SynthesisSpec, opamp_synthesis_spec
 
@@ -44,6 +56,16 @@ class SynthesisResult:
     cpu_seconds: float
     ape_seconds: float
     params: dict[str, float] = field(default_factory=dict)
+    #: Candidate evaluations that produced no usable metrics.
+    failed_evaluations: int = 0
+    #: DC-solver retries consumed by the run's :class:`RetryPolicy`.
+    retries: int = 0
+    #: True when the run fell back somewhere: the APE pre-design was
+    #: relaxed, the budget stopped the annealer early, or no candidate
+    #: could be evaluated at all.
+    degraded: bool = False
+    #: Structured failure/degradation records accumulated by the run.
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
     def metric(self, key: str, default: float = float("nan")) -> float:
         if self.metrics is None:
@@ -63,18 +85,50 @@ def synthesize_opamp(
     schedule: AnnealingSchedule | None = None,
     seed: int = 1,
     name: str = "opamp",
+    tolerant: bool = True,
+    budget: EvalBudget | None = None,
+    retry: RetryPolicy | None = None,
+    diagnostics: DiagnosticLog | None = None,
 ) -> SynthesisResult:
-    """Run one APE(+/-)ASTRX/OBLX synthesis leg for an op-amp spec."""
+    """Run one APE(+/-)ASTRX/OBLX synthesis leg for an op-amp spec.
+
+    ``tolerant`` (the default) treats every evaluation failure as a
+    penalized, counted outcome; ``tolerant=False`` restores the strict
+    behaviour where an unexpected :class:`ApeError` in the APE
+    pre-design or the evaluation loop propagates.  ``budget``, ``retry``
+    and ``diagnostics`` are optional runtime hooks — absent (and with no
+    faults occurring), results are bit-for-bit identical to a plain run.
+    """
     if mode not in ("standalone", "ape"):
-        raise SpecificationError(f"unknown synthesis mode {mode!r}")
+        raise SpecificationError(
+            f"unknown synthesis mode {mode!r}",
+            context={"mode": mode, "known": ("standalone", "ape")},
+        )
     if synthesis_spec is None:
         synthesis_spec = opamp_synthesis_spec(spec)
     cost_fn = CostFunction(synthesis_spec)
+    log = diagnostics if diagnostics is not None else DiagnosticLog()
+    # Shared logs/policies may carry state from earlier runs; report
+    # only this run's contribution.
+    records_before = len(log.records)
+    retries_before = retry.total_retries if retry is not None else 0
 
     # APE always provides the *structure* (ASTRX/OBLX also receives the
     # topology); in standalone mode its sizes are discarded.
+    if budget is not None:
+        budget.start()
+    degraded_design = False
     ape_start = time.perf_counter()
-    template = design_opamp(tech, spec, topology, name=name)
+    if tolerant:
+        template, design_notes = coarse_design_opamp(
+            tech, spec, topology, name=name
+        )
+        if design_notes:
+            degraded_design = True
+            for note in design_notes:
+                log.record(note)
+    else:
+        template = design_opamp(tech, spec, topology, name=name)
     ape_seconds = time.perf_counter() - ape_start
 
     if mode == "ape":
@@ -87,18 +141,65 @@ def synthesize_opamp(
         variables = standalone_ranges(template)
         x0 = None  # random start inside the wide box
 
-    problem = OpAmpSizingProblem(template, variables)
+    problem = OpAmpSizingProblem(
+        template,
+        variables,
+        retry=retry,
+        diagnostics=log if tolerant else None,
+    )
 
     def evaluate(params: dict[str, float]):
         metrics = problem.evaluate(params)
         return cost_fn(metrics), metrics
 
+    def evaluate_tolerant(params: dict[str, float]):
+        # The problem already absorbs the expected simulation failures;
+        # this is the last line of defence against anything else in the
+        # stack, so one bad candidate can never abort a whole table run.
+        try:
+            return evaluate(params)
+        except ApeError as exc:
+            log.record_exception(
+                "synthesis.evaluate",
+                exc,
+                severity="warning",
+                suggested_fix="candidate penalized; see the exception chain",
+            )
+            return FAILURE_COST, None
+
     annealer = Annealer(
-        evaluate, problem.bounds(), schedule=schedule, seed=seed
+        evaluate_tolerant if tolerant else evaluate,
+        problem.bounds(),
+        schedule=schedule,
+        seed=seed,
     )
     start = time.perf_counter()
-    result: AnnealResult = annealer.run(x0=x0, max_evaluations=max_evaluations)
+    result: AnnealResult = annealer.run(
+        x0=x0, max_evaluations=max_evaluations, budget=budget
+    )
     cpu = time.perf_counter() - start
+
+    if result.degraded:
+        log.record(
+            Diagnostic(
+                subsystem="synthesis.engine",
+                severity="warning",
+                message=(
+                    f"{name}: annealing stopped early ({result.stop_reason}) "
+                    f"after {result.evaluations} evaluations; returning the "
+                    "best point so far"
+                ),
+                suggested_fix=(
+                    "raise the budget's deadline/failure limits or reduce "
+                    "max_evaluations to finish within budget"
+                ),
+                context={
+                    "name": name,
+                    "mode": mode,
+                    "stop_reason": result.stop_reason,
+                },
+            )
+        )
 
     meets = cost_fn.meets_spec(result.best_metrics)
     return SynthesisResult(
@@ -112,4 +213,14 @@ def synthesize_opamp(
         cpu_seconds=cpu,
         ape_seconds=ape_seconds,
         params=result.best_params,
+        failed_evaluations=result.failed_evaluations,
+        retries=(
+            retry.total_retries - retries_before if retry is not None else 0
+        ),
+        degraded=(
+            degraded_design
+            or result.degraded
+            or result.best_metrics is None
+        ),
+        diagnostics=list(log.records[records_before:]),
     )

@@ -13,9 +13,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
-from ..errors import ApeError, SimulationError
+from ..errors import ApeError, SimulationError, SpecificationError
 from ..opamp import OpAmp
 from ..opamp.benches import open_loop_bench
+from ..runtime import faults
+from ..runtime.diagnostics import DiagnosticLog
+from ..runtime.retry import RetryPolicy
 from ..spice import awe_poles, dc_operating_point
 from ..spice.analysis import balance_differential
 from ..technology import Technology
@@ -50,7 +53,10 @@ class Variable:
 
     def __post_init__(self) -> None:
         if not 0 < self.lo <= self.hi:
-            raise ApeError(f"variable {self.name}: bad range [{self.lo}, {self.hi}]")
+            raise SpecificationError(
+                f"variable {self.name}: bad range [{self.lo}, {self.hi}]",
+                context={"variable": self.name, "lo": self.lo, "hi": self.hi},
+            )
 
 
 class SizingProblem:
@@ -136,7 +142,10 @@ def standalone_ranges(template: OpAmp) -> list[Variable]:
 def ape_ranges(template: OpAmp, factor: float = 0.2) -> list[Variable]:
     """APE estimate +/- ``factor`` — the paper's Table 4 mode."""
     if not 0 < factor < 1:
-        raise ApeError(f"range factor must be in (0, 1), got {factor}")
+        raise SpecificationError(
+            f"range factor must be in (0, 1), got {factor}",
+            context={"parameter": "factor", "value": factor},
+        )
     point = template.initial_point()
     out: list[Variable] = []
     for key in _geometry_keys(template):
@@ -182,11 +191,19 @@ class OpAmpSizingProblem(SizingProblem):
         *,
         awe_order: int = 3,
         balance_tolerance: float = 2e-3,
+        retry: RetryPolicy | None = None,
+        diagnostics: DiagnosticLog | None = None,
     ) -> None:
         self.template = template
         self._variables = variables
         self.awe_order = awe_order
         self.balance_tolerance = balance_tolerance
+        #: Optional retry policy forwarded to the DC solver so transient
+        #: non-convergence is re-attempted before the candidate is
+        #: declared unusable.
+        self.retry = retry
+        #: Optional log receiving one record per failed evaluation.
+        self.diagnostics = diagnostics
 
     @property
     def variables(self) -> list[Variable]:
@@ -195,11 +212,13 @@ class OpAmpSizingProblem(SizingProblem):
     def evaluate(self, params: dict[str, float]) -> dict[str, float] | None:
         try:
             amp = parameterized_opamp(self.template, params)
-        except ApeError:
+        except ApeError as exc:
+            self._note_failure(exc)
             return None
         try:
+            faults.check("synthesis.evaluate")
             bench = open_loop_bench(amp, v_diff=0.0)
-            op = dc_operating_point(bench)
+            op = dc_operating_point(bench, retry=self.retry)
             v_out = op.v("out")
             if abs(v_out) > 0.25:
                 # Output railed at zero offset: balance quickly.
@@ -210,14 +229,29 @@ class OpAmpSizingProblem(SizingProblem):
                     v_span=0.5,
                     tol=self.balance_tolerance,
                     max_bisections=16,
+                    retry=self.retry,
                 )
                 if abs(op.v("out")) > 1.0:
                     # Unbalanceable: dead amplifier.
                     return self._dead_metrics(bench, op, amp)
             metrics = self._measure(bench, op, amp)
             return metrics
-        except SimulationError:
+        except SimulationError as exc:
+            self._note_failure(exc)
             return None
+
+    def _note_failure(self, exc: ApeError) -> None:
+        if self.diagnostics is not None:
+            self.diagnostics.record_exception(
+                "synthesis.evaluate",
+                exc,
+                severity="warning",
+                suggested_fix=(
+                    "unusable candidate penalized and skipped; raise the "
+                    "evaluation budget or tighten the search ranges if "
+                    "these dominate the run"
+                ),
+            )
 
     def _supply_power(self, op, tech: Technology) -> float:
         return tech.vdd * (-op.i("VDDSUP")) + tech.vss * (-op.i("VSSSUP"))

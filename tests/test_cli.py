@@ -115,6 +115,109 @@ class TestCommands:
         assert code == 2
 
 
+class TestTolerance:
+    def test_tolerant_is_the_default(self):
+        args = build_parser().parse_args(["estimate-component", "mirror"])
+        assert args.tolerant is True
+
+    def test_strict_flag(self):
+        args = build_parser().parse_args(["--strict", "estimate-component",
+                                          "mirror"])
+        assert args.tolerant is False
+
+    def test_flags_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--strict", "--tolerant", "estimate-component", "mirror"]
+            )
+
+    def test_synthesize_robustness_flags(self):
+        args = build_parser().parse_args(
+            ["synthesize", "--gain", "100", "--ugf", "2Meg",
+             "--deadline", "30", "--max-failures", "5", "--retries", "2"]
+        )
+        assert args.deadline == "30"
+        assert args.max_failures == 5
+        assert args.retries == 2
+
+    def test_synthesize_under_injected_faults(self, capsys, monkeypatch):
+        from repro.runtime.diagnostics import global_log
+        from repro.runtime.faults import active
+
+        global_log().clear()
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "seed=7,synthesis.evaluate=0.2"
+        )
+        code = main(
+            ["synthesize", "--gain", "120", "--ugf", "2Meg",
+             "--budget", "40", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "meets spec" in out
+        assert "failed, " in out
+        assert "diagnostics:" in out
+        assert "synthesis.evaluate" in out
+        # main() must disarm the env-armed injector on the way out.
+        assert active() is None
+        global_log().clear()
+
+    def test_strict_synthesize_propagates_faults(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "estimator.opamp=1.0")
+        code = main(
+            ["--strict", "synthesize", "--gain", "120", "--ugf", "2Meg",
+             "--budget", "10", "--seed", "3"]
+        )
+        assert code == 2
+        assert "injected fault" in capsys.readouterr().err
+
+    def test_max_failures_reports_degraded(self, capsys, monkeypatch):
+        from repro.runtime.diagnostics import global_log
+
+        global_log().clear()
+        monkeypatch.setenv("REPRO_FAULTS", "seed=7,synthesis.evaluate=1.0")
+        code = main(
+            ["synthesize", "--gain", "120", "--ugf", "2Meg",
+             "--budget", "40", "--seed", "3", "--max-failures", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "degraded:   True" in out
+        assert "(3 failed" in out
+        global_log().clear()
+
+    def test_bad_faults_env_reported_cleanly(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "nonsense")
+        code = main(["estimate-component", "mirror"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDiagnosticsCommand:
+    def test_empty_session(self, capsys):
+        from repro.runtime.diagnostics import global_log
+
+        global_log().clear()
+        code = main(["diagnostics"])
+        assert code == 0
+        assert "0 diagnostic record(s)" in capsys.readouterr().out
+
+    def test_renders_and_clears(self, capsys):
+        from repro.runtime.diagnostics import Diagnostic, global_log
+
+        log = global_log()
+        log.clear()
+        log.records.append(
+            Diagnostic("spice.dc", "warning", "did not converge")
+        )
+        code = main(["diagnostics", "--clear"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 diagnostic record(s)" in out
+        assert "spice.dc" in out and "did not converge" in out
+        assert len(log) == 0
+
+
 class TestAnalysisExtensions:
     def test_simulate_noise(self, capsys, tmp_path):
         deck = tmp_path / "rn.cir"

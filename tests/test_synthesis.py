@@ -170,8 +170,11 @@ class TestAnnealer:
         assert warm.best_cost <= cold.best_cost
 
     def test_bad_bounds_rejected(self):
-        with pytest.raises(ValueError):
+        # Part of the package-wide contract: everything raised here
+        # derives from ApeError (a bare ValueError used to escape it).
+        with pytest.raises(SpecificationError) as excinfo:
             Annealer(self.quadratic, {"x": (0.0, 1.0)})
+        assert excinfo.value.context["variable"] == "x"
 
 
 class TestParameterizedOpamp:

@@ -1,0 +1,242 @@
+"""Engine hot-path benchmark: compiled vs naive assembly, same run.
+
+Times the four workloads the synthesis loop actually spends its cycles
+on — DC operating point, AC sweep, transient integration and the full
+``coarse_design_opamp`` -> annealer candidate evaluation — once with
+the stamp-compiled engine (the default) and once with the naive
+per-element assembly loops forced via
+:func:`repro.spice.engine.naive_assembly`.  Because both measurements
+happen in one process on the same fixtures, the reported speedups are
+a like-for-like A/B, not a comparison against a stale recording.
+
+The entry point is :func:`run_engine_benchmark`, which returns a plain
+dict ready to be serialized as ``BENCH_engine.json``; the ``repro
+bench`` CLI subcommand and ``benchmarks/bench_engine_hotpath.py`` are
+thin wrappers around it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable
+
+__all__ = [
+    "run_engine_benchmark",
+    "render_report",
+    "write_report",
+    "SPEEDUP_TARGETS",
+]
+
+#: Acceptance floors: compiled must beat naive by at least this factor.
+SPEEDUP_TARGETS = {"ac_sweep": 3.0, "anneal_eval": 2.0}
+
+
+def _ops_per_sec(
+    fn: Callable[[], object],
+    *,
+    min_time: float,
+    min_reps: int = 3,
+    passes: int = 2,
+) -> tuple[float, int]:
+    """Best rate over ``passes`` timed windows of ``min_time`` seconds.
+
+    One untimed warm-up call runs first so one-time costs (stamp
+    compilation, operating-point caches) are amortized identically for
+    both engine modes.  Taking the best of several windows filters
+    scheduler/thermal noise the same way ``timeit`` recommends.
+    """
+    fn()
+    best_rate = 0.0
+    best_reps = 0
+    for _ in range(passes):
+        reps = 0
+        start = time.perf_counter()
+        while True:
+            fn()
+            reps += 1
+            elapsed = time.perf_counter() - start
+            if elapsed >= min_time and reps >= min_reps:
+                break
+        rate = reps / elapsed
+        if rate > best_rate:
+            best_rate = rate
+            best_reps = reps
+    return best_rate, best_reps
+
+
+def _opamp_fixture():
+    """A realistically sized op-amp open-loop bench plus its OP."""
+    from .opamp import OpAmpSpec, design_opamp
+    from .opamp.benches import open_loop_bench
+    from .spice import System, dc_operating_point
+    from .technology import generic_05um
+
+    tech = generic_05um()
+    amp = design_opamp(
+        tech, OpAmpSpec(gain=200.0, ugf=2e6, ibias=2e-6, cl=10e-12)
+    )
+    bench = open_loop_bench(amp, v_diff=0.0)
+    system = System(bench)
+    op = dc_operating_point(bench, system=system)
+    return bench, system, op
+
+
+def _transient_fixture():
+    """An RC + switching-source circuit for time-domain stepping."""
+    from .spice import Circuit, PulseWave
+
+    ckt = Circuit("bench-tran")
+    ckt.v(
+        "in", "0", dc=0.0,
+        wave=PulseWave(v1=0.0, v2=1.0, delay=1e-7, rise=1e-8,
+                      fall=1e-8, width=5e-7, period=1e-6),
+    )
+    ckt.r("in", "mid", 1e3)
+    ckt.c("mid", "0", 10e-12)
+    ckt.r("mid", "out", 5e3)
+    ckt.c("out", "0", 2e-12)
+    ckt.ind("out", "tail", 1e-6)
+    ckt.r("tail", "0", 50.0)
+    return ckt
+
+
+def _anneal_fixture():
+    """``coarse_design_opamp`` template + annealer-style sizing problem.
+
+    Returns ``(problem, params_list)`` where the params cycle through a
+    few perturbed candidates, exactly like the annealer's inner loop.
+    """
+    from .opamp import OpAmpSpec, coarse_design_opamp
+    from .synthesis.problems import OpAmpSizingProblem, ape_ranges
+    from .technology import generic_05um
+
+    tech = generic_05um()
+    template, _ = coarse_design_opamp(
+        tech, OpAmpSpec(gain=200.0, ugf=2e6, ibias=2e-6, cl=10e-12)
+    )
+    problem = OpAmpSizingProblem(template, ape_ranges(template))
+    # Pre-PR behaviour: no shared system, no warm-started bisections —
+    # every candidate is evaluated from scratch.
+    baseline = OpAmpSizingProblem(
+        template, ape_ranges(template), reuse_state=False
+    )
+    base = template.initial_point()
+    params_list = []
+    for scale in (1.0, 0.95, 1.05, 0.9):
+        params_list.append(
+            {key: value * scale for key, value in base.items()}
+        )
+    return problem, baseline, params_list
+
+
+def run_engine_benchmark(
+    *, quick: bool = False, min_time: float | None = None
+) -> dict:
+    """A/B benchmark of the compiled engine against naive assembly.
+
+    Measures ops/sec for each workload in both engine modes within one
+    process and returns a JSON-ready report dict.  ``quick`` shortens
+    the per-measurement time floor for CI smoke runs; ``min_time``
+    overrides it outright.
+    """
+    from .spice import naive_assembly
+    from .spice.ac import ac_analysis, log_frequencies
+    from .spice.dc import dc_operating_point
+    from .spice.transient import transient_analysis
+
+    if min_time is None:
+        min_time = 0.2 if quick else 0.75
+
+    bench, system, op = _opamp_fixture()
+    freqs = log_frequencies(1.0, 1e9, 5 if quick else 10)
+    tran_ckt = _transient_fixture()
+    t_stop, dt = (1e-6, 1e-8) if quick else (2e-6, 1e-8)
+    problem, baseline_problem, params_list = _anneal_fixture()
+
+    def run_op():
+        return dc_operating_point(bench, system=system)
+
+    def run_ac():
+        return ac_analysis(bench, op=op, frequencies=freqs)
+
+    def run_tran():
+        return transient_analysis(tran_ckt, t_stop, dt)
+
+    def eval_with(prob):
+        # Evaluate the full candidate set so every rep does identical
+        # work (candidates differ in how many bisections they need).
+        def run_eval():
+            return [prob.evaluate(params) for params in params_list]
+
+        return run_eval
+
+    # Each workload: (current fast path, pre-PR baseline path).  The
+    # first three differ only in the assembly engine; the annealer
+    # baseline additionally re-creates the MNA system and cold-starts
+    # every bisection, as the pre-PR evaluation loop did.
+    workloads = {
+        "op": (run_op, run_op),
+        "ac_sweep": (run_ac, run_ac),
+        "transient": (run_tran, run_tran),
+        "anneal_eval": (eval_with(problem), eval_with(baseline_problem)),
+    }
+    report: dict = {
+        "schema": "repro-bench-engine/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "quick": quick,
+        "min_time_per_measurement_s": min_time,
+        "baseline": (
+            "naive per-element assembly; anneal_eval additionally "
+            "rebuilds the MNA system and cold-starts each bisection "
+            "(pre-compiled-engine evaluation path)"
+        ),
+        "workloads": {},
+        "targets": dict(SPEEDUP_TARGETS),
+    }
+    for name, (fast_fn, base_fn) in workloads.items():
+        # Naive first so the compiled pass cannot inherit a warm cache
+        # the baseline did not also enjoy (both get their own warm-up).
+        with naive_assembly():
+            naive_rate, naive_reps = _ops_per_sec(base_fn, min_time=min_time)
+        compiled_rate, compiled_reps = _ops_per_sec(fast_fn, min_time=min_time)
+        report["workloads"][name] = {
+            "compiled_ops_per_sec": compiled_rate,
+            "naive_ops_per_sec": naive_rate,
+            "speedup": compiled_rate / naive_rate,
+            "reps": {"compiled": compiled_reps, "naive": naive_reps},
+        }
+    report["targets_met"] = {
+        name: report["workloads"][name]["speedup"] >= floor
+        for name, floor in SPEEDUP_TARGETS.items()
+    }
+    return report
+
+
+def render_report(report: dict) -> str:
+    """Human-readable table for a :func:`run_engine_benchmark` report."""
+    lines = [
+        f"engine hot-path benchmark ({'quick' if report['quick'] else 'full'})",
+        f"{'workload':<12} {'compiled/s':>12} {'naive/s':>12} {'speedup':>9}",
+    ]
+    for name, row in report["workloads"].items():
+        target = report["targets"].get(name)
+        mark = ""
+        if target is not None:
+            mark = (
+                f"  (target {target:.1f}x: "
+                f"{'ok' if row['speedup'] >= target else 'MISSED'})"
+            )
+        lines.append(
+            f"{name:<12} {row['compiled_ops_per_sec']:>12.2f} "
+            f"{row['naive_ops_per_sec']:>12.2f} "
+            f"{row['speedup']:>8.2f}x{mark}"
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str) -> None:
+    """Serialize a benchmark report as machine-readable JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

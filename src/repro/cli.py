@@ -8,6 +8,8 @@ Commands mirror the library's main entry points:
   library entry from ``key=value`` arguments,
 * ``synthesize`` — run one APE(+/-)annealer synthesis leg,
 * ``simulate`` — DC/AC/transient analysis of a SPICE deck file,
+* ``bench`` — A/B benchmark of the stamp-compiled engine against the
+  naive assembly path, written as ``BENCH_engine.json``,
 * ``diagnostics`` — render the Diagnostic records accumulated by
   tolerant runs in this process.
 
@@ -120,6 +122,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=0,
                    help="DC-solver retry attempts per evaluation "
                         "(deterministic jittered restarts)")
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the compiled engine against naive assembly",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="short per-measurement floor (CI smoke mode)")
+    p.add_argument("--min-time", default=None,
+                   help="seconds per measurement (overrides --quick)")
+    p.add_argument("--out", default="BENCH_engine.json",
+                   help="report path (default: BENCH_engine.json)")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero when a speedup target is missed")
 
     p = sub.add_parser(
         "diagnostics",
@@ -255,6 +270,21 @@ def _cmd_synthesize(args, tech) -> int:
     return 0 if result.meets_spec else 1
 
 
+def _cmd_bench(args, tech) -> int:
+    from .benchmark import render_report, run_engine_benchmark, write_report
+
+    min_time = (
+        parse_quantity(args.min_time) if args.min_time is not None else None
+    )
+    report = run_engine_benchmark(quick=args.quick, min_time=min_time)
+    print(render_report(report))
+    write_report(report, args.out)
+    print(f"report written to {args.out}")
+    if args.check and not all(report["targets_met"].values()):
+        return 1
+    return 0
+
+
 def _cmd_diagnostics(args, tech) -> int:
     log = global_log()
     print(f"{len(log)} diagnostic record(s) this session")
@@ -346,6 +376,7 @@ def main(argv: list[str] | None = None) -> int:
             "estimate-module": _cmd_estimate_module,
             "synthesize": _cmd_synthesize,
             "simulate": _cmd_simulate,
+            "bench": _cmd_bench,
             "diagnostics": _cmd_diagnostics,
         }[args.command]
         return handler(args, tech)

@@ -13,9 +13,13 @@ both from scratch:
 * :mod:`repro.spice.awe` — moment matching / Pade dominant-pole
   extraction (Pillage & Rohrer),
 * :mod:`repro.spice.analysis` — measurement helpers (gain, UGF,
-  bandwidth, phase margin, slew rate, output impedance, CMRR).
+  bandwidth, phase margin, slew rate, output impedance, CMRR),
+* :mod:`repro.spice.engine` — stamp-compiled assembly fast path (the
+  naive per-element loops live in :mod:`repro.spice.mna`).
 """
 
+from .engine import compiled_enabled, naive_assembly, set_compiled
+from .mna import System
 from .netlist import (
     Capacitor,
     Circuit,
@@ -51,6 +55,10 @@ from .analysis import (
 )
 
 __all__ = [
+    "System",
+    "set_compiled",
+    "compiled_enabled",
+    "naive_assembly",
     "Circuit",
     "Resistor",
     "Capacitor",

@@ -18,7 +18,8 @@ import numpy as np
 
 from ..errors import SimulationError
 from .dc import OperatingPointResult, dc_operating_point
-from .mna import System, assemble_ac
+from .engine import assemble_ac, compiled_enabled, linearize_ac
+from .mna import System
 from .netlist import Circuit
 
 __all__ = ["ACResult", "ac_analysis", "transfer_function", "log_frequencies"]
@@ -96,14 +97,27 @@ def ac_analysis(
                 "operating point belongs to a different circuit"
             )
     solutions = np.zeros((len(freqs), system.size), dtype=complex)
-    for k, freq in enumerate(freqs):
-        y, b = assemble_ac(system, op.x, 2.0 * np.pi * freq)
-        try:
-            solutions[k] = np.linalg.solve(y, b)
-        except np.linalg.LinAlgError as exc:
-            raise SimulationError(
-                f"{circuit.title}: singular AC system at {freq:g} Hz"
-            ) from exc
+    if compiled_enabled():
+        # Sweep-level cache: linearize once at the operating point, then
+        # each frequency point is one scale-and-add plus one solve.
+        g, c, b = linearize_ac(system, op.x)
+        for k, freq in enumerate(freqs):
+            y = g + (2j * np.pi * freq) * c
+            try:
+                solutions[k] = np.linalg.solve(y, b)
+            except np.linalg.LinAlgError as exc:
+                raise SimulationError(
+                    f"{circuit.title}: singular AC system at {freq:g} Hz"
+                ) from exc
+    else:
+        for k, freq in enumerate(freqs):
+            y, b = assemble_ac(system, op.x, 2.0 * np.pi * freq)
+            try:
+                solutions[k] = np.linalg.solve(y, b)
+            except np.linalg.LinAlgError as exc:
+                raise SimulationError(
+                    f"{circuit.title}: singular AC system at {freq:g} Hz"
+                ) from exc
     return ACResult(system=system, frequencies=freqs, solutions=solutions)
 
 

@@ -17,6 +17,7 @@ import numpy as np
 from ..errors import SimulationError
 from .ac import ACResult, ac_analysis
 from .dc import OperatingPointResult, dc_operating_point
+from .mna import System
 from .netlist import Circuit
 from .transient import TransientResult
 
@@ -94,7 +95,14 @@ def phase_margin(ac: ACResult, output_node: str) -> float:
     freqs = ac.frequencies
     mag = ac.magnitude(output_node)
     f_unity = find_crossing(freqs, mag, 1.0)
-    phase = ac.phase_deg(output_node)
+    # Unwrap before interpolating: a ±180° jump between the two samples
+    # bracketing the crossover would otherwise be averaged into the
+    # margin, throwing it off by up to 360°.  (``phase_deg`` unwraps as
+    # well; doing it here keeps this measurement correct regardless of
+    # how the phase array was produced.)
+    phase = np.degrees(
+        np.unwrap(np.radians(ac.phase_deg(output_node)))
+    )
     ph_at = float(np.interp(np.log10(f_unity), np.log10(freqs), phase))
     # Measure the phase *shift* accumulated since DC so that an
     # inverting amplifier's built-in 180 degrees does not count as lag.
@@ -167,6 +175,8 @@ def balance_differential(
     tol: float = 1e-6,
     max_bisections: int = 60,
     retry=None,
+    system: System | None = None,
+    warm_start: bool = True,
 ) -> tuple[float, Circuit, OperatingPointResult]:
     """Find the DC differential input that centres an amplifier's output.
 
@@ -177,14 +187,33 @@ def balance_differential(
 
     An optional :class:`~repro.runtime.retry.RetryPolicy` is forwarded
     to every bisection solve so one transient non-convergence does not
-    void the whole balancing sweep.
+    void the whole balancing sweep.  Every ``build`` result shares one
+    :class:`System` (they are the same topology at different drives),
+    so the netlist is validated and indexed once, not per bisection;
+    pass ``system`` to share an already-built one.
+
+    With ``warm_start`` (the default) every bisection's Newton solve
+    starts from the previous bisection's solution.  Consecutive drives
+    differ by at most the shrinking interval, so the operating point
+    moves continuously and the solver typically converges in a couple
+    of iterations instead of from scratch — and the tracking keeps the
+    search on one solution branch in multistable circuits.
 
     Returns ``(v_offset, circuit, op)`` at the balanced point.
     """
+    shared: list[System | None] = [system]
+    x_last: list = [None]
 
     def output_at(vofs: float) -> tuple[float, Circuit, OperatingPointResult]:
         ckt = build(vofs)
-        op = dc_operating_point(ckt, retry=retry)
+        sys = shared[0]
+        sys = System(ckt) if sys is None else sys.rebind(ckt)
+        shared[0] = sys
+        op = dc_operating_point(
+            ckt, retry=retry, system=sys, x0=x_last[0]
+        )
+        if warm_start:
+            x_last[0] = op.x
         return op.v(output_node) - target, ckt, op
 
     lo, hi = -v_span, v_span

@@ -23,7 +23,7 @@ import scipy.linalg
 from ..errors import SimulationError
 from ..runtime import faults
 from .dc import OperatingPointResult, dc_operating_point
-from .mna import assemble_ac, capacitance_matrix
+from .engine import linearize_ac
 from .netlist import Circuit
 
 __all__ = ["AweApproximant", "awe_moments", "awe_poles", "awe_transfer"]
@@ -91,11 +91,9 @@ def awe_moments(
     if op is None:
         op = dc_operating_point(circuit)
     system = op.system
-    # G and b from the zero-frequency AC assembly; C assembled separately.
-    y0, b = assemble_ac(system, op.x, 0.0)
-    g_matrix = np.real(y0)
+    # One linearization gives G, C and the AC source vector together.
+    g_matrix, cmat, b = linearize_ac(system, op.x)
     b = np.real(b)
-    cmat = capacitance_matrix(system, op.x)
     out = system.index(output_node)
     if out < 0:
         raise SimulationError(f"unknown output node {output_node!r}")

@@ -1,4 +1,4 @@
-"""Modified nodal analysis assembly.
+"""Modified nodal analysis assembly (reference implementations).
 
 The :class:`System` maps circuit nodes and branch elements to unknown
 indices; the assembly functions build the Newton residual/Jacobian for
@@ -9,6 +9,15 @@ node (KCL) plus one row per branch element (voltage sources, VCVS,
 inductors) enforcing its branch equation.  The Jacobian ``J`` is exact
 for all elements including MOSFETs, whose partial derivatives come from
 the analytic small-signal model.
+
+This module holds the *naive* per-element stamping loops.  They are the
+readable reference semantics and the A/B baseline; the production hot
+path lives in :mod:`repro.spice.engine`, which precompiles all linear
+stamps once per circuit and re-stamps only the MOSFETs per call.  The
+dispatching :func:`assemble_dc` / :func:`assemble_ac` /
+:func:`capacitance_matrix` / :func:`assemble_tran` names (re-exported
+here for backwards compatibility) pick the compiled path unless it has
+been disabled via :func:`repro.spice.engine.set_compiled`.
 """
 
 from __future__ import annotations
@@ -32,7 +41,19 @@ from .netlist import (
     VoltageSource,
 )
 
-__all__ = ["System", "MosEval", "evaluate_mosfet"]
+__all__ = [
+    "System",
+    "MosEval",
+    "evaluate_mosfet",
+    "assemble_dc",
+    "assemble_ac",
+    "capacitance_matrix",
+    "assemble_tran",
+    "assemble_dc_naive",
+    "assemble_ac_naive",
+    "capacitance_matrix_naive",
+    "assemble_tran_naive",
+]
 
 
 class System:
@@ -40,6 +61,13 @@ class System:
 
     Unknowns are the non-ground node voltages followed by one branch
     current per voltage-defined element (V, E, L), in netlist order.
+
+    A ``System`` is intended to be built once per circuit *topology* and
+    reused across solves: the compiled stamp cache (see
+    :mod:`repro.spice.engine`) hangs off it and tracks the circuit's
+    edit revision, and :meth:`rebind` lets optimization loops move an
+    existing system onto a structurally identical circuit without
+    re-validating and re-indexing the netlist.
     """
 
     def __init__(self, circuit: Circuit) -> None:
@@ -58,6 +86,9 @@ class System:
         self._devices: dict[str, MosDevice] = {
             m.name: m.device for m in circuit.mosfets()
         }
+        #: Compiled stamp cache, managed by :mod:`repro.spice.engine`.
+        self._compiled = None
+        self._topo_revision = circuit.topology_revision
 
     def index(self, node: str) -> int:
         """Unknown index of a node; -1 for ground."""
@@ -76,6 +107,60 @@ class System:
 
     def device(self, name: str) -> MosDevice:
         return self._devices[name]
+
+    # -- reuse ----------------------------------------------------------
+
+    def _sync_devices(self) -> None:
+        """Refresh the device cache after in-place circuit edits.
+
+        ``Circuit.replace`` on a MOSFET bumps the topology revision;
+        the cached :class:`MosDevice` objects must follow or stamps
+        would keep using the old geometry.
+        """
+        if self._topo_revision != self.circuit.topology_revision:
+            self._devices = {
+                m.name: m.device for m in self.circuit.mosfets()
+            }
+            self._topo_revision = self.circuit.topology_revision
+
+    def structure_matches(self, circuit: Circuit) -> bool:
+        """True when ``circuit`` shares this system's element structure.
+
+        Structure means: same element names, classes and node wiring in
+        the same order — exactly what the node/branch indexing depends
+        on.  Element *values* (including MOSFET geometry) may differ.
+        """
+        ours = self.circuit.elements
+        theirs = circuit.elements
+        if len(ours) != len(theirs):
+            return False
+        for a, b in zip(ours, theirs):
+            if (
+                type(a) is not type(b)
+                or a.name != b.name
+                or a.nodes != b.nodes
+            ):
+                return False
+        return True
+
+    def rebind(self, circuit: Circuit) -> "System":
+        """Reuse this system for a structurally identical circuit.
+
+        Returns ``self`` (devices refreshed, compiled stamps dropped)
+        when the structure matches, else a freshly built
+        :class:`System`.  This is the optimizer fast path: candidate
+        circuits in a sizing loop share one topology, so validation and
+        node indexing happen once instead of per evaluation.
+        """
+        if circuit is self.circuit:
+            return self
+        if not self.structure_matches(circuit):
+            return System(circuit)
+        self.circuit = circuit
+        self._devices = {m.name: m.device for m in circuit.mosfets()}
+        self._compiled = None
+        self._topo_revision = circuit.topology_revision
+        return self
 
 
 @dataclass(frozen=True)
@@ -161,7 +246,7 @@ def _addf(vector: np.ndarray, row: int, value: float) -> None:
         vector[row] += value
 
 
-def assemble_dc(
+def assemble_dc_naive(
     system: System,
     x: np.ndarray,
     *,
@@ -284,7 +369,7 @@ def assemble_dc(
     return res, jac
 
 
-def assemble_ac(
+def assemble_ac_naive(
     system: System, x_op: np.ndarray, omega: float
 ) -> tuple[np.ndarray, np.ndarray]:
     """Complex system ``Y(omega) v = b`` linearized at the OP ``x_op``.
@@ -294,7 +379,7 @@ def assemble_ac(
     capacitances and inductor branch equations.  ``b`` holds the AC
     source magnitudes.
     """
-    _, g_matrix = assemble_dc(system, x_op)
+    _, g_matrix = assemble_dc_naive(system, x_op)
     n = system.size
     y = g_matrix.astype(complex)
     b = np.zeros(n, dtype=complex)
@@ -348,7 +433,7 @@ def assemble_ac(
     return y, b
 
 
-def capacitance_matrix(system: System, x_op: np.ndarray) -> np.ndarray:
+def capacitance_matrix_naive(system: System, x_op: np.ndarray) -> np.ndarray:
     """The real C matrix such that ``Y = G + s*C`` (AWE needs it alone).
 
     Inductor branch rows get ``-L`` on the diagonal, matching
@@ -393,3 +478,190 @@ def capacitance_matrix(system: System, x_op: np.ndarray) -> np.ndarray:
                 _add(cmat, b, a, -cval)
                 _add(cmat, b, b, cval)
     return cmat
+
+
+def assemble_tran_naive(
+    system: System,
+    x: np.ndarray,
+    x_prev: np.ndarray,
+    cap_currents: dict[str, float],
+    t: float,
+    h: float,
+    gmin: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Residual and Jacobian at time ``t`` with step ``h``.
+
+    Explicit capacitors use the trapezoidal companion model; MOSFET
+    parasitic capacitances use backward Euler at the previous-step bias;
+    inductors use the trapezoidal branch companion.
+    """
+    n = system.size
+    jac = np.zeros((n, n))
+    res = np.zeros(n)
+    idx = system.index
+
+    def volt(vec: np.ndarray, node_idx: int) -> float:
+        return float(vec[node_idx]) if node_idx >= 0 else 0.0
+
+    for k in range(system.n_nodes):
+        jac[k, k] += gmin
+        res[k] += gmin * x[k]
+    for element in system.circuit:
+        if isinstance(element, Resistor):
+            g = 1.0 / element.value
+            a, b = idx(element.n1), idx(element.n2)
+            current = g * (volt(x, a) - volt(x, b))
+            _addf(res, a, current)
+            _addf(res, b, -current)
+            _add(jac, a, a, g)
+            _add(jac, a, b, -g)
+            _add(jac, b, a, -g)
+            _add(jac, b, b, g)
+        elif isinstance(element, Capacitor):
+            if element.value <= 0.0:
+                continue
+            a, b = idx(element.n1), idx(element.n2)
+            geq = 2.0 * element.value / h
+            v_now = volt(x, a) - volt(x, b)
+            v_old = volt(x_prev, a) - volt(x_prev, b)
+            i_old = cap_currents.get(element.name, 0.0)
+            current = geq * (v_now - v_old) - i_old
+            _addf(res, a, current)
+            _addf(res, b, -current)
+            _add(jac, a, a, geq)
+            _add(jac, a, b, -geq)
+            _add(jac, b, a, -geq)
+            _add(jac, b, b, geq)
+        elif isinstance(element, Inductor):
+            a, b = idx(element.n1), idx(element.n2)
+            br = system.branch_index[element.name]
+            i_br = x[br]
+            _addf(res, a, i_br)
+            _addf(res, b, -i_br)
+            _add(jac, a, br, 1.0)
+            _add(jac, b, br, -1.0)
+            # Trapezoidal: i_n = i_prev + (h/2L)(v_n + v_prev).
+            v_now = volt(x, a) - volt(x, b)
+            v_old = volt(x_prev, a) - volt(x_prev, b)
+            i_old = x_prev[br]
+            coeff = h / (2.0 * element.value)
+            res[br] += i_br - i_old - coeff * (v_now + v_old)
+            jac[br, br] += 1.0
+            _add(jac, br, a, -coeff)
+            _add(jac, br, b, coeff)
+        elif isinstance(element, VoltageSource):
+            a, b = idx(element.np), idx(element.nn)
+            br = system.branch_index[element.name]
+            i_br = x[br]
+            _addf(res, a, i_br)
+            _addf(res, b, -i_br)
+            _add(jac, a, br, 1.0)
+            _add(jac, b, br, -1.0)
+            res[br] += volt(x, a) - volt(x, b) - element.value_at(t)
+            _add(jac, br, a, 1.0)
+            _add(jac, br, b, -1.0)
+        elif isinstance(element, CurrentSource):
+            a, b = idx(element.np), idx(element.nn)
+            value = element.value_at(t)
+            _addf(res, a, value)
+            _addf(res, b, -value)
+        elif isinstance(element, Vcvs):
+            a, b = idx(element.np), idx(element.nn)
+            c, d = idx(element.cp), idx(element.cn)
+            br = system.branch_index[element.name]
+            _addf(res, a, x[br])
+            _addf(res, b, -x[br])
+            _add(jac, a, br, 1.0)
+            _add(jac, b, br, -1.0)
+            res[br] += (
+                volt(x, a)
+                - volt(x, b)
+                - element.gain * (volt(x, c) - volt(x, d))
+            )
+            _add(jac, br, a, 1.0)
+            _add(jac, br, b, -1.0)
+            _add(jac, br, c, -element.gain)
+            _add(jac, br, d, element.gain)
+        elif isinstance(element, Vccs):
+            a, b = idx(element.np), idx(element.nn)
+            c, d = idx(element.cp), idx(element.cn)
+            current = element.gm * (volt(x, c) - volt(x, d))
+            _addf(res, a, current)
+            _addf(res, b, -current)
+            _add(jac, a, c, element.gm)
+            _add(jac, a, d, -element.gm)
+            _add(jac, b, c, -element.gm)
+            _add(jac, b, d, element.gm)
+        elif isinstance(element, Mosfet):
+            device = system.device(element.name)
+            ev = evaluate_mosfet(
+                element,
+                device,
+                system.voltage(x, element.nd),
+                system.voltage(x, element.ng),
+                system.voltage(x, element.ns),
+                system.voltage(x, element.nb),
+            )
+            dp, sp = idx(ev.dprime), idx(ev.sprime)
+            g, bk = idx(ev.gate), idx(ev.bulk)
+            _addf(res, dp, ev.i_dprime)
+            _addf(res, sp, -ev.i_dprime)
+            for col, gval in (
+                (dp, ev.g_dd),
+                (g, ev.g_dg),
+                (sp, ev.g_ds),
+                (bk, ev.g_db),
+            ):
+                _add(jac, dp, col, gval)
+                _add(jac, sp, col, -gval)
+            # Backward-Euler companions for the bias-dependent caps,
+            # evaluated at the previous-step bias for stability.
+            ev_prev = evaluate_mosfet(
+                element,
+                device,
+                system.voltage(x_prev, element.nd),
+                system.voltage(x_prev, element.ng),
+                system.voltage(x_prev, element.ns),
+                system.voltage(x_prev, element.nb),
+            )
+            caps = device.capacitances(ev_prev.vgs, ev_prev.vds, ev_prev.vsb)
+            pairs = [
+                (ev_prev.gate, ev_prev.sprime, caps["cgs"]),
+                (ev_prev.gate, ev_prev.dprime, caps["cgd"]),
+                (ev_prev.gate, ev_prev.bulk, caps["cgb"]),
+                (ev_prev.dprime, ev_prev.bulk, caps["cdb"]),
+                (ev_prev.sprime, ev_prev.bulk, caps["csb"]),
+            ]
+            for n1, n2, cval in pairs:
+                if cval == 0.0:
+                    continue
+                a, b = idx(n1), idx(n2)
+                geq = cval / h
+                v_now = volt(x, a) - volt(x, b)
+                v_old = volt(x_prev, a) - volt(x_prev, b)
+                current = geq * (v_now - v_old)
+                _addf(res, a, current)
+                _addf(res, b, -current)
+                _add(jac, a, a, geq)
+                _add(jac, a, b, -geq)
+                _add(jac, b, a, -geq)
+                _add(jac, b, b, geq)
+    return res, jac
+
+
+# The dispatching entry points (compiled fast path with a naive
+# fallback) live in the engine module; re-export them lazily so
+# existing ``from repro.spice.mna import assemble_dc`` imports keep
+# working without creating an import cycle (engine imports this
+# module's naive implementations at load time).
+_ENGINE_EXPORTS = frozenset(
+    {"assemble_dc", "assemble_ac", "capacitance_matrix", "assemble_tran"}
+)
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_EXPORTS:
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Iterator, Union
 
 from ..devices import MosDevice
-from ..errors import NetlistError
+from ..errors import NetlistError, SimulationError
 from ..technology import MosModelParams
 
 __all__ = [
@@ -299,6 +299,24 @@ class Circuit:
         self.title = title
         self._elements: dict[str, Element] = {}
         self._counters: dict[str, int] = {}
+        # Monotonic edit counters so downstream caches (the MNA System
+        # and its compiled stamps) can detect staleness cheaply.
+        # ``_revision`` changes on any edit; ``_topo_revision`` changes
+        # only when the *structure* changes (element set, node wiring,
+        # or device geometry), i.e. when node/branch indexing and the
+        # per-MOSFET device objects must be rebuilt.
+        self._revision = 0
+        self._topo_revision = 0
+
+    @property
+    def revision(self) -> int:
+        """Edit counter: bumped on every ``add``/``replace``."""
+        return self._revision
+
+    @property
+    def topology_revision(self) -> int:
+        """Structure counter: bumped when indexing-relevant state changes."""
+        return self._topo_revision
 
     # -- construction ---------------------------------------------------
 
@@ -307,6 +325,8 @@ class Circuit:
         if element.name in self._elements:
             raise NetlistError(f"duplicate element name {element.name!r}")
         self._elements[element.name] = element
+        self._revision += 1
+        self._topo_revision += 1
         return element
 
     def _auto_name(self, prefix: str, name: str | None) -> str:
@@ -396,7 +416,17 @@ class Circuit:
         """Swap in a new element with an existing name (for sweeps)."""
         if element.name not in self._elements:
             raise NetlistError(f"no element named {element.name!r} to replace")
+        old = self._elements[element.name]
         self._elements[element.name] = element
+        self._revision += 1
+        # A value-only swap (same class, same wiring, same device) keeps
+        # node/branch indexing valid; anything else is a topology edit.
+        if (
+            type(element) is not type(old)
+            or element.nodes != old.nodes
+            or isinstance(element, Mosfet)
+        ):
+            self._topo_revision += 1
 
     @property
     def elements(self) -> tuple[Element, ...]:
@@ -432,6 +462,17 @@ class Circuit:
         """
         if not self._elements:
             raise NetlistError(f"{self.title}: empty circuit")
+        # Transient companion models need C > 0 (a zero/negative value
+        # would be stamped inconsistently between the residual and the
+        # trapezoidal memory update); catch it here with a clear error.
+        for element in self:
+            if isinstance(element, Capacitor) and element.value <= 0.0:
+                raise SimulationError(
+                    f"{self.title}: capacitor {element.name} has "
+                    f"non-positive value {element.value:g} F; every "
+                    "simulated capacitor must be > 0 (drop the element "
+                    "instead of setting it to zero)"
+                )
         grounded = any(
             node in GROUND_NAMES for e in self for node in e.nodes
         )

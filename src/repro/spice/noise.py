@@ -25,7 +25,8 @@ import numpy as np
 
 from ..errors import SimulationError
 from .dc import OperatingPointResult, dc_operating_point
-from .mna import System, assemble_ac, evaluate_mosfet
+from .engine import linearize_ac
+from .mna import System, evaluate_mosfet
 from .netlist import Circuit, Mosfet, Resistor, VoltageSource
 
 __all__ = ["NoiseResult", "noise_analysis", "BOLTZMANN", "TEMPERATURE"]
@@ -78,8 +79,15 @@ class NoiseResult:
         )
 
 
-def _mosfet_noise_psd(system: System, op_x, mos: Mosfet, freq: float) -> float:
-    """Drain-current noise PSD of one device at the operating point."""
+def _mosfet_noise_split(
+    system: System, op_x, mos: Mosfet
+) -> tuple[float, float]:
+    """Split one device's drain-current noise at the operating point.
+
+    Returns ``(thermal, flicker_coeff)`` so the PSD at any frequency is
+    ``thermal + flicker_coeff / freq`` — the frequency-independent part
+    is computed once per analysis instead of once per sweep point.
+    """
     device = system.device(mos.name)
     ev = evaluate_mosfet(
         mos,
@@ -91,21 +99,26 @@ def _mosfet_noise_psd(system: System, op_x, mos: Mosfet, freq: float) -> float:
     )
     gm = device.gm(ev.vgs, ev.vds, ev.vsb)
     if gm <= 0:
-        return 0.0
+        return 0.0, 0.0
     region = device.region(ev.vgs, ev.vds, ev.vsb)
     gamma = GAMMA_SAT if region.value == "saturation" else 1.0
     thermal = 4.0 * BOLTZMANN * TEMPERATURE * gamma * gm
     model = mos.model
     kf = model.extra.get("kf", 0.0)
     af = model.extra.get("af", 1.0)
-    flicker = 0.0
+    flicker_coeff = 0.0
     if kf > 0 and ev.ids_normalized > 0:
         l_eff = device.l_eff
-        flicker = (
-            kf * ev.ids_normalized**af
-            / (freq * model.cox * l_eff * l_eff)
+        flicker_coeff = (
+            kf * ev.ids_normalized**af / (model.cox * l_eff * l_eff)
         )
-    return thermal + flicker
+    return thermal, flicker_coeff
+
+
+def _mosfet_noise_psd(system: System, op_x, mos: Mosfet, freq: float) -> float:
+    """Drain-current noise PSD of one device at the operating point."""
+    thermal, flicker_coeff = _mosfet_noise_split(system, op_x, mos)
+    return thermal + (flicker_coeff / freq if flicker_coeff else 0.0)
 
 
 def noise_analysis(
@@ -143,30 +156,51 @@ def noise_analysis(
             )
     e_out = np.zeros(system.size)
     e_out[out_idx] = 1.0
+    # Everything except the 1/f flicker term is frequency-independent:
+    # linearize once, precompute each noisy element's (constant PSD,
+    # flicker coefficient, terminal indices), and per frequency do one
+    # scale-and-add plus the adjoint solve.
+    g_mat, c_mat, _ = linearize_ac(system, op.x)
+    noisy: list[tuple[str, float, float, int, int]] = []
+    for element in circuit:
+        if isinstance(element, Resistor):
+            psd_const = 4.0 * BOLTZMANN * TEMPERATURE / element.value
+            noisy.append(
+                (
+                    element.name,
+                    psd_const,
+                    0.0,
+                    system.index(element.n1),
+                    system.index(element.n2),
+                )
+            )
+        elif isinstance(element, Mosfet):
+            thermal, flicker_coeff = _mosfet_noise_split(
+                system, op.x, element
+            )
+            noisy.append(
+                (
+                    element.name,
+                    thermal,
+                    flicker_coeff,
+                    system.index(element.nd),
+                    system.index(element.ns),
+                )
+            )
     for k, freq in enumerate(freqs):
-        y, _ = assemble_ac(system, op.x, 2.0 * math.pi * freq)
+        y = g_mat + (2j * math.pi * freq) * c_mat
         # Adjoint solve: z[a] is the output voltage produced by a unit
         # current injected into node a.
         z = np.linalg.solve(y.T, e_out)
-
-        def transimpedance(n1: str, n2: str) -> complex:
-            a, b = system.index(n1), system.index(n2)
+        for name, psd_const, flicker_coeff, a, b in noisy:
+            psd_i = psd_const
+            if flicker_coeff:
+                psd_i += flicker_coeff / freq
             za = z[a] if a >= 0 else 0.0
             zb = z[b] if b >= 0 else 0.0
-            return za - zb
-
-        for element in circuit:
-            if isinstance(element, Resistor):
-                psd_i = 4.0 * BOLTZMANN * TEMPERATURE / element.value
-                h = transimpedance(element.n1, element.n2)
-            elif isinstance(element, Mosfet):
-                psd_i = _mosfet_noise_psd(system, op.x, element, freq)
-                h = transimpedance(element.nd, element.ns)
-            else:
-                continue
-            share = float(abs(h) ** 2) * psd_i
+            share = float(abs(za - zb) ** 2) * psd_i
             output_psd[k] += share
-            contributions.setdefault(element.name, np.zeros(n_freq))[k] = share
+            contributions.setdefault(name, np.zeros(n_freq))[k] = share
         if input_source is not None:
             br = system.branch_index[input_source]
             # Branch-current adjoint entry = output response to a unit

@@ -35,7 +35,7 @@ import numpy as np
 
 from ..errors import SimulationError
 from .dc import OperatingPointResult, dc_operating_point
-from .mna import assemble_ac, capacitance_matrix
+from .engine import linearize_ac
 from .netlist import Circuit
 
 __all__ = ["RationalTransfer", "extract_transfer_function"]
@@ -119,14 +119,12 @@ def extract_transfer_function(
     out = system.index(output_node)
     if out < 0:
         raise SimulationError(f"unknown output node {output_node!r}")
-    y0, b = assemble_ac(system, op.x, 0.0)
-    g_matrix = np.real(y0)
+    g_matrix, c_matrix, b = linearize_ac(system, op.x)
     b = np.real(b)
     if not np.any(b):
         raise SimulationError(
             f"{circuit.title}: no AC stimulus (set ac= on a source)"
         )
-    c_matrix = capacitance_matrix(system, op.x)
     n = system.size
     # Conditioning: sample s on a circle of radius ~1/tau where tau is
     # the dominant time constant from the first two moments.

@@ -16,18 +16,9 @@ import numpy as np
 
 from ..errors import ConvergenceError, SimulationError
 from .dc import MAX_STEP, OperatingPointResult, dc_operating_point
-from .mna import System, evaluate_mosfet, _add, _addf
-from .netlist import (
-    Capacitor,
-    Circuit,
-    CurrentSource,
-    Inductor,
-    Mosfet,
-    Resistor,
-    Vccs,
-    Vcvs,
-    VoltageSource,
-)
+from .engine import assemble_tran
+from .mna import System
+from .netlist import Capacitor, Circuit
 
 __all__ = ["TransientResult", "transient_analysis"]
 
@@ -54,170 +45,6 @@ class TransientResult:
         return float(np.interp(t, self.times, self.v(node)))
 
 
-def _assemble_tran(
-    system: System,
-    x: np.ndarray,
-    x_prev: np.ndarray,
-    cap_currents: dict[str, float],
-    t: float,
-    h: float,
-    gmin: float,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Residual and Jacobian at time ``t`` with step ``h``."""
-    n = system.size
-    jac = np.zeros((n, n))
-    res = np.zeros(n)
-    idx = system.index
-
-    def volt(vec: np.ndarray, node_idx: int) -> float:
-        return float(vec[node_idx]) if node_idx >= 0 else 0.0
-
-    for k in range(system.n_nodes):
-        jac[k, k] += gmin
-        res[k] += gmin * x[k]
-    for element in system.circuit:
-        if isinstance(element, Resistor):
-            g = 1.0 / element.value
-            a, b = idx(element.n1), idx(element.n2)
-            current = g * (volt(x, a) - volt(x, b))
-            _addf(res, a, current)
-            _addf(res, b, -current)
-            _add(jac, a, a, g)
-            _add(jac, a, b, -g)
-            _add(jac, b, a, -g)
-            _add(jac, b, b, g)
-        elif isinstance(element, Capacitor):
-            if element.value == 0.0:
-                continue
-            a, b = idx(element.n1), idx(element.n2)
-            geq = 2.0 * element.value / h
-            v_now = volt(x, a) - volt(x, b)
-            v_old = volt(x_prev, a) - volt(x_prev, b)
-            i_old = cap_currents.get(element.name, 0.0)
-            current = geq * (v_now - v_old) - i_old
-            _addf(res, a, current)
-            _addf(res, b, -current)
-            _add(jac, a, a, geq)
-            _add(jac, a, b, -geq)
-            _add(jac, b, a, -geq)
-            _add(jac, b, b, geq)
-        elif isinstance(element, Inductor):
-            a, b = idx(element.n1), idx(element.n2)
-            br = system.branch_index[element.name]
-            i_br = x[br]
-            _addf(res, a, i_br)
-            _addf(res, b, -i_br)
-            _add(jac, a, br, 1.0)
-            _add(jac, b, br, -1.0)
-            # Trapezoidal: i_n = i_prev + (h/2L)(v_n + v_prev).
-            v_now = volt(x, a) - volt(x, b)
-            v_old = volt(x_prev, a) - volt(x_prev, b)
-            i_old = x_prev[br]
-            coeff = h / (2.0 * element.value)
-            res[br] += i_br - i_old - coeff * (v_now + v_old)
-            jac[br, br] += 1.0
-            _add(jac, br, a, -coeff)
-            _add(jac, br, b, coeff)
-        elif isinstance(element, VoltageSource):
-            a, b = idx(element.np), idx(element.nn)
-            br = system.branch_index[element.name]
-            i_br = x[br]
-            _addf(res, a, i_br)
-            _addf(res, b, -i_br)
-            _add(jac, a, br, 1.0)
-            _add(jac, b, br, -1.0)
-            res[br] += volt(x, a) - volt(x, b) - element.value_at(t)
-            _add(jac, br, a, 1.0)
-            _add(jac, br, b, -1.0)
-        elif isinstance(element, CurrentSource):
-            a, b = idx(element.np), idx(element.nn)
-            value = element.value_at(t)
-            _addf(res, a, value)
-            _addf(res, b, -value)
-        elif isinstance(element, Vcvs):
-            a, b = idx(element.np), idx(element.nn)
-            c, d = idx(element.cp), idx(element.cn)
-            br = system.branch_index[element.name]
-            _addf(res, a, x[br])
-            _addf(res, b, -x[br])
-            _add(jac, a, br, 1.0)
-            _add(jac, b, br, -1.0)
-            res[br] += (
-                volt(x, a)
-                - volt(x, b)
-                - element.gain * (volt(x, c) - volt(x, d))
-            )
-            _add(jac, br, a, 1.0)
-            _add(jac, br, b, -1.0)
-            _add(jac, br, c, -element.gain)
-            _add(jac, br, d, element.gain)
-        elif isinstance(element, Vccs):
-            a, b = idx(element.np), idx(element.nn)
-            c, d = idx(element.cp), idx(element.cn)
-            current = element.gm * (volt(x, c) - volt(x, d))
-            _addf(res, a, current)
-            _addf(res, b, -current)
-            _add(jac, a, c, element.gm)
-            _add(jac, a, d, -element.gm)
-            _add(jac, b, c, -element.gm)
-            _add(jac, b, d, element.gm)
-        elif isinstance(element, Mosfet):
-            device = system.device(element.name)
-            ev = evaluate_mosfet(
-                element,
-                device,
-                system.voltage(x, element.nd),
-                system.voltage(x, element.ng),
-                system.voltage(x, element.ns),
-                system.voltage(x, element.nb),
-            )
-            dp, sp = idx(ev.dprime), idx(ev.sprime)
-            g, bk = idx(ev.gate), idx(ev.bulk)
-            _addf(res, dp, ev.i_dprime)
-            _addf(res, sp, -ev.i_dprime)
-            for col, gval in (
-                (dp, ev.g_dd),
-                (g, ev.g_dg),
-                (sp, ev.g_ds),
-                (bk, ev.g_db),
-            ):
-                _add(jac, dp, col, gval)
-                _add(jac, sp, col, -gval)
-            # Backward-Euler companions for the bias-dependent caps,
-            # evaluated at the previous-step bias for stability.
-            ev_prev = evaluate_mosfet(
-                element,
-                device,
-                system.voltage(x_prev, element.nd),
-                system.voltage(x_prev, element.ng),
-                system.voltage(x_prev, element.ns),
-                system.voltage(x_prev, element.nb),
-            )
-            caps = device.capacitances(ev_prev.vgs, ev_prev.vds, ev_prev.vsb)
-            pairs = [
-                (ev_prev.gate, ev_prev.sprime, caps["cgs"]),
-                (ev_prev.gate, ev_prev.dprime, caps["cgd"]),
-                (ev_prev.gate, ev_prev.bulk, caps["cgb"]),
-                (ev_prev.dprime, ev_prev.bulk, caps["cdb"]),
-                (ev_prev.sprime, ev_prev.bulk, caps["csb"]),
-            ]
-            for n1, n2, cval in pairs:
-                if cval == 0.0:
-                    continue
-                a, b = idx(n1), idx(n2)
-                geq = cval / h
-                v_now = volt(x, a) - volt(x, b)
-                v_old = volt(x_prev, a) - volt(x_prev, b)
-                current = geq * (v_now - v_old)
-                _addf(res, a, current)
-                _addf(res, b, -current)
-                _add(jac, a, a, geq)
-                _add(jac, a, b, -geq)
-                _add(jac, b, a, -geq)
-                _add(jac, b, b, geq)
-    return res, jac
-
-
 def _newton_tran(
     system: System,
     x0: np.ndarray,
@@ -230,7 +57,7 @@ def _newton_tran(
 ) -> np.ndarray | None:
     x = x0.copy()
     for _ in range(max_iter):
-        res, jac = _assemble_tran(system, x, x_prev, cap_currents, t, h, gmin)
+        res, jac = assemble_tran(system, x, x_prev, cap_currents, t, h, gmin)
         try:
             dx = np.linalg.solve(jac, -res)
         except np.linalg.LinAlgError:

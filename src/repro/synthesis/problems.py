@@ -21,6 +21,7 @@ from ..runtime.diagnostics import DiagnosticLog
 from ..runtime.retry import RetryPolicy
 from ..spice import awe_poles, dc_operating_point
 from ..spice.analysis import balance_differential
+from ..spice.mna import System
 from ..technology import Technology
 
 __all__ = [
@@ -193,17 +194,27 @@ class OpAmpSizingProblem(SizingProblem):
         balance_tolerance: float = 2e-3,
         retry: RetryPolicy | None = None,
         diagnostics: DiagnosticLog | None = None,
+        reuse_state: bool = True,
     ) -> None:
         self.template = template
         self._variables = variables
         self.awe_order = awe_order
         self.balance_tolerance = balance_tolerance
+        #: Share one MNA system across candidates and warm-start the
+        #: balancing bisections (the default).  ``False`` restores the
+        #: from-scratch behaviour every evaluation — only useful as a
+        #: benchmark baseline.
+        self.reuse_state = reuse_state
         #: Optional retry policy forwarded to the DC solver so transient
         #: non-convergence is re-attempted before the candidate is
         #: declared unusable.
         self.retry = retry
         #: Optional log receiving one record per failed evaluation.
         self.diagnostics = diagnostics
+        #: Shared MNA system: every candidate netlist has the same
+        #: topology, so validation/indexing happen once per synthesis
+        #: run instead of once per evaluation (and per bisection).
+        self._system: System | None = None
 
     @property
     def variables(self) -> list[Variable]:
@@ -218,7 +229,15 @@ class OpAmpSizingProblem(SizingProblem):
         try:
             faults.check("synthesis.evaluate")
             bench = open_loop_bench(amp, v_diff=0.0)
-            op = dc_operating_point(bench, retry=self.retry)
+            if not self.reuse_state:
+                self._system = None
+            elif self._system is None:
+                self._system = System(bench)
+            else:
+                self._system = self._system.rebind(bench)
+            op = dc_operating_point(
+                bench, retry=self.retry, system=self._system
+            )
             v_out = op.v("out")
             if abs(v_out) > 0.25:
                 # Output railed at zero offset: balance quickly.
@@ -230,6 +249,8 @@ class OpAmpSizingProblem(SizingProblem):
                     tol=self.balance_tolerance,
                     max_bisections=16,
                     retry=self.retry,
+                    system=self._system,
+                    warm_start=self.reuse_state,
                 )
                 if abs(op.v("out")) > 1.0:
                     # Unbalanceable: dead amplifier.

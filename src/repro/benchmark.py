@@ -29,7 +29,7 @@ __all__ = [
 ]
 
 #: Acceptance floors: compiled must beat naive by at least this factor.
-SPEEDUP_TARGETS = {"ac_sweep": 3.0, "anneal_eval": 2.0}
+SPEEDUP_TARGETS = {"ac_sweep": 3.0, "anneal_eval": 2.0, "lint_gate": 3.0}
 
 
 def _ops_per_sec(
@@ -130,6 +130,59 @@ def _anneal_fixture():
     return problem, baseline, params_list
 
 
+def _lint_gate_fixture():
+    """Structurally broken candidates: lint-gated vs ungated evaluation.
+
+    The bench factory AC-couples a mirror-load gate, so every candidate
+    is structurally singular (E101 floating gate).  The gated problem
+    rejects each candidate from the cached structural lint verdict —
+    a dictionary lookup — while the ungated baseline pays a full DC
+    solve + AWE attempt per candidate, which is exactly the cost the
+    electrical rule checker exists to avoid.
+    """
+    from dataclasses import replace as dc_replace
+
+    from .opamp import OpAmpSpec, coarse_design_opamp
+    from .opamp.benches import open_loop_bench
+    from .spice.netlist import Circuit, Mosfet
+    from .synthesis.problems import OpAmpSizingProblem, ape_ranges
+    from .technology import generic_05um
+
+    tech = generic_05um()
+    template, _ = coarse_design_opamp(
+        tech, OpAmpSpec(gain=200.0, ugf=2e6, ibias=2e-6, cl=10e-12)
+    )
+
+    def broken_bench(amp, v_diff=0.0):
+        bench = open_loop_bench(amp, v_diff=v_diff)
+        mosfets = [e for e in bench if isinstance(e, Mosfet)]
+        target = next(
+            (m for m in mosfets if m.name.endswith("DFML2")), mosfets[-1]
+        )
+        floated = dc_replace(target, ng=target.ng + "_float")
+        rebuilt = Circuit(bench.title)
+        for element in bench:
+            rebuilt.add(
+                floated if element.name == target.name else element
+            )
+        rebuilt.c(target.ng, floated.ng, 1e-12, name="CACGATE")
+        return rebuilt
+
+    gated = OpAmpSizingProblem(
+        template, ape_ranges(template), bench_factory=broken_bench
+    )
+    ungated = OpAmpSizingProblem(
+        template, ape_ranges(template), bench_factory=broken_bench,
+        lint=False,
+    )
+    base = template.initial_point()
+    params_list = [
+        {key: value * scale for key, value in base.items()}
+        for scale in (1.0, 0.95, 1.05, 0.9)
+    ]
+    return gated, ungated, params_list
+
+
 def run_engine_benchmark(
     *, quick: bool = False, min_time: float | None = None
 ) -> dict:
@@ -153,6 +206,7 @@ def run_engine_benchmark(
     tran_ckt = _transient_fixture()
     t_stop, dt = (1e-6, 1e-8) if quick else (2e-6, 1e-8)
     problem, baseline_problem, params_list = _anneal_fixture()
+    gated_problem, ungated_problem, lint_params = _lint_gate_fixture()
 
     def run_op():
         return dc_operating_point(bench, system=system)
@@ -163,23 +217,36 @@ def run_engine_benchmark(
     def run_tran():
         return transient_analysis(tran_ckt, t_stop, dt)
 
-    def eval_with(prob):
+    def eval_with(prob, candidates=None):
         # Evaluate the full candidate set so every rep does identical
         # work (candidates differ in how many bisections they need).
+        batch = params_list if candidates is None else candidates
+
         def run_eval():
-            return [prob.evaluate(params) for params in params_list]
+            return [prob.evaluate(params) for params in batch]
 
         return run_eval
 
-    # Each workload: (current fast path, pre-PR baseline path).  The
-    # first three differ only in the assembly engine; the annealer
-    # baseline additionally re-creates the MNA system and cold-starts
-    # every bisection, as the pre-PR evaluation loop did.
+    # Each workload: (current fast path, pre-PR baseline path,
+    # naive_baseline).  The first three differ only in the assembly
+    # engine; the annealer baseline additionally re-creates the MNA
+    # system and cold-starts every bisection, as the pre-PR evaluation
+    # loop did.  ``lint_gate`` compares the ERC pre-screen against
+    # solving the same structurally broken candidates; both sides use
+    # the compiled engine (naive_baseline=False) so the measured
+    # speedup is the gate's alone.
     workloads = {
-        "op": (run_op, run_op),
-        "ac_sweep": (run_ac, run_ac),
-        "transient": (run_tran, run_tran),
-        "anneal_eval": (eval_with(problem), eval_with(baseline_problem)),
+        "op": (run_op, run_op, True),
+        "ac_sweep": (run_ac, run_ac, True),
+        "transient": (run_tran, run_tran, True),
+        "anneal_eval": (
+            eval_with(problem), eval_with(baseline_problem), True,
+        ),
+        "lint_gate": (
+            eval_with(gated_problem, lint_params),
+            eval_with(ungated_problem, lint_params),
+            False,
+        ),
     }
     report: dict = {
         "schema": "repro-bench-engine/1",
@@ -189,15 +256,22 @@ def run_engine_benchmark(
         "baseline": (
             "naive per-element assembly; anneal_eval additionally "
             "rebuilds the MNA system and cold-starts each bisection "
-            "(pre-compiled-engine evaluation path)"
+            "(pre-compiled-engine evaluation path); lint_gate's "
+            "baseline instead solves structurally broken candidates "
+            "the ERC would have rejected (compiled engine both sides)"
         ),
         "workloads": {},
         "targets": dict(SPEEDUP_TARGETS),
     }
-    for name, (fast_fn, base_fn) in workloads.items():
+    for name, (fast_fn, base_fn, naive_baseline) in workloads.items():
         # Naive first so the compiled pass cannot inherit a warm cache
         # the baseline did not also enjoy (both get their own warm-up).
-        with naive_assembly():
+        if naive_baseline:
+            with naive_assembly():
+                naive_rate, naive_reps = _ops_per_sec(
+                    base_fn, min_time=min_time
+                )
+        else:
             naive_rate, naive_reps = _ops_per_sec(base_fn, min_time=min_time)
         compiled_rate, compiled_reps = _ops_per_sec(fast_fn, min_time=min_time)
         report["workloads"][name] = {

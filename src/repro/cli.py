@@ -8,6 +8,8 @@ Commands mirror the library's main entry points:
   library entry from ``key=value`` arguments,
 * ``synthesize`` — run one APE(+/-)annealer synthesis leg,
 * ``simulate`` — DC/AC/transient analysis of a SPICE deck file,
+* ``lint`` — electrical rule check of SPICE deck files (text or JSON
+  findings; exit 1 on error-severity findings),
 * ``bench`` — A/B benchmark of the stamp-compiled engine against the
   naive assembly path, written as ``BENCH_engine.json``,
 * ``diagnostics`` — render the Diagnostic records accumulated by
@@ -143,6 +145,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clear", action="store_true",
                    help="clear the session log after rendering")
 
+    p = sub.add_parser(
+        "lint",
+        help="run the electrical rule checker over SPICE deck files",
+    )
+    p.add_argument("decks", nargs="+", help="paths to .cir/.sp decks")
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="report format (default: text)")
+    p.add_argument("--no-tech-rules", action="store_true",
+                   help="skip the technology-bound geometry rules")
+    p.add_argument("--select", default=None,
+                   help="comma-separated rule codes to run (default: all)")
+    p.add_argument("--ignore", default=None,
+                   help="comma-separated rule codes to suppress globally")
+
     p = sub.add_parser("simulate", help="analyse a SPICE deck file")
     p.add_argument("deck", help="path to a .cir/.sp deck")
     p.add_argument("--op", action="store_true", help="DC operating point")
@@ -263,6 +279,7 @@ def _cmd_synthesize(args, tech) -> int:
             print(f"  {key:14s} {value:.6g}")
     print(f"evaluations: {result.evaluations} "
           f"({result.failed_evaluations} failed, "
+          f"{result.lint_rejections} lint-rejected, "
           f"{result.retries} retries), "
           f"annealer {result.cpu_seconds:.2f} s, "
           f"APE {result.ape_seconds * 1e3:.2f} ms")
@@ -293,6 +310,43 @@ def _cmd_diagnostics(args, tech) -> int:
     if args.clear:
         log.clear()
     return 0
+
+
+def _cmd_lint(args, tech) -> int:
+    import json
+
+    from .lint import lint_circuit
+    from .spice import read_deck_file
+
+    models = {"CMOSN": tech.nmos, "CMOSP": tech.pmos}
+    select = (
+        [c.strip().upper() for c in args.select.split(",") if c.strip()]
+        if args.select is not None else None
+    )
+    ignore = (
+        [c.strip().upper() for c in args.ignore.split(",") if c.strip()]
+        if args.ignore is not None else None
+    )
+    reports = []
+    for path in args.decks:
+        circuit = read_deck_file(path, models=models)
+        report = lint_circuit(
+            circuit,
+            tech=None if args.no_tech_rules else tech,
+            rules=select,
+            suppress=ignore,
+        )
+        reports.append((path, report))
+    if args.format == "json":
+        print(json.dumps(
+            [dict(path=path, **report.to_dict())
+             for path, report in reports],
+            indent=2,
+        ))
+    else:
+        for path, report in reports:
+            print(f"{path}: {report.render()}")
+    return 0 if all(report.ok for _, report in reports) else 1
 
 
 def _cmd_simulate(args, tech) -> int:
@@ -375,6 +429,7 @@ def main(argv: list[str] | None = None) -> int:
             "estimate-component": _cmd_estimate_component,
             "estimate-module": _cmd_estimate_module,
             "synthesize": _cmd_synthesize,
+            "lint": _cmd_lint,
             "simulate": _cmd_simulate,
             "bench": _cmd_bench,
             "diagnostics": _cmd_diagnostics,

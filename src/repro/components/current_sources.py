@@ -75,7 +75,7 @@ class CurrentMirror(Component):
         if ratio <= 0:
             raise EstimationError(f"{name}: mirror ratio must be positive")
         out_dev = _mirror_device(tech, polarity, current, vov)
-        in_dev = out_dev.scaled(1.0 / ratio)
+        in_dev = out_dev.scaled(1.0 / ratio, w_min=tech.w_min)
         zout = out_dev.ss.ro
         estimate = PerformanceEstimate(
             gate_area=out_dev.gate_area + in_dev.gate_area,
@@ -136,8 +136,8 @@ class CascodeCurrentSource(Component):
         top = _mirror_device(tech, polarity, current, vov, vsb=vsb_top)
         zout = top.ss.gm * top.ss.ro * bottom.ss.ro
         devices = {
-            "input_bottom": bottom.scaled(1.0 / ratio),
-            "input_top": top.scaled(1.0 / ratio),
+            "input_bottom": bottom.scaled(1.0 / ratio, w_min=tech.w_min),
+            "input_top": top.scaled(1.0 / ratio, w_min=tech.w_min),
             "output_bottom": bottom,
             "output_top": top,
         }
@@ -210,7 +210,7 @@ class WilsonCurrentSource(Component):
         diode = _mirror_device(tech, polarity, current, vov)
         # The bottom device carries the *reference* current and shares
         # the diode's gate: its width sets the mirror ratio.
-        bottom = diode.scaled(1.0 / ratio)
+        bottom = diode.scaled(1.0 / ratio, w_min=tech.w_min)
         vsb_top = diode.op.vgs
         top = _mirror_device(tech, polarity, current, vov, vsb=vsb_top)
         # Wilson output impedance: feedback boosts ro by ~gm*ro/2.

@@ -85,16 +85,26 @@ class SizedMos:
         """Achieved overdrive at the bias point [V]."""
         return self.device.overdrive(self.op.vgs, self.op.vsb)
 
-    def scaled(self, ratio: float) -> "SizedMos":
+    def scaled(self, ratio: float, *, w_min: float | None = None) -> "SizedMos":
         """A copy with W (and Id) scaled by ``ratio`` — mirror branches.
 
         The bias voltages are unchanged; current and small-signal
         conductances scale linearly with W, which is exactly how a
         current-mirror output branch relates to its diode device.
+
+        ``w_min`` keeps the result manufacturable: if the scaled width
+        falls below it, both W and L grow by the same factor so W/L (and
+        therefore the branch current) is preserved while the drawn
+        geometry stays inside the technology's layout rules.
         """
         if ratio <= 0:
             raise SizingError(f"scale ratio must be positive, got {ratio}")
-        device = MosDevice(self.device.model, self.device.w * ratio, self.device.l)
+        w = self.device.w * ratio
+        l = self.device.l
+        if w_min is not None and w < w_min:
+            l *= w_min / w
+            w = w_min
+        device = MosDevice(self.device.model, w, l)
         return _finish(device, self.op.vgs, self.op.vds, self.op.vsb)
 
 

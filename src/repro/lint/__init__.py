@@ -1,0 +1,52 @@
+"""``repro.lint`` — pre-solve electrical rule checking (ERC).
+
+A multi-pass static analyzer over :class:`~repro.spice.netlist.Circuit`
+objects.  APE's value is catching infeasible designs *before* the
+expensive optimization loop runs; this package extends that idea one
+level down: structurally broken candidate circuits (floating gates,
+voltage-source loops, current-source cutsets, out-of-technology
+geometry) are rejected by graph analysis before a Newton solve is ever
+attempted.
+
+Entry points:
+
+* :func:`lint_circuit` — run the rule catalog, get a
+  :class:`LintReport`,
+* ``Circuit.validate(strict=True)`` — raise on the first error finding,
+* ``repro lint deck.cir`` — the CLI front end (text or JSON output),
+* the synthesis engine gates every candidate through the cheap
+  per-candidate subset (see
+  :data:`repro.lint.rules.CANDIDATE_RULES`).
+
+Findings carry stable codes (``E101`` floating gate, ...), severities
+(``error``/``warning``/``info``) and fix-it hints; per-element
+suppression uses :meth:`Circuit.noqa` tags or ``; noqa: E101`` comments
+on SPICE deck cards.  The catalog lives in ``docs/LINTING.md``.
+"""
+
+from .core import (
+    SEVERITIES,
+    Finding,
+    LintContext,
+    LintReport,
+    Rule,
+    get_rule,
+    lint_circuit,
+    register_rule,
+    registered_rules,
+)
+from .rules import CANDIDATE_RULES, CORE_RULES
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "Rule",
+    "get_rule",
+    "lint_circuit",
+    "register_rule",
+    "registered_rules",
+    "CORE_RULES",
+    "CANDIDATE_RULES",
+]

@@ -1,0 +1,378 @@
+"""Lint infrastructure: findings, the rule registry, reports.
+
+The analyzer is a multi-pass electrical rule checker over
+:class:`~repro.spice.netlist.Circuit` objects.  Pass one builds shared
+structural indexes (ground aliasing, the DC conduction components,
+element attachment maps) in a :class:`LintContext`; pass two runs every
+selected :class:`Rule` against that context; pass three drops
+suppressed findings and orders the survivors by severity.
+
+Rules are registered with :func:`register_rule` under stable codes
+(``E101`` floating gate, ``W501`` implausible resistance, ...) so
+suppressions and CI gates keep working as the catalog grows; see
+``docs/LINTING.md`` for the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from ..errors import ApeError, NetlistError
+from ..spice.netlist import Capacitor, Circuit, CurrentSource, Mosfet, Vccs
+from .graph import (
+    GROUND,
+    DisjointSet,
+    alias,
+    attachment_map,
+    conduction_edges,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..technology import Technology
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "Rule",
+    "LintContext",
+    "LintReport",
+    "register_rule",
+    "registered_rules",
+    "get_rule",
+    "lint_circuit",
+]
+
+#: Recognized finding severities, mildest first.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation located in a circuit."""
+
+    #: Stable rule code, e.g. ``"E101"``.
+    code: str
+    #: One of :data:`SEVERITIES` (may differ from the rule default).
+    severity: str
+    #: Human-readable description of the specific violation.
+    message: str
+    #: Primary offending element name (suppression anchor), if any.
+    element: str | None = None
+    #: Nodes involved in the violation.
+    nodes: tuple[str, ...] = ()
+    #: Rule-supplied fix-it hint.
+    fix_hint: str = ""
+    #: Short rule name, e.g. ``"floating-gate"``.
+    rule_name: str = ""
+
+    def render(self) -> str:
+        where = f" [{self.element}]" if self.element else ""
+        text = f"{self.code} {self.severity}{where}: {self.message}"
+        if self.fix_hint:
+            text += f" (fix: {self.fix_hint})"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "rule": self.rule_name,
+            "severity": self.severity,
+            "message": self.message,
+            "element": self.element,
+            "nodes": list(self.nodes),
+            "fix_hint": self.fix_hint,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered electrical/static rule."""
+
+    #: Stable code: ``E``/``W``/``I`` prefix plus a 3-digit number.
+    code: str
+    #: Short kebab-case name, e.g. ``"floating-gate"``.
+    name: str
+    #: Default severity of this rule's findings.
+    severity: str
+    #: One-line description for the catalog.
+    summary: str
+    #: Default fix-it hint attached to findings.
+    fix_hint: str
+    #: Check callback: yields findings for one circuit.
+    check: Callable[["LintContext"], Iterable[Finding]]
+    #: Exception type ``Circuit.validate``/strict mode raises for this
+    #: rule's error findings.
+    exception: type[ApeError] = NetlistError
+    #: Core rules form the fast ``Circuit.validate()`` subset that every
+    #: simulation entry point runs; non-core rules need ``strict=True``,
+    #: the CLI, or the synthesis gate.
+    core: bool = False
+
+    def finding(
+        self,
+        message: str,
+        *,
+        element: str | None = None,
+        nodes: tuple[str, ...] = (),
+        severity: str | None = None,
+        fix_hint: str | None = None,
+    ) -> Finding:
+        """Build a finding pre-filled with this rule's metadata."""
+        return Finding(
+            code=self.code,
+            severity=severity or self.severity,
+            message=message,
+            element=element,
+            nodes=nodes,
+            fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+            rule_name=self.name,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(
+    code: str,
+    name: str,
+    *,
+    severity: str = "error",
+    summary: str,
+    fix_hint: str = "",
+    exception: type[ApeError] = NetlistError,
+    core: bool = False,
+) -> Callable[
+    [Callable[["Rule", "LintContext"], Iterable[Finding]]],
+    Rule,
+]:
+    """Decorator registering a check function as a :class:`Rule`.
+
+    The decorated callable receives ``(rule, context)`` and yields
+    findings; it is replaced by the bound :class:`Rule` object.
+    """
+    if severity not in SEVERITIES:
+        raise ValueError(f"severity must be one of {SEVERITIES}")
+
+    def decorate(
+        fn: Callable[[Rule, LintContext], Iterable[Finding]]
+    ) -> Rule:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate lint rule code {code!r}")
+
+        def check(ctx: LintContext) -> Iterable[Finding]:
+            return fn(rule, ctx)
+
+        rule = Rule(
+            code=code,
+            name=name,
+            severity=severity,
+            summary=summary,
+            fix_hint=fix_hint,
+            check=check,
+            exception=exception,
+            core=core,
+        )
+        _REGISTRY[code] = rule
+        return rule
+
+    return decorate
+
+
+def registered_rules() -> tuple[Rule, ...]:
+    """Every registered rule, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def get_rule(code: str) -> Rule:
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise NetlistError(
+            f"unknown lint rule code {code!r} (known: {known})"
+        ) from None
+
+
+class LintContext:
+    """Shared, lazily-built structural indexes for one lint run.
+
+    Rules read these instead of re-walking the netlist so the graph
+    analysis happens at most once per :func:`lint_circuit` call — and
+    not at all for the cheap core subset ``Circuit.validate()`` runs.
+    """
+
+    def __init__(
+        self, circuit: Circuit, tech: "Technology | None" = None
+    ) -> None:
+        self.circuit = circuit
+        self.tech = tech
+
+    @cached_property
+    def ground_present(self) -> bool:
+        return any(
+            alias(node) == GROUND
+            for element in self.circuit
+            for node in element.nodes
+        )
+
+    @cached_property
+    def conduction(self) -> DisjointSet:
+        """Union-find of the DC conduction graph over aliased nodes."""
+        dsu = DisjointSet()
+        for element in self.circuit:
+            for node in element.nodes:
+                dsu.add(alias(node))
+            for a, b in conduction_edges(element):
+                dsu.union(a, b)
+        dsu.add(GROUND)
+        return dsu
+
+    @cached_property
+    def islands(self) -> tuple[frozenset[str], ...]:
+        """Conduction components with no DC path to ground."""
+        ground_root = self.conduction.find(GROUND)
+        return tuple(
+            nodes
+            for root, nodes in sorted(self.conduction.components().items())
+            if root != ground_root
+        )
+
+    @cached_property
+    def current_attachments(self) -> dict[str, list[str]]:
+        """Aliased node -> names of attached current-defined sources."""
+        return attachment_map(self.circuit, (CurrentSource, Vccs))
+
+    @cached_property
+    def capacitor_attachments(self) -> dict[str, list[str]]:
+        """Aliased node -> names of attached capacitors."""
+        return attachment_map(self.circuit, (Capacitor,))
+
+    @cached_property
+    def gate_nodes(self) -> frozenset[str]:
+        """Aliased nodes that drive at least one MOSFET gate."""
+        return frozenset(
+            alias(m.ng) for m in self.circuit if isinstance(m, Mosfet)
+        )
+
+
+class LintReport:
+    """The ordered findings of one :func:`lint_circuit` run."""
+
+    def __init__(self, circuit_title: str, findings: list[Finding]) -> None:
+        self.circuit_title = circuit_title
+        order = {sev: i for i, sev in enumerate(SEVERITIES)}
+        #: Findings, most severe first (stable within a severity).
+        self.findings: list[Finding] = sorted(
+            findings, key=lambda f: -order[f.severity]
+        )
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def infos(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "info"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was produced."""
+        return not self.errors
+
+    def codes(self) -> tuple[str, ...]:
+        return tuple(f.code for f in self.findings)
+
+    def raise_first(self) -> None:
+        """Raise the registered exception for the first error finding."""
+        errors = self.errors
+        if not errors:
+            return
+        first = errors[0]
+        raise get_rule(first.code).exception(
+            f"{self.circuit_title}: {first.message}",
+            context={
+                "rule": first.code,
+                "element": first.element,
+                "nodes": list(first.nodes),
+            },
+        )
+
+    def render(self) -> str:
+        if not self.findings:
+            return f"{self.circuit_title}: clean (no findings)"
+        lines = [
+            f"{self.circuit_title}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), {len(self.infos)} info(s)"
+        ]
+        lines.extend(f"  {finding.render()}" for finding in self.findings)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "circuit": self.circuit_title,
+            "ok": self.ok,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": len(self.infos),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __repr__(self) -> str:
+        return (
+            f"LintReport({self.circuit_title!r}, "
+            f"{len(self.errors)}E/{len(self.warnings)}W/{len(self.infos)}I)"
+        )
+
+
+def lint_circuit(
+    circuit: Circuit,
+    *,
+    tech: "Technology | None" = None,
+    rules: Iterable[str] | None = None,
+    core_only: bool = False,
+    suppress: Iterable[str] | None = None,
+) -> LintReport:
+    """Run the electrical rule checker over ``circuit``.
+
+    ``tech`` enables the technology-bound geometry rules (min/max W/L);
+    without it they are skipped.  ``rules`` restricts the run to the
+    given codes; ``core_only`` restricts it to the fast
+    ``Circuit.validate()`` subset.  ``suppress`` drops codes globally;
+    per-element suppression uses :meth:`Circuit.noqa` tags (or
+    ``; noqa: <codes>`` comments on deck cards).
+    """
+    # Import for side effects: the rule catalog registers on import.
+    from . import rules as _rules  # noqa: F401
+
+    ctx = LintContext(circuit, tech)
+    wanted = frozenset(rules) if rules is not None else None
+    dropped = frozenset(suppress) if suppress is not None else frozenset()
+    findings: list[Finding] = []
+    for rule in registered_rules():
+        if core_only and not rule.core:
+            continue
+        if wanted is not None and rule.code not in wanted:
+            continue
+        if rule.code in dropped:
+            continue
+        for finding in rule.check(ctx):
+            if finding.element is not None and circuit.is_suppressed(
+                finding.element, finding.code
+            ):
+                continue
+            findings.append(finding)
+    return LintReport(circuit.title, findings)

@@ -1,0 +1,153 @@
+"""Structural graph analysis for the electrical rule checker.
+
+The ERC reasons about *DC conduction*: which element connections can
+carry a defined DC current with a voltage relation between their
+terminals.  Resistors, inductors (shorts at DC), independent voltage
+sources, VCVS outputs and MOSFET channels conduct; capacitors (open at
+DC), current sources and VCCS outputs (current-defined branches) do
+not.  Rank problems of the MNA matrix — voltage-source loops and
+current-source cutsets — are detected on this graph with a union-find,
+without ever assembling a matrix.
+"""
+
+from __future__ import annotations
+
+from ..spice.netlist import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Element,
+    GROUND_NAMES,
+    Inductor,
+    Mosfet,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+
+__all__ = [
+    "GROUND",
+    "DisjointSet",
+    "alias",
+    "conduction_edges",
+    "loop_closing_elements",
+]
+
+#: Canonical name all ground aliases collapse to.
+GROUND = "0"
+
+
+def alias(node: str) -> str:
+    """Collapse every ground spelling onto the canonical ground name."""
+    return GROUND if node in GROUND_NAMES else node
+
+
+class DisjointSet:
+    """Union-find over string-named nodes with path compression."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+        self._rank: dict[str, int] = {}
+
+    def add(self, node: str) -> None:
+        if node not in self._parent:
+            self._parent[node] = node
+            self._rank[node] = 0
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._parent
+
+    def find(self, node: str) -> str:
+        self.add(node)
+        root = node
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[node] != root:  # path compression
+            self._parent[node], node = root, self._parent[node]
+        return root
+
+    def union(self, a: str, b: str) -> bool:
+        """Join the sets of ``a`` and ``b``; False if already joined."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return True
+
+    def connected(self, a: str, b: str) -> bool:
+        return self.find(a) == self.find(b)
+
+    def components(self) -> dict[str, frozenset[str]]:
+        """Mapping of representative -> member nodes."""
+        groups: dict[str, set[str]] = {}
+        for node in self._parent:
+            groups.setdefault(self.find(node), set()).add(node)
+        return {root: frozenset(nodes) for root, nodes in groups.items()}
+
+
+def conduction_edges(element: Element) -> tuple[tuple[str, str], ...]:
+    """DC conduction edges contributed by one element (aliased nodes)."""
+    if isinstance(element, (Resistor, Inductor)):
+        return ((alias(element.n1), alias(element.n2)),)
+    if isinstance(element, VoltageSource):
+        return ((alias(element.np), alias(element.nn)),)
+    if isinstance(element, Vcvs):
+        # Only the *output* branch is voltage-defined; the controlling
+        # terminals sense without conducting.
+        return ((alias(element.np), alias(element.nn)),)
+    if isinstance(element, Mosfet):
+        return ((alias(element.nd), alias(element.ns)),)
+    # Capacitor, CurrentSource, Vccs: open or current-defined at DC.
+    return ()
+
+
+def loop_closing_elements(circuit: Circuit) -> list[VoltageSource | Inductor]:
+    """Voltage-defined elements that close a loop of V sources/inductors.
+
+    A cycle made only of independent voltage sources and inductors
+    (shorts at DC) over-determines KVL: the MNA branch rows become
+    linearly dependent and the matrix is structurally singular.  The
+    loop is found incrementally — the element whose edge joins two
+    already-connected terminals closes it.  VCVS outputs are excluded:
+    their branch voltage depends on the controlling nodes, so a loop
+    through one is not necessarily rank-deficient.
+    """
+    dsu = DisjointSet()
+    closing: list[VoltageSource | Inductor] = []
+    for element in circuit:
+        if not isinstance(element, (VoltageSource, Inductor)):
+            continue
+        if isinstance(element, VoltageSource):
+            a, b = alias(element.np), alias(element.nn)
+        else:
+            a, b = alias(element.n1), alias(element.n2)
+        if a == b:
+            continue  # self-shorted: the E104 rule reports it
+        if not dsu.union(a, b):
+            closing.append(element)
+    return closing
+
+
+def attachment_map(
+    circuit: Circuit, kinds: tuple[type, ...]
+) -> dict[str, list[str]]:
+    """Aliased node -> names of attached elements of the given kinds."""
+    attach: dict[str, list[str]] = {}
+    for element in circuit:
+        if isinstance(element, kinds):
+            # For controlled sources only the output branch terminals
+            # inject current; controlling terminals are high-impedance.
+            if isinstance(element, (Vccs, CurrentSource)):
+                nodes: tuple[str, ...] = (element.np, element.nn)
+            elif isinstance(element, Capacitor):
+                nodes = (element.n1, element.n2)
+            else:
+                nodes = element.nodes
+            for node in nodes:
+                attach.setdefault(alias(node), []).append(element.name)
+    return attach

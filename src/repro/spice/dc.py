@@ -102,7 +102,13 @@ def _newton(
         if max_dx > MAX_STEP:
             dx *= MAX_STEP / max_dx
         x += dx
-        if max_dx < VOLTAGE_TOL:
+        # SPICE-style reltol·|v| + abstol step gate: an ill-conditioned
+        # Jacobian amplifies the floating-point residual floor into a
+        # fixed dx noise floor proportional to the solution scale, so a
+        # purely absolute tolerance can stall on circuits that are in
+        # fact converged.
+        v_scale = float(np.max(np.abs(x[: system.n_nodes]), initial=0.0))
+        if max_dx < VOLTAGE_TOL * (1.0 + v_scale):
             res_norm = float(np.max(np.abs(res)))
             # Relative residual check against the circuit's own current
             # scale: |J|·|x| bounds the largest stamped current, so a
@@ -114,7 +120,10 @@ def _newton(
             # A small full-vector step with a modest absolute residual
             # also counts as converged (branch currents included); the
             # node-voltage check above already implies the gate.
-            if res_norm < 1e-6 and float(np.max(np.abs(dx))) < VOLTAGE_TOL:
+            x_scale = float(np.max(np.abs(x), initial=0.0))
+            if res_norm < 1e-6 and float(
+                np.max(np.abs(dx))
+            ) < VOLTAGE_TOL * (1.0 + x_scale):
                 return x, iteration
     return None
 

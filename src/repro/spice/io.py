@@ -19,7 +19,8 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
-from ..errors import NetlistError
+from ..errors import ModelCardError, NetlistError
+from ..runtime.diagnostics import global_log
 from ..technology import MosModelParams, parse_model_cards
 from ..units import format_quantity, parse_quantity
 from .netlist import (
@@ -46,15 +47,37 @@ _WAVE_RE = re.compile(
 _DC_RE = re.compile(r"\bdc\s+(\S+)", re.IGNORECASE)
 _AC_RE = re.compile(r"\bac\s+(\S+)", re.IGNORECASE)
 _PARAM_RE = re.compile(r"([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*(\S+)")
+_NOQA_RE = re.compile(
+    r";\s*noqa(?:\s*:\s*(?P<codes>[A-Z]\d{3}(?:[\s,]+[A-Z]\d{3})*))?\s*$",
+    re.IGNORECASE,
+)
 
 
-def _strip(text: str) -> list[str]:
-    """Comment removal + continuation folding (shared with .MODEL)."""
+def _strip(
+    text: str,
+) -> tuple[list[str], dict[int, tuple[str, ...] | None]]:
+    """Comment removal + continuation folding (shared with .MODEL).
+
+    Returns the folded card lines plus a map of card index to lint
+    suppressions harvested from trailing ``; noqa`` / ``; noqa: E101``
+    comments (``None`` meaning "suppress every rule"), mirroring
+    :meth:`Circuit.noqa` semantics.
+    """
     lines: list[str] = []
+    noqa: dict[int, tuple[str, ...] | None] = {}
     for raw in text.splitlines():
         line = raw.strip()
         if not line or line.startswith("*"):
             continue
+        tags: tuple[str, ...] | None = ()
+        match = _NOQA_RE.search(line)
+        if match is not None:
+            codes = match.group("codes")
+            tags = (
+                None
+                if codes is None
+                else tuple(c.upper() for c in re.split(r"[\s,]+", codes))
+            )
         for marker in (";", "$ "):
             pos = line.find(marker)
             if pos >= 0:
@@ -65,9 +88,18 @@ def _strip(text: str) -> list[str]:
             if not lines:
                 raise NetlistError("continuation with no preceding card")
             lines[-1] += " " + line[1:].strip()
+            index = len(lines) - 1
         else:
             lines.append(line)
-    return lines
+            index = len(lines) - 1
+        if tags is None or tags:
+            if noqa.get(index, ()) is None:
+                continue  # already suppressing everything
+            if tags is None:
+                noqa[index] = None
+            else:
+                noqa[index] = tuple(noqa.get(index, ())) + tags
+    return lines, noqa
 
 
 def _parse_wave(kind: str, body: str) -> Waveform:
@@ -138,16 +170,24 @@ def read_deck(
         raise NetlistError("empty deck")
     title = raw_lines.pop(0).strip().lstrip("*").strip() or "deck"
     body = "\n".join(raw_lines)
-    lines = _strip(body)
+    lines, noqa = _strip(body)
     if not lines:
         raise NetlistError("empty deck")
     models = dict(models or {})
     try:
-        models.update(parse_model_cards(body))
-    except Exception:
-        pass  # no .MODEL cards in the deck is fine
+        models.update(parse_model_cards(body, required=False))
+    except ModelCardError as exc:
+        # A malformed .MODEL card is a real deck problem: surface it on
+        # the diagnostics log and keep parsing — any M card referencing
+        # the broken model still fails with "unknown MOS model".
+        global_log().record_exception(
+            "spice.io",
+            exc,
+            severity="warning",
+            suggested_fix="fix the .MODEL card or pass models= explicitly",
+        )
     circuit = Circuit(title)
-    for line in lines:
+    for index, line in enumerate(lines):
         lead = line[0].upper()
         if lead == ".":
             directive = line.split()[0].lower()
@@ -198,6 +238,8 @@ def read_deck(
             ))
         else:
             raise NetlistError(f"unsupported element card: {line!r}")
+        if index in noqa:
+            circuit.noqa(name, *(noqa[index] or ()))
     return circuit
 
 
@@ -289,6 +331,11 @@ def write_deck(circuit: Circuit, include_models: bool = True) -> str:
             )
         else:  # pragma: no cover - exhaustive
             raise NetlistError(f"cannot serialize {type(element).__name__}")
+        tags = circuit.noqa_tags(element.name)
+        if tags is None:
+            lines[-1] += " ; noqa"
+        elif tags:
+            lines[-1] += f" ; noqa: {' '.join(sorted(tags))}"
     if include_models:
         for model in models.values():
             kind = model.polarity.value.upper()

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Iterator, Union
 
 from ..devices import MosDevice
-from ..errors import NetlistError, SimulationError
+from ..errors import NetlistError
 from ..technology import MosModelParams
 
 __all__ = [
@@ -299,6 +299,9 @@ class Circuit:
         self.title = title
         self._elements: dict[str, Element] = {}
         self._counters: dict[str, int] = {}
+        # Per-element lint suppressions (``# noqa``-style tags): element
+        # name -> set of suppressed rule codes, or None for "all rules".
+        self._noqa: dict[str, set[str] | None] = {}
         # Monotonic edit counters so downstream caches (the MNA System
         # and its compiled stamps) can detect staleness cheaply.
         # ``_revision`` changes on any edit; ``_topo_revision`` changes
@@ -437,7 +440,50 @@ class Circuit:
         dup = Circuit(title or self.title)
         dup._elements = dict(self._elements)
         dup._counters = dict(self._counters)
+        dup._noqa = {
+            name: (None if codes is None else set(codes))
+            for name, codes in self._noqa.items()
+        }
         return dup
+
+    # -- lint suppression ------------------------------------------------
+
+    def noqa(self, element_name: str, *codes: str) -> None:
+        """Suppress lint findings on an element (``# noqa``-style tag).
+
+        With codes (``ckt.noqa("M3", "E101")``) only those rules are
+        silenced for the element; without codes every rule is.  Deck
+        import honours ``; noqa: E101 E302`` comments on element cards
+        and export writes them back.
+        """
+        if element_name not in self._elements:
+            raise NetlistError(
+                f"no element named {element_name!r} to tag noqa"
+            )
+        if not codes:
+            self._noqa[element_name] = None
+            return
+        existing = self._noqa.get(element_name)
+        if existing is None and element_name in self._noqa:
+            return  # already suppressing everything
+        merged = set(existing or ())
+        merged.update(code.upper() for code in codes)
+        self._noqa[element_name] = merged
+
+    def noqa_tags(self, element_name: str) -> frozenset[str] | None:
+        """Suppressed codes for an element: a set, None for "all", or
+        an empty set when nothing is suppressed."""
+        if element_name not in self._noqa:
+            return frozenset()
+        codes = self._noqa[element_name]
+        return None if codes is None else frozenset(codes)
+
+    def is_suppressed(self, element_name: str, code: str) -> bool:
+        """True when ``code`` findings on the element are noqa-tagged."""
+        if element_name not in self._noqa:
+            return False
+        codes = self._noqa[element_name]
+        return codes is None or code.upper() in codes
 
     def nodes(self) -> list[str]:
         """All non-ground node names, in first-seen order."""
@@ -455,40 +501,21 @@ class Circuit:
         """Elements carrying an MNA branch-current unknown, in order."""
         return [e for e in self if isinstance(e, _BRANCH_ELEMENTS)]
 
-    def validate(self) -> None:
-        """Check connectivity: ground present, no dangling single-node nets.
+    def validate(self, strict: bool = False) -> None:
+        """Run the electrical rule checker and raise on the first error.
 
-        Raises :class:`NetlistError` with a description of the problem.
+        The default runs the fast core subset every simulation entry
+        point needs (ground present, no dangling nodes, positive
+        capacitors, unique names); ``strict=True`` runs the full
+        :mod:`repro.lint` catalog — floating gates, source loops,
+        current-source cutsets, geometry bounds — and raises on any
+        error-severity finding.  Raises :class:`NetlistError` (or the
+        offending rule's registered exception, e.g.
+        :class:`SimulationError` for non-positive capacitors).
         """
-        if not self._elements:
-            raise NetlistError(f"{self.title}: empty circuit")
-        # Transient companion models need C > 0 (a zero/negative value
-        # would be stamped inconsistently between the residual and the
-        # trapezoidal memory update); catch it here with a clear error.
-        for element in self:
-            if isinstance(element, Capacitor) and element.value <= 0.0:
-                raise SimulationError(
-                    f"{self.title}: capacitor {element.name} has "
-                    f"non-positive value {element.value:g} F; every "
-                    "simulated capacitor must be > 0 (drop the element "
-                    "instead of setting it to zero)"
-                )
-        grounded = any(
-            node in GROUND_NAMES for e in self for node in e.nodes
-        )
-        if not grounded:
-            raise NetlistError(f"{self.title}: no ground node")
-        degree: dict[str, int] = {}
-        for element in self:
-            for node in set(element.nodes):
-                if node not in GROUND_NAMES:
-                    degree[node] = degree.get(node, 0) + 1
-        dangling = sorted(n for n, d in degree.items() if d < 2)
-        if dangling:
-            raise NetlistError(
-                f"{self.title}: dangling nodes {', '.join(dangling)} "
-                "(each node needs >= 2 connections)"
-            )
+        from ..lint import lint_circuit
+
+        lint_circuit(self, core_only=not strict).raise_first()
 
     def total_gate_area(self) -> float:
         """Sum of drawn MOS gate areas [m^2] — the paper's area metric."""

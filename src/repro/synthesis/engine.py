@@ -58,6 +58,9 @@ class SynthesisResult:
     params: dict[str, float] = field(default_factory=dict)
     #: Candidate evaluations that produced no usable metrics.
     failed_evaluations: int = 0
+    #: Candidates the electrical rule checker rejected before a Newton
+    #: solve was attempted (subset of ``failed_evaluations``).
+    lint_rejections: int = 0
     #: DC-solver retries consumed by the run's :class:`RetryPolicy`.
     retries: int = 0
     #: True when the run fell back somewhere: the APE pre-design was
@@ -89,6 +92,7 @@ def synthesize_opamp(
     budget: EvalBudget | None = None,
     retry: RetryPolicy | None = None,
     diagnostics: DiagnosticLog | None = None,
+    lint: bool = True,
 ) -> SynthesisResult:
     """Run one APE(+/-)ASTRX/OBLX synthesis leg for an op-amp spec.
 
@@ -98,6 +102,10 @@ def synthesize_opamp(
     pre-design or the evaluation loop propagates.  ``budget``, ``retry``
     and ``diagnostics`` are optional runtime hooks — absent (and with no
     faults occurring), results are bit-for-bit identical to a plain run.
+    ``lint`` (the default) pre-screens every candidate with the
+    electrical rule checker so structurally singular or
+    out-of-technology circuits are rejected before a Newton solve;
+    rejections are counted on ``SynthesisResult.lint_rejections``.
     """
     if mode not in ("standalone", "ape"):
         raise SpecificationError(
@@ -146,6 +154,7 @@ def synthesize_opamp(
         variables,
         retry=retry,
         diagnostics=log if tolerant else None,
+        lint=lint,
     )
 
     def evaluate(params: dict[str, float]):
@@ -214,6 +223,7 @@ def synthesize_opamp(
         ape_seconds=ape_seconds,
         params=result.best_params,
         failed_evaluations=result.failed_evaluations,
+        lint_rejections=problem.lint_rejections,
         retries=(
             retry.total_retries - retries_before if retry is not None else 0
         ),

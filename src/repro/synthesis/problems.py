@@ -12,12 +12,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import Callable
 
 from ..errors import ApeError, SimulationError, SpecificationError
 from ..opamp import OpAmp
 from ..opamp.benches import open_loop_bench
 from ..runtime import faults
-from ..runtime.diagnostics import DiagnosticLog
+from ..runtime.diagnostics import Diagnostic, DiagnosticLog
 from ..runtime.retry import RetryPolicy
 from ..spice import awe_poles, dc_operating_point
 from ..spice.analysis import balance_differential
@@ -195,11 +196,28 @@ class OpAmpSizingProblem(SizingProblem):
         retry: RetryPolicy | None = None,
         diagnostics: DiagnosticLog | None = None,
         reuse_state: bool = True,
+        lint: bool = True,
+        bench_factory: Callable[..., object] | None = None,
     ) -> None:
         self.template = template
         self._variables = variables
         self.awe_order = awe_order
         self.balance_tolerance = balance_tolerance
+        #: Gate each candidate through the electrical rule checker
+        #: before any matrix is assembled: the full structural catalog
+        #: once per topology (cached — the structure never changes
+        #: between candidates), then the cheap per-candidate value and
+        #: geometry subset (:data:`repro.lint.rules.CANDIDATE_RULES`).
+        self.lint = lint
+        #: Candidates rejected by the lint gate without a Newton solve.
+        self.lint_rejections = 0
+        #: Bench constructor ``(amp, v_diff=...) -> Circuit``; defaults
+        #: to :func:`~repro.opamp.benches.open_loop_bench`.  Benchmarks
+        #: inject structurally broken benches through this hook.
+        self.bench_factory = (
+            open_loop_bench if bench_factory is None else bench_factory
+        )
+        self._structural_report = None
         #: Share one MNA system across candidates and warm-start the
         #: balancing bisections (the default).  ``False`` restores the
         #: from-scratch behaviour every evaluation — only useful as a
@@ -228,7 +246,9 @@ class OpAmpSizingProblem(SizingProblem):
             return None
         try:
             faults.check("synthesis.evaluate")
-            bench = open_loop_bench(amp, v_diff=0.0)
+            bench = self.bench_factory(amp, v_diff=0.0)
+            if self.lint and self._lint_rejects(bench, amp):
+                return None
             if not self.reuse_state:
                 self._system = None
             elif self._system is None:
@@ -242,7 +262,7 @@ class OpAmpSizingProblem(SizingProblem):
             if abs(v_out) > 0.25:
                 # Output railed at zero offset: balance quickly.
                 _, bench, op = balance_differential(
-                    lambda v: open_loop_bench(amp, v_diff=v),
+                    lambda v: self.bench_factory(amp, v_diff=v),
                     "out",
                     target=0.0,
                     v_span=0.5,
@@ -260,6 +280,48 @@ class OpAmpSizingProblem(SizingProblem):
         except SimulationError as exc:
             self._note_failure(exc)
             return None
+
+    def _lint_rejects(self, bench, amp: OpAmp) -> bool:
+        """True when the ERC finds an error — reject before Newton.
+
+        The full structural catalog (source loops, floating gates,
+        current-source cutsets, ...) runs exactly once: every candidate
+        shares the template's topology, so the structural verdict is a
+        property of the run, not of the candidate.  Per candidate only
+        the cheap value/geometry subset runs — no graph analysis, no
+        matrix assembly.
+        """
+        from ..lint import lint_circuit
+        from ..lint.rules import CANDIDATE_RULES
+
+        if self._structural_report is None:
+            self._structural_report = lint_circuit(bench, tech=amp.tech)
+        report = self._structural_report
+        if report.ok:
+            report = lint_circuit(
+                bench, tech=amp.tech, rules=CANDIDATE_RULES
+            )
+            if report.ok:
+                return False
+        self.lint_rejections += 1
+        first = report.errors[0]
+        if self.diagnostics is not None:
+            self.diagnostics.record(
+                Diagnostic(
+                    subsystem="synthesis.lint",
+                    severity="warning",
+                    message=(
+                        f"candidate rejected before solve: {first.render()}"
+                    ),
+                    suggested_fix=first.fix_hint,
+                    context={
+                        "rule": first.code,
+                        "element": first.element,
+                        "nodes": list(first.nodes),
+                    },
+                )
+            )
+        return True
 
     def _note_failure(self, exc: ApeError) -> None:
         if self.diagnostics is not None:

@@ -16,7 +16,7 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
-from ..errors import ModelCardError
+from ..errors import ModelCardError, UnitError
 from ..units import parse_quantity
 from .process import MosModelParams, MosPolarity
 
@@ -98,8 +98,15 @@ def parse_model_card(card: str) -> MosModelParams:
     return next(iter(cards.values()))
 
 
-def parse_model_cards(text: str) -> dict[str, MosModelParams]:
-    """Parse every ``.MODEL`` card in ``text``, keyed by model name."""
+def parse_model_cards(
+    text: str, *, required: bool = True
+) -> dict[str, MosModelParams]:
+    """Parse every ``.MODEL`` card in ``text``, keyed by model name.
+
+    With ``required=False`` a text containing no ``.MODEL`` cards
+    returns an empty dict instead of raising — deck readers use this so
+    model-free decks parse cleanly while malformed cards still raise.
+    """
     statements = _join_continuations(_strip_comments(text))
     models: dict[str, MosModelParams] = {}
     for statement in statements:
@@ -120,7 +127,7 @@ def parse_model_cards(text: str) -> dict[str, MosModelParams]:
             key_lower = key.lower()
             try:
                 value = parse_quantity(raw)
-            except Exception as exc:
+            except (UnitError, ValueError) as exc:
                 raise ModelCardError(
                     f"model {name!r}: bad value {raw!r} for {key}"
                 ) from exc
@@ -134,7 +141,7 @@ def parse_model_cards(text: str) -> dict[str, MosModelParams]:
                 extra[key_lower] = value
         fields["extra"] = extra
         models[name] = MosModelParams(**fields)  # type: ignore[arg-type]
-    if not models:
+    if not models and required:
         raise ModelCardError("no .MODEL cards found")
     return models
 

@@ -1,0 +1,125 @@
+"""The repo-invariant AST lint must keep `src/` clean and must still
+fire on the patterns it exists to forbid."""
+
+import pathlib
+import sys
+import textwrap
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_invariants  # noqa: E402
+
+
+def _check_source(tmp_path, source):
+    path = tmp_path / "sample.py"
+    path.write_text(textwrap.dedent(source))
+    return check_invariants.check_file(path)
+
+
+def test_src_tree_is_clean():
+    problems = []
+    for path in sorted((REPO / "src").rglob("*.py")):
+        problems.extend(check_invariants.check_file(path))
+    assert not problems, "\n".join(str(p) for p in problems)
+
+
+def test_main_exit_status(tmp_path):
+    assert check_invariants.main([str(REPO / "src")]) == 0
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x=[]):\n    return x\n")
+    assert check_invariants.main([str(tmp_path)]) == 1
+
+
+class TestBroadExcept:
+    def test_silent_broad_except_flagged(self, tmp_path):
+        problems = _check_source(
+            tmp_path,
+            """
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    pass
+            """,
+        )
+        assert len(problems) == 1
+        assert "except Exception" in str(problems[0])
+
+    def test_bare_except_flagged(self, tmp_path):
+        problems = _check_source(
+            tmp_path,
+            """
+            def f():
+                try:
+                    risky()
+                except:
+                    return None
+            """,
+        )
+        assert len(problems) == 1
+
+    def test_reraise_allowed(self, tmp_path):
+        problems = _check_source(
+            tmp_path,
+            """
+            def f():
+                try:
+                    risky()
+                except Exception as exc:
+                    raise RuntimeError("wrapped") from exc
+            """,
+        )
+        assert problems == []
+
+    def test_diagnostic_logging_allowed(self, tmp_path):
+        problems = _check_source(
+            tmp_path,
+            """
+            def f(log):
+                try:
+                    risky()
+                except Exception as exc:
+                    log.record_exception("subsystem", exc)
+            """,
+        )
+        assert problems == []
+
+    def test_specific_exception_allowed(self, tmp_path):
+        problems = _check_source(
+            tmp_path,
+            """
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    pass
+            """,
+        )
+        assert problems == []
+
+
+class TestMutableDefaults:
+    @pytest.mark.parametrize(
+        "default", ["[]", "{}", "set()", "list()", "dict()", "bytearray()"]
+    )
+    def test_mutable_default_flagged(self, tmp_path, default):
+        problems = _check_source(tmp_path, f"def f(x={default}):\n    return x\n")
+        assert len(problems) == 1
+        assert "mutable default" in str(problems[0])
+
+    def test_keyword_only_default_flagged(self, tmp_path):
+        problems = _check_source(tmp_path, "def f(*, x=[]):\n    return x\n")
+        assert len(problems) == 1
+
+    def test_immutable_defaults_allowed(self, tmp_path):
+        problems = _check_source(
+            tmp_path, "def f(x=None, y=(), z=1.0, s='a'):\n    return x\n"
+        )
+        assert problems == []
+
+    def test_lambda_default_flagged(self, tmp_path):
+        problems = _check_source(tmp_path, "g = lambda x=[]: x\n")
+        assert len(problems) == 1

@@ -238,3 +238,68 @@ class TestAnalysisExtensions:
         assert "order 1" in out
         assert "pole:" in out
         assert "stable" in out
+
+
+class TestLintCommand:
+    GOOD = "divider\nVIN in 0 1\nR1 in out 1k\nR2 out 0 1k\n"
+    BAD = "broken\nVIN in 0 1\nR1 in out 1k\nR2 out 0 1k\nC1 g 0 1p\nM1 out g 0 0 CMOSN W=10u L=1u\n"
+
+    def test_clean_deck_exits_zero(self, capsys, tmp_path):
+        deck = tmp_path / "good.cir"
+        deck.write_text(self.GOOD)
+        code = main(["lint", str(deck)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clean (no findings)" in out
+
+    def test_bad_deck_exits_one(self, capsys, tmp_path):
+        deck = tmp_path / "bad.cir"
+        deck.write_text(self.BAD)
+        code = main(["lint", str(deck)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "E101" in out
+        assert "fix:" in out
+
+    def test_json_format(self, capsys, tmp_path):
+        import json
+
+        deck = tmp_path / "bad.cir"
+        deck.write_text(self.BAD)
+        code = main(["lint", "--format", "json", str(deck)])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        report = payload[0]
+        assert report["ok"] is False
+        assert any(f["code"] == "E101" for f in report["findings"])
+
+    def test_ignore_silences_rule(self, capsys, tmp_path):
+        deck = tmp_path / "bad.cir"
+        deck.write_text(self.BAD)
+        code = main(["lint", "--ignore", "E101", str(deck)])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_select_restricts_rules(self, capsys, tmp_path):
+        deck = tmp_path / "bad.cir"
+        deck.write_text(self.BAD)
+        code = main(["lint", "--select", "E201", str(deck)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E101" not in out
+
+    def test_noqa_in_deck_respected(self, capsys, tmp_path):
+        deck = tmp_path / "tagged.cir"
+        deck.write_text(self.BAD.replace("L=1u\n", "L=1u ; noqa: E101\n"))
+        code = main(["lint", str(deck)])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_shipped_examples_lint_clean(self, capsys):
+        import glob
+
+        decks = sorted(glob.glob("examples/netlists/*.cir"))
+        assert decks, "examples/netlists/*.cir missing"
+        code = main(["lint", *decks])
+        capsys.readouterr()
+        assert code == 0

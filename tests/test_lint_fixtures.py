@@ -1,0 +1,98 @@
+"""Every fixture family the repo ships must lint clean.
+
+Each component/module `verification_circuit()` and each op-amp
+open-loop bench is run through the full lint catalog with the
+technology rules enabled; errors *and* warnings must be zero
+(info-severity findings are tolerated — e.g. flash ADC ladder taps
+named after their subcircuit)."""
+
+import pytest
+
+from repro import components as comp
+from repro import modules as mod
+from repro.lint import lint_circuit
+from repro.opamp import OpAmpSpec, OpAmpTopology, design_opamp, open_loop_bench
+from repro.technology import generic_05um
+
+TECH = generic_05um()
+
+COMPONENT_FACTORIES = {
+    "dcvolt": lambda: comp.DcVoltageBias.design(TECH, v_out=1.2, current=10e-6),
+    "mirror": lambda: comp.CurrentMirror.design(TECH, current=100e-6),
+    "cascode": lambda: comp.CascodeCurrentSource.design(TECH, current=50e-6),
+    "wilson": lambda: comp.WilsonCurrentSource.design(TECH, current=10e-6),
+    "gain_nmos": lambda: comp.GainNmos.design(TECH, gain=20, current=20e-6),
+    "gain_cmos": lambda: comp.GainCmos.design(TECH, gain=50, current=20e-6),
+    "gain_cmosh": lambda: comp.GainCmosH.design(TECH, current=20e-6),
+    "follower": lambda: comp.SourceFollower.design(TECH, current=50e-6),
+    "diff_nmos": lambda: comp.DiffNmos.design(TECH, adm=-10.0, tail_current=2e-6),
+    "diff_cmos": lambda: comp.DiffCmos.design(TECH, adm=300, tail_current=2e-6),
+    "folded_cascode": lambda: comp.FoldedCascodeDiff.design(
+        TECH, adm=300, tail_current=2e-6
+    ),
+}
+
+MODULE_FACTORIES = {
+    "invamp": lambda: mod.InvertingAmplifier.design(TECH, gain=10, bandwidth=100e3),
+    "adder": lambda: mod.SummingAmplifier.design(TECH, weights=(2, 1), bandwidth=50e3),
+    "audioamp": lambda: mod.AudioAmplifier.design(TECH, gain=100, bandwidth=20e3),
+    "integrator": lambda: mod.Integrator.design(TECH, unity_freq=10e3),
+    "comparator": lambda: mod.Comparator.design(TECH, delay=5e-6),
+    "sample_hold": lambda: mod.SampleHold.design(
+        TECH, gain=1, bandwidth=100e3, response_time=1e-4
+    ),
+    "sk_lpf": lambda: mod.SallenKeyLowPass.design(TECH, order=4, f_corner=1e3),
+    "sk_bpf": lambda: mod.SallenKeyBandPass.design(TECH, f_center=1e3, bandwidth=1e3),
+    "flash_adc": lambda: mod.FlashAdc.design(TECH, bits=2, delay=5e-6),
+    "inamp": lambda: mod.InstrumentationAmplifier.design(TECH, gain=10, bandwidth=50e3),
+    "sc_integrator": lambda: mod.ScIntegrator.design(TECH, f_unity=10e3, f_clock=1e6),
+}
+
+OPAMP_CASES = {
+    "mirror_plain": OpAmpTopology(current_source="mirror"),
+    "wilson_buffered": OpAmpTopology(
+        current_source="wilson", output_buffer=True, z_load=1e3
+    ),
+    "cascode_nmos_pair": OpAmpTopology(current_source="cascode", diff_pair="nmos"),
+}
+
+
+def _assert_clean(circuit, label):
+    report = lint_circuit(circuit, tech=TECH)
+    problems = [f.render() for f in report if f.severity != "info"]
+    assert not problems, f"{label} lints dirty: {problems}"
+
+
+@pytest.mark.parametrize("kind", sorted(COMPONENT_FACTORIES))
+def test_component_fixture_lints_clean(kind):
+    circuit, _ = COMPONENT_FACTORIES[kind]().verification_circuit()
+    _assert_clean(circuit, kind)
+
+
+@pytest.mark.parametrize("kind", sorted(MODULE_FACTORIES))
+def test_module_fixture_lints_clean(kind):
+    circuit, _ = MODULE_FACTORIES[kind]().verification_circuit()
+    _assert_clean(circuit, kind)
+
+
+def test_r2r_dac_fixture_lints_clean():
+    dac = mod.R2rDac.design(TECH, bits=4, settle_time=10e-6)
+    circuit, _ = dac.verification_circuit(code=5)
+    _assert_clean(circuit, "r2r_dac")
+
+
+@pytest.mark.parametrize("kind", sorted(OPAMP_CASES))
+def test_opamp_bench_lints_clean(kind):
+    spec = OpAmpSpec(gain=200, ugf=1.3e6, ibias=1e-6, cl=10e-12)
+    amp = design_opamp(TECH, spec, OPAMP_CASES[kind])
+    _assert_clean(open_loop_bench(amp, v_diff=0.0), kind)
+
+
+def test_fixture_decks_roundtrip_through_linter():
+    """write_deck -> read_deck must not introduce findings."""
+    from repro.spice.io import read_deck, write_deck
+
+    circuit, _ = COMPONENT_FACTORIES["mirror"]().verification_circuit()
+    deck = write_deck(circuit)
+    reread = read_deck(deck, models={"CMOSN": TECH.nmos, "CMOSP": TECH.pmos})
+    _assert_clean(reread, "mirror roundtrip")

@@ -218,6 +218,25 @@ class TestRobustness:
         op = dc_operating_point(ckt)
         assert op.iterations >= 1
 
+    def test_ill_conditioned_ladder_converges(self):
+        # Regression: a wide spread of resistor values makes the
+        # Jacobian ill-conditioned enough that the Newton step never
+        # drops below an *absolute* 1 nV — the dx noise floor scales
+        # with the solution.  The reltol·|v|+abstol gate must accept it.
+        ckt = Circuit("stiff-ladder")
+        ckt.v("n0", "0", dc=2.75)
+        rs = [2906802.0, 2.0, 1.0]
+        cs = [1e-6, 5.67e-7, 7.58e-7]
+        for i, (r, c) in enumerate(zip(rs, cs)):
+            ckt.r(f"n{i}", f"n{i + 1}", r)
+            ckt.c(f"n{i + 1}", "0", c)
+        op = dc_operating_point(ckt)
+        # No DC current flows (capacitive loads only): every node sits
+        # at the source voltage, up to the gmin leakage floor across
+        # the megaohm series resistor.
+        for i in range(len(rs) + 1):
+            assert op.v(f"n{i}") == pytest.approx(2.75, abs=1e-4)
+
 
 class TestDcSweep:
     def test_sweep_inverter_transfer(self):

@@ -220,3 +220,65 @@ class TestRoundTrip:
         w1 = back.element("V1").wave
         for t in (0.0, 1.5e-6, 3e-6, 7e-6, 12e-6):
             assert w1.value(t) == pytest.approx(w0.value(t), abs=1e-9)
+
+
+class TestNoqaTags:
+    def test_deck_noqa_roundtrip(self):
+        deck = (
+            "tagged\n"
+            "VIN in 0 1\n"
+            "R1 in out 1k\n"
+            "R2 out 0 1k\n"
+            "RBIG out 0 100G ; noqa\n"
+            "CAC out g 1p ; noqa: W401\n"
+            "M1 out g 0 0 CMOSN W=10u L=1u ; noqa: E101 E301\n"
+        )
+        tech = generic_05um()
+        circuit = read_deck(deck, models={"CMOSN": tech.nmos})
+        assert circuit.noqa_tags("RBIG") is None  # bare noqa = all rules
+        assert circuit.noqa_tags("CAC") == frozenset({"W401"})
+        assert set(circuit.noqa_tags("M1")) == {"E101", "E301"}
+        assert circuit.noqa_tags("R1") == frozenset()
+
+        text = write_deck(circuit)
+        reread = read_deck(text, models={"CMOSN": tech.nmos})
+        assert reread.noqa_tags("RBIG") is None
+        assert reread.noqa_tags("CAC") == frozenset({"W401"})
+        assert set(reread.noqa_tags("M1")) == {"E101", "E301"}
+
+    def test_noqa_suppresses_lint_findings(self):
+        from repro.lint import lint_circuit
+
+        deck = (
+            "floating gate, waved through\n"
+            "VIN in 0 1\n"
+            "R1 in out 1k\n"
+            "R2 out 0 1k\n"
+            "CAC out g 1p\n"
+            "M1 out g 0 0 CMOSN W=10u L=1u ; noqa: E101\n"
+        )
+        tech = generic_05um()
+        circuit = read_deck(deck, models={"CMOSN": tech.nmos})
+        assert "E101" not in lint_circuit(circuit).codes()
+
+
+class TestMalformedModelCard:
+    def test_bad_model_card_becomes_diagnostic(self):
+        from repro.runtime.diagnostics import global_log
+
+        deck = (
+            "bad model\n"
+            "VIN in 0 1\n"
+            "R1 in 0 1k\n"
+            ".MODEL CMOSN NMOS (VTO=not-a-number)\n"
+        )
+        global_log().clear()
+        try:
+            circuit = read_deck(deck)
+            # The deck still parses: the R/V elements are usable.
+            assert len(circuit) == 2
+            records = [d for d in global_log() if d.subsystem == "spice.io"]
+            assert records, "malformed .MODEL should be recorded"
+            assert records[0].severity == "warning"
+        finally:
+            global_log().clear()

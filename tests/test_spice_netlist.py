@@ -113,6 +113,45 @@ class TestValidation:
         ckt.r("in", "0", 1e3)
         ckt.validate()
 
+    def test_case_insensitive_duplicate_rejected(self):
+        # add() only blocks exact duplicates; 'rload'/'RLOAD' would
+        # merge in an exported deck, so validate() must reject them.
+        ckt = Circuit()
+        ckt.v("in", "0", dc=1.0)
+        ckt.r("in", "0", 1e3, name="rload")
+        ckt.r("in", "0", 2e3, name="RLOAD")
+        with pytest.raises(NetlistError, match="duplicate"):
+            ckt.validate()
+
+    def test_strict_validation_catches_structural_faults(self):
+        tech = generic_05um()
+        ckt = Circuit()
+        ckt.v("in", "0", dc=1.0)
+        ckt.r("in", "out", 1e3)
+        ckt.r("out", "0", 1e3)
+        ckt.c("float", "0", 1e-12)
+        ckt.m("out", "float", "0", "0", tech.nmos, 10e-6, 1e-6, name="M1")
+        ckt.validate()  # floating gate is outside the fast core subset
+        with pytest.raises(NetlistError, match="E101|gate"):
+            ckt.validate(strict=True)
+
+    def test_strict_validation_passes_clean_circuit(self):
+        ckt = Circuit()
+        ckt.v("in", "0", dc=1.0)
+        ckt.r("in", "0", 1e3)
+        ckt.validate(strict=True)
+
+    def test_noqa_tags_suppress_validation(self):
+        tech = generic_05um()
+        ckt = Circuit()
+        ckt.v("in", "0", dc=1.0)
+        ckt.r("in", "out", 1e3)
+        ckt.r("out", "0", 1e3)
+        ckt.c("float", "0", 1e-12)
+        ckt.m("out", "float", "0", "0", tech.nmos, 10e-6, 1e-6, name="M1")
+        ckt.noqa("M1", "E101")
+        ckt.validate(strict=True)
+
 
 class TestElementValidation:
     def test_negative_resistance_rejected(self):

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Repo-specific static invariants, enforced in CI.
+
+Stdlib-only AST lint (no third-party dependencies) over ``src/``:
+
+* **broad-except** — ``except Exception:`` / bare ``except:`` handlers
+  must either re-raise or route the failure through the structured
+  diagnostics layer (:mod:`repro.runtime.diagnostics`).  PR 1's whole
+  point is that failures become `Diagnostic` records, not silence;
+  a swallowed broad except is how silent-corruption bugs start.
+  A handler counts as compliant when its body contains a ``raise``, a
+  call mentioning ``record``/``record_exception``/``global_log``/
+  ``from_exception``, or constructs an exception type (``*Error``).
+* **mutable-default** — function parameters must not default to
+  mutable literals (``[]``, ``{}``, ``set()``, ...): the default is
+  created once and shared across calls.
+
+Usage::
+
+    python tools/check_invariants.py [paths ...]   # default: src/
+
+Exit status 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Exception names treated as "broad" in an except clause.
+BROAD_NAMES = {"Exception", "BaseException"}
+#: Call-name fragments that mark a handler as diagnostics-routed.
+DIAGNOSTIC_MARKERS = (
+    "record_exception",
+    "record",
+    "global_log",
+    "from_exception",
+    "_note_failure",
+)
+#: Mutable literal/constructor default values.
+MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except:
+    names = []
+    if isinstance(handler.type, ast.Tuple):
+        names = [
+            t.id for t in handler.type.elts if isinstance(t, ast.Name)
+        ]
+    elif isinstance(handler.type, ast.Name):
+        names = [handler.type.id]
+    return any(name in BROAD_NAMES for name in names)
+
+
+def _handler_is_compliant(handler: ast.ExceptHandler) -> bool:
+    """True when the broad handler re-raises or records a diagnostic."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            fn = node.func
+            name = ""
+            if isinstance(fn, ast.Attribute):
+                name = fn.attr
+            elif isinstance(fn, ast.Name):
+                name = fn.id
+            if any(marker in name for marker in DIAGNOSTIC_MARKERS):
+                return True
+            if name.endswith("Error"):
+                return True  # building an exception to raise/return
+    return False
+
+
+def _mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in MUTABLE_CALLS
+    return False
+
+
+def check_file(path: Path) -> list[str]:
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler):
+            if _is_broad(node) and not _handler_is_compliant(node):
+                problems.append(
+                    f"{path}:{node.lineno}: broad 'except "
+                    f"{'Exception' if node.type is not None else ''}' "
+                    "neither re-raises nor records a diagnostic "
+                    "(route it through repro.runtime.diagnostics or "
+                    "narrow the exception type)"
+                )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            name = getattr(node, "name", "<lambda>")
+            for default in defaults:
+                if _mutable_default(default):
+                    problems.append(
+                        f"{path}:{default.lineno}: mutable default "
+                        f"argument in {name}() — use None and "
+                        "create the object inside the function"
+                    )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    roots = [Path(arg) for arg in args] or [
+        Path(__file__).resolve().parent.parent / "src"
+    ]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            files.append(root)
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(
+        f"check_invariants: {len(files)} file(s), "
+        f"{len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ import pytest
 
 from paper_tables import fmt
 from repro.opamp import OpAmpSpec, OpAmpTopology, design_opamp, verify_opamp
+from repro.parallel import parallel_map
 
 # OpAmp1-4 specs in the spirit of the paper's Table 3 rows.
 OPAMPS = [
@@ -30,15 +31,20 @@ OPAMPS = [
 ]
 
 
-def build_table3(tech):
-    results = []
-    for name, spec, topo in OPAMPS:
-        amp = design_opamp(tech, spec, topo, name=name)
-        sim = verify_opamp(
-            amp, measure_slew=True, measure_zout=True, measure_cmrr=True
-        )
-        results.append((name, amp, sim))
-    return results
+def _table3_row(item):
+    """Size and fully simulate one op-amp row (module-level so the
+    process pool can pickle it by reference)."""
+    tech, name, spec, topo = item
+    amp = design_opamp(tech, spec, topo, name=name)
+    sim = verify_opamp(
+        amp, measure_slew=True, measure_zout=True, measure_cmrr=True
+    )
+    return name, amp, sim
+
+
+def build_table3(tech, workers=None):
+    items = [(tech, name, spec, topo) for name, spec, topo in OPAMPS]
+    return parallel_map(_table3_row, items, workers=workers)
 
 
 @pytest.mark.benchmark(group="table3")

@@ -18,18 +18,26 @@ thin wrappers around it.
 from __future__ import annotations
 
 import json
+import math
 import time
 from typing import Callable
 
 __all__ = [
     "run_engine_benchmark",
+    "run_parallel_benchmark",
     "render_report",
+    "render_parallel_report",
     "write_report",
     "SPEEDUP_TARGETS",
+    "PARALLEL_SPEEDUP_TARGETS",
 ]
 
 #: Acceptance floors: compiled must beat naive by at least this factor.
 SPEEDUP_TARGETS = {"ac_sweep": 3.0, "anneal_eval": 2.0, "lint_gate": 3.0}
+
+#: Acceptance floor for the multi-chain executor: a 4-restart leg on
+#: 4 workers must beat 4 sequential pre-executor legs by this factor.
+PARALLEL_SPEEDUP_TARGETS = {"synth_parallel": 2.5}
 
 
 def _ops_per_sec(
@@ -285,6 +293,167 @@ def run_engine_benchmark(
         for name, floor in SPEEDUP_TARGETS.items()
     }
     return report
+
+
+def run_parallel_benchmark(
+    *,
+    quick: bool = False,
+    restarts: int = 4,
+    workers: int = 4,
+    seed: int = 1,
+    max_evaluations: int | None = None,
+) -> dict:
+    """A/B benchmark of the multi-chain executor against serial legs.
+
+    The workload is the Table-3 OpAmp1 synthesis leg (Wilson tail,
+    CMOS diff pair, output buffer, 1 kOhm load).  The baseline runs
+    ``restarts`` sequential ``synthesize_opamp`` calls exactly as the
+    pre-executor flow would have — one chain each, no evaluation memo,
+    factory-built candidate benches — seeded with the same per-chain
+    seeds the executor derives.  The contender is one
+    ``synthesize_opamp(restarts=..., workers=...)`` call: same chains,
+    same seeds, same total evaluation budget, but fanned across the
+    pool with a shared :class:`~repro.parallel.EvalMemo` and the
+    executor's fast evaluation profile.  Both sides run in this
+    process/pool with identical warm-up, so the reported speedup is a
+    like-for-like A/B of the executor, not of the hardware.
+    """
+    from .opamp import OpAmpSpec, OpAmpTopology
+    from .parallel import derive_chain_seed, effective_workers, usable_cpu_count
+    from .runtime.diagnostics import DiagnosticLog
+    from .synthesis import synthesize_opamp
+    from .technology import generic_05um
+
+    # Full mode uses the engine's default per-leg budget; the annealer's
+    # late phase revisits (and bound-clamps onto) previously seen points,
+    # so both the memo hit rate and the baseline's balancing cost grow
+    # with leg length — quick mode is a smoke run, not a target check.
+    if max_evaluations is None:
+        max_evaluations = 60 if quick else 250
+
+    tech = generic_05um()
+    spec = OpAmpSpec(gain=206.0, ugf=1.3e6, ibias=1e-6, cl=10e-12)
+    topology = OpAmpTopology(
+        current_source="wilson", output_buffer=True, z_load=1e3
+    )
+    log = DiagnosticLog(mirror=False)
+
+    def serial_leg(chain_index: int, budget: int):
+        # The pre-executor flow: one chain, classic evaluation path
+        # (memo=False pins the cache off even for shared-log runs).
+        return synthesize_opamp(
+            tech, spec, topology, mode="ape",
+            max_evaluations=budget,
+            seed=derive_chain_seed(seed, chain_index),
+            name="OpAmp1", memo=False, diagnostics=log,
+        )
+
+    # One short untimed leg warms process-wide one-time costs (imports,
+    # stamp compilation, technology tables) for both sides alike.
+    serial_leg(0, 8)
+
+    # Both sides are deterministic, so repeated passes redo identical
+    # work; interleaving them and keeping the per-side minimum strips
+    # out background-load noise without biasing the A/B ratio.
+    repeats = 1 if quick else 2
+    serial_seconds = math.inf
+    parallel_seconds = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        serial_results = [
+            serial_leg(index, max_evaluations) for index in range(restarts)
+        ]
+        serial_seconds = min(
+            serial_seconds, time.perf_counter() - start
+        )
+
+        start = time.perf_counter()
+        parallel_result = synthesize_opamp(
+            tech, spec, topology, mode="ape",
+            max_evaluations=max_evaluations, seed=seed, name="OpAmp1",
+            restarts=restarts, workers=workers, diagnostics=log,
+        )
+        parallel_seconds = min(
+            parallel_seconds, time.perf_counter() - start
+        )
+
+    serial_evals = sum(r.evaluations for r in serial_results)
+    speedup = serial_seconds / parallel_seconds
+    lookups = parallel_result.cache_hits + parallel_result.cache_misses
+    report: dict = {
+        "schema": "repro-bench-parallel/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "quick": quick,
+        "workload": {
+            "name": "synth_parallel",
+            "description": (
+                "Table-3 OpAmp1 APE-mode leg: "
+                f"{restarts} restarts x {max_evaluations} evaluations"
+            ),
+            "restarts": restarts,
+            "max_evaluations_per_chain": max_evaluations,
+            "seed": seed,
+        },
+        "baseline": (
+            f"{restarts} sequential single-chain synthesize_opamp legs "
+            "(pre-executor path: no memo, factory-built benches), same "
+            "per-chain seeds and evaluation budget"
+        ),
+        "cpu_count": usable_cpu_count(),
+        "workers_requested": workers,
+        "workers_effective": effective_workers(workers, restarts),
+        "serial": {
+            "seconds": serial_seconds,
+            "evaluations": serial_evals,
+            "evals_per_sec": serial_evals / serial_seconds,
+            "best_cost": min(r.best_cost for r in serial_results),
+        },
+        "parallel": {
+            "seconds": parallel_seconds,
+            "evaluations": parallel_result.evaluations,
+            "evals_per_sec": parallel_result.evals_per_second,
+            "best_cost": parallel_result.best_cost,
+            "cache_hits": parallel_result.cache_hits,
+            "cache_misses": parallel_result.cache_misses,
+            "cache_hit_rate": (
+                parallel_result.cache_hits / lookups if lookups else 0.0
+            ),
+            "chain_best_costs": [
+                chain.best_cost for chain in parallel_result.chains
+            ],
+        },
+        "speedup": speedup,
+        "targets": dict(PARALLEL_SPEEDUP_TARGETS),
+        "targets_met": {
+            "synth_parallel": speedup >= PARALLEL_SPEEDUP_TARGETS["synth_parallel"]
+        },
+    }
+    return report
+
+
+def render_parallel_report(report: dict) -> str:
+    """Human-readable summary of a :func:`run_parallel_benchmark` report."""
+    serial = report["serial"]
+    par = report["parallel"]
+    target = report["targets"]["synth_parallel"]
+    met = "ok" if report["targets_met"]["synth_parallel"] else "MISSED"
+    return "\n".join([
+        f"parallel synthesis benchmark "
+        f"({'quick' if report['quick'] else 'full'})",
+        f"workload: {report['workload']['description']}",
+        f"workers: {report['workers_effective']} effective of "
+        f"{report['workers_requested']} requested "
+        f"({report['cpu_count']} usable CPU(s))",
+        f"serial:   {serial['seconds']:8.2f} s  "
+        f"{serial['evals_per_sec']:7.1f} evals/s  "
+        f"best cost {serial['best_cost']:.6g}",
+        f"parallel: {par['seconds']:8.2f} s  "
+        f"{par['evals_per_sec']:7.1f} evals/s  "
+        f"best cost {par['best_cost']:.6g}",
+        f"cache: {par['cache_hits']} hits / {par['cache_misses']} misses "
+        f"(hit rate {par['cache_hit_rate']:.1%})",
+        f"speedup: {report['speedup']:.2f}x  (target {target:.1f}x: {met})",
+    ])
 
 
 def render_report(report: dict) -> str:

@@ -10,10 +10,12 @@ Commands mirror the library's main entry points:
 * ``simulate`` — DC/AC/transient analysis of a SPICE deck file,
 * ``lint`` — electrical rule check of SPICE deck files (text or JSON
   findings; exit 1 on error-severity findings),
-* ``bench`` — A/B benchmark of the stamp-compiled engine against the
-  naive assembly path, written as ``BENCH_engine.json``,
-* ``diagnostics`` — render the Diagnostic records accumulated by
-  tolerant runs in this process.
+* ``bench`` — A/B benchmarks: the stamp-compiled engine against the
+  naive assembly path (``BENCH_engine.json``) and the parallel
+  multi-chain synthesis executor against serial legs
+  (``BENCH_parallel.json``), selected via ``--suite``,
+* ``diagnostics`` — render the Diagnostic records and session-wide
+  throughput/cache counters accumulated by runs in this process.
 
 All numeric arguments accept SPICE engineering notation (``1.3Meg``,
 ``10p``, ``100u``).
@@ -124,17 +126,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=0,
                    help="DC-solver retry attempts per evaluation "
                         "(deterministic jittered restarts)")
+    p.add_argument("--restarts", type=int, default=1,
+                   help="independently seeded annealing chains; the best "
+                        "chain wins (default: 1, the classic serial run)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for multi-restart runs "
+                        "(default: one per usable CPU)")
 
     p = sub.add_parser(
         "bench",
-        help="benchmark the compiled engine against naive assembly",
+        help="benchmark the engine and the parallel synthesis executor",
     )
+    p.add_argument("--suite", default="engine",
+                   choices=["engine", "parallel", "all"],
+                   help="engine: compiled vs naive assembly; parallel: "
+                        "multi-chain executor vs serial legs (default: "
+                        "engine)")
     p.add_argument("--quick", action="store_true",
                    help="short per-measurement floor (CI smoke mode)")
     p.add_argument("--min-time", default=None,
-                   help="seconds per measurement (overrides --quick)")
-    p.add_argument("--out", default="BENCH_engine.json",
-                   help="report path (default: BENCH_engine.json)")
+                   help="seconds per measurement (engine suite only; "
+                        "overrides --quick)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker processes for the parallel suite "
+                        "(default: 4)")
+    p.add_argument("--out", default=None,
+                   help="report path (default: BENCH_engine.json / "
+                        "BENCH_parallel.json per suite)")
     p.add_argument("--check", action="store_true",
                    help="exit non-zero when a speedup target is missed")
 
@@ -269,6 +287,7 @@ def _cmd_synthesize(args, tech) -> int:
         max_evaluations=args.budget, seed=args.seed,
         tolerant=args.tolerant, budget=budget, retry=retry,
         diagnostics=log,
+        restarts=args.restarts, workers=args.workers,
     )
     print(f"mode:       {result.mode}")
     print(f"meets spec: {result.meets_spec} ({result.comment})")
@@ -283,32 +302,70 @@ def _cmd_synthesize(args, tech) -> int:
           f"{result.retries} retries), "
           f"annealer {result.cpu_seconds:.2f} s, "
           f"APE {result.ape_seconds * 1e3:.2f} ms")
+    if result.restarts > 1:
+        print(f"chains:      {result.restarts} on {result.workers} "
+              f"worker(s), best costs "
+              f"{[round(c.best_cost, 6) for c in result.chains]}")
+    lookups = result.cache_hits + result.cache_misses
+    cache = (
+        f"{result.cache_hits} hits / {result.cache_misses} misses "
+        f"(hit rate {result.cache_hits / lookups:.1%})"
+        if lookups else "off"
+    )
+    print(f"throughput:  {result.evals_per_second:.1f} evals/s, "
+          f"cache {cache}")
     _render_diagnostics(log)
     return 0 if result.meets_spec else 1
 
 
 def _cmd_bench(args, tech) -> int:
-    from .benchmark import render_report, run_engine_benchmark, write_report
+    from .benchmark import (
+        render_parallel_report,
+        render_report,
+        run_engine_benchmark,
+        run_parallel_benchmark,
+        write_report,
+    )
 
     min_time = (
         parse_quantity(args.min_time) if args.min_time is not None else None
     )
-    report = run_engine_benchmark(quick=args.quick, min_time=min_time)
-    print(render_report(report))
-    write_report(report, args.out)
-    print(f"report written to {args.out}")
-    if args.check and not all(report["targets_met"].values()):
+    ok = True
+    if args.suite in ("engine", "all"):
+        report = run_engine_benchmark(quick=args.quick, min_time=min_time)
+        print(render_report(report))
+        out = args.out if args.suite == "engine" and args.out else "BENCH_engine.json"
+        write_report(report, out)
+        print(f"report written to {out}")
+        ok = ok and all(report["targets_met"].values())
+    if args.suite in ("parallel", "all"):
+        report = run_parallel_benchmark(
+            quick=args.quick, workers=args.workers
+        )
+        print(render_parallel_report(report))
+        out = (
+            args.out if args.suite == "parallel" and args.out
+            else "BENCH_parallel.json"
+        )
+        write_report(report, out)
+        print(f"report written to {out}")
+        ok = ok and all(report["targets_met"].values())
+    if args.check and not ok:
         return 1
     return 0
 
 
 def _cmd_diagnostics(args, tech) -> int:
+    from .runtime import global_stats
+
     log = global_log()
     print(f"{len(log)} diagnostic record(s) this session")
     if log:
         print(log.render())
+    print(global_stats().render())
     if args.clear:
         log.clear()
+        global_stats().clear()
     return 0
 
 

@@ -1,0 +1,439 @@
+"""Process-pool execution of independent annealing chains.
+
+The unit of work is a :class:`ChainTask` — a frozen, pickle-clean
+description of one annealing restart (technology, spec, topology,
+schedule, derived seed, budget share, fault configuration).  A task is
+executed by :func:`run_chain`, either in-process or inside a worker of
+a ``fork``-based :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Determinism contract (locked in by ``tests/test_parallel.py``):
+
+* Chain ``i`` anneals with seed ``derive_chain_seed(master_seed, i)``
+  and, when fault injection is configured, a fault injector seeded
+  ``derive_chain_seed(fault_seed, i)`` armed for the duration of the
+  chain.  Both depend only on ``(seed, i)``.
+* Candidate evaluation is *canonical* (history-independent), so a
+  chain's result is a pure function of its task — never of which
+  worker ran it, in what order, or what the shared memo cache already
+  contained.  Results therefore depend only on ``(seed, restarts)``,
+  not on the worker count or scheduling.
+* While a fault injector is armed the chain bypasses the memo
+  entirely: fault decisions are drawn per evaluation *call*, and a
+  cache hit would skip that call, entangling the injector's stream
+  with cache warmth (which does depend on scheduling).
+
+Workers rebuild the sizing problem from the task description and keep
+it cached per task signature — ``System.rebind`` then reuses the
+compiled MNA engine across every candidate of every chain that worker
+runs, instead of re-pickling solver state across the pool boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field, replace as dc_replace
+
+from ..runtime import faults
+from ..runtime.budget import EvalBudget
+from ..runtime.diagnostics import Diagnostic, DiagnosticLog
+from ..runtime.retry import RetryPolicy
+from ..synthesis.annealing import Annealer, AnnealingSchedule, AnnealResult
+from ..synthesis.cost import CostFunction, FAILURE_COST
+from .memo import DEFAULT_QUANTUM, EvalMemo
+
+__all__ = [
+    "ChainTask",
+    "ChainOutcome",
+    "derive_chain_seed",
+    "effective_workers",
+    "usable_cpu_count",
+    "run_chain",
+    "run_annealing_chains",
+    "parallel_map",
+]
+
+#: Weyl increment (golden-ratio based) for per-chain seed derivation:
+#: consecutive chain indices land far apart in seed space, and chain 0
+#: keeps the master seed itself.
+_SEED_STRIDE = 0x9E3779B97F4A7C15
+
+
+def derive_chain_seed(master_seed: int, chain_index: int) -> int:
+    """Deterministic per-chain seed; chain 0 is the master seed."""
+    if chain_index == 0:
+        return master_seed
+    return (master_seed + _SEED_STRIDE * chain_index) % 2**63
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def effective_workers(
+    requested: int | None, n_tasks: int, *, oversubscribe: bool = False
+) -> int:
+    """Clamp a worker request to the work and (by default) the CPUs.
+
+    ``None`` asks for one worker per usable CPU.  Oversubscribing a
+    CPU-bound annealing run only adds scheduling overhead, so requests
+    beyond the affinity mask are clamped unless ``oversubscribe=True``
+    (useful in tests, or when evaluations block on something other
+    than the CPU).
+    """
+    limit = requested if requested is not None else usable_cpu_count()
+    workers = max(1, min(limit, n_tasks))
+    if not oversubscribe:
+        workers = min(workers, usable_cpu_count())
+    return workers
+
+
+@dataclass(frozen=True)
+class ChainTask:
+    """Everything one annealing restart needs, pickle-clean."""
+
+    tech: object
+    spec: object
+    topology: object | None
+    mode: str
+    synthesis_spec: object
+    name: str
+    range_factor: float
+    max_evaluations: int
+    schedule: AnnealingSchedule | None
+    #: Master seed; the chain anneals with the derived per-chain seed.
+    seed: int
+    chain_index: int
+    tolerant: bool = True
+    lint: bool = True
+    retry: RetryPolicy | None = None
+    #: Shared wall-clock deadline as an absolute ``time.time()`` epoch
+    #: (every chain stops at the same instant, wherever it runs).
+    deadline_epoch: float | None = None
+    max_failures: int | None = None
+    per_eval_seconds: float | None = None
+    #: Fault configuration re-armed inside the chain (None = leave the
+    #: worker's fault state alone).
+    fault_specs: tuple[faults.FaultSpec, ...] | None = None
+    fault_seed: int = 0
+    #: Evaluation memo quantum; ``None`` disables memoization.
+    memo_quantum: float | None = DEFAULT_QUANTUM
+    #: Evaluation profile: run-constant warm-started DC solves and
+    #: in-place bench updates (both canonical, see the module docstring).
+    warm_start: bool = True
+    reuse_bench: bool = True
+
+    def problem_key(self) -> bytes:
+        """Signature of the sizing problem this task needs.
+
+        Chains of one synthesis run (and repeated runs of the same
+        table row) share the signature, so a worker builds the
+        template, variables and compiled MNA system once and reuses
+        them via ``System.rebind`` for every such chain.
+        """
+        return pickle.dumps(
+            (
+                self.tech,
+                self.spec,
+                self.topology,
+                self.mode,
+                self.synthesis_spec,
+                self.name,
+                self.range_factor,
+                self.lint,
+                self.memo_quantum,
+                self.warm_start,
+                self.reuse_bench,
+            )
+        )
+
+
+@dataclass
+class ChainOutcome:
+    """One chain's result plus the counters the parent merges back."""
+
+    chain_index: int
+    seed: int
+    anneal: AnnealResult
+    degraded_design: bool = False
+    ape_seconds: float = 0.0
+    lint_rejections: int = 0
+    retries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Worker-side memo snapshot for merging into the caller's cache
+    #: (``None`` when the chain already wrote into a shared memo).
+    memo_snapshot: dict | None = None
+
+
+# Worker-local state, keyed by ChainTask.problem_key(): the sizing
+# problem (with its compiled MNA system) and the worker's memo cache
+# survive across the chains one worker executes.
+_WORKER_BUNDLES: dict[bytes, tuple] = {}
+_WORKER_MEMOS: dict[bytes, EvalMemo] = {}
+
+
+def _memo_for(task: ChainTask, shared_memo: EvalMemo | None) -> EvalMemo | None:
+    """The memo this chain evaluates through (shared, worker-local, none)."""
+    if shared_memo is not None:
+        return shared_memo
+    if task.memo_quantum is None:
+        return None
+    key = task.problem_key()
+    memo = _WORKER_MEMOS.get(key)
+    if memo is None:
+        memo = EvalMemo(task.memo_quantum)
+        _WORKER_MEMOS[key] = memo
+    return memo
+
+
+def _bundle_for(task: ChainTask):
+    """(x0, cost_fn, problem, design_notes, ape_seconds) for a task."""
+    key = task.problem_key()
+    bundle = _WORKER_BUNDLES.get(key)
+    if bundle is None:
+        from ..opamp import coarse_design_opamp, design_opamp
+        from ..synthesis.problems import (
+            OpAmpSizingProblem,
+            ape_ranges,
+            standalone_ranges,
+        )
+        from ..synthesis.specs import opamp_synthesis_spec
+
+        t0 = time.perf_counter()
+        design_notes: list = []
+        if task.tolerant:
+            template, design_notes = coarse_design_opamp(
+                task.tech, task.spec, task.topology, name=task.name
+            )
+        else:
+            template = design_opamp(
+                task.tech, task.spec, task.topology, name=task.name
+            )
+        ape_seconds = time.perf_counter() - t0
+        if task.mode == "ape":
+            variables = ape_ranges(template, factor=task.range_factor)
+            x0 = {
+                v.name: min(
+                    max(template.initial_point().get(v.name, v.lo), v.lo),
+                    v.hi,
+                )
+                for v in variables
+            }
+        else:
+            variables = standalone_ranges(template)
+            x0 = None
+        synthesis_spec = task.synthesis_spec
+        if synthesis_spec is None:
+            synthesis_spec = opamp_synthesis_spec(task.spec)
+        cost_fn = CostFunction(synthesis_spec)
+        problem = OpAmpSizingProblem(
+            template,
+            variables,
+            lint=task.lint,
+            warm_start=task.warm_start,
+            reuse_bench=task.reuse_bench,
+        )
+        bundle = (x0, cost_fn, problem, design_notes, ape_seconds)
+        _WORKER_BUNDLES[key] = bundle
+    return bundle
+
+
+def run_chain(task: ChainTask, shared_memo: EvalMemo | None = None) -> ChainOutcome:
+    """Execute one annealing chain described by ``task``.
+
+    Runs in a pool worker or in-process; behaviour is identical either
+    way because everything the chain consumes is derived from the task
+    (and because evaluation is canonical, shared-memo contents cannot
+    change results — only how fast they arrive).
+    """
+    previous_injector = faults.active()
+    if task.fault_specs is not None:
+        faults.arm(
+            faults.FaultInjector(
+                {spec.site: spec for spec in task.fault_specs},
+                seed=derive_chain_seed(task.fault_seed, task.chain_index),
+            )
+        )
+    try:
+        x0, cost_fn, problem, design_notes, ape_seconds = _bundle_for(task)
+        memo = _memo_for(task, shared_memo)
+        if faults.active() is not None:
+            # Injected faults are decided per *call* from a seeded RNG
+            # stream; a memo hit would skip those calls, making the
+            # stream depend on cache warmth — which differs between
+            # in-process and pooled scheduling.  Evaluate everything so
+            # each chain's fault sequence is a pure function of its task.
+            memo = None
+        chain_log = DiagnosticLog(mirror=False)
+        for note in design_notes:
+            chain_log.record(note)
+        problem.diagnostics = chain_log if task.tolerant else None
+        retry = (
+            dc_replace(task.retry, total_retries=0)
+            if task.retry is not None
+            else None
+        )
+        problem.retry = retry
+        lint_before = problem.lint_rejections
+        hits_before = memo.hits if memo is not None else 0
+        misses_before = memo.misses if memo is not None else 0
+
+        def evaluate(params):
+            metrics = problem.evaluate(params)
+            return cost_fn(metrics), metrics
+
+        def evaluate_tolerant(params):
+            from ..errors import ApeError
+
+            try:
+                return evaluate(params)
+            except ApeError as exc:
+                chain_log.record_exception(
+                    "synthesis.evaluate",
+                    exc,
+                    severity="warning",
+                    suggested_fix=(
+                        "candidate penalized; see the exception chain"
+                    ),
+                )
+                return FAILURE_COST, None
+
+        chain_eval = evaluate_tolerant if task.tolerant else evaluate
+        if memo is not None:
+            chain_eval = memo.wrap(chain_eval)
+
+        budget = None
+        if (
+            task.deadline_epoch is not None
+            or task.max_failures is not None
+            or task.per_eval_seconds is not None
+        ):
+            deadline = None
+            if task.deadline_epoch is not None:
+                deadline = max(task.deadline_epoch - time.time(), 1e-3)
+            budget = EvalBudget(
+                deadline_seconds=deadline,
+                max_failures=task.max_failures,
+                per_eval_seconds=task.per_eval_seconds,
+            )
+
+        annealer = Annealer(
+            chain_eval,
+            problem.bounds(),
+            schedule=task.schedule,
+            seed=derive_chain_seed(task.seed, task.chain_index),
+        )
+        result = annealer.run(
+            x0=x0, max_evaluations=task.max_evaluations, budget=budget
+        )
+        return ChainOutcome(
+            chain_index=task.chain_index,
+            seed=derive_chain_seed(task.seed, task.chain_index),
+            anneal=result,
+            degraded_design=bool(design_notes),
+            ape_seconds=ape_seconds,
+            lint_rejections=problem.lint_rejections - lint_before,
+            retries=retry.total_retries if retry is not None else 0,
+            cache_hits=(memo.hits - hits_before) if memo is not None else 0,
+            cache_misses=(
+                (memo.misses - misses_before) if memo is not None else 0
+            ),
+            diagnostics=list(chain_log.records),
+            memo_snapshot=(
+                memo.export()
+                if memo is not None and memo is not shared_memo
+                else None
+            ),
+        )
+    finally:
+        if task.fault_specs is not None:
+            if previous_injector is None:
+                faults.disarm()
+            else:
+                faults.arm(previous_injector)
+
+
+def run_annealing_chains(
+    tasks: list[ChainTask],
+    *,
+    workers: int | None = None,
+    memo: EvalMemo | None = None,
+    oversubscribe: bool = False,
+) -> list[ChainOutcome]:
+    """Run every task and return outcomes ordered by chain index.
+
+    With one effective worker the chains run in-process, sharing
+    ``memo`` directly (plus the problem/MNA state across chains) — no
+    pool, no pickling.  With more, a ``fork``-context process pool
+    executes the tasks; each worker keeps its own memo and problem
+    cache, and the snapshots are merged into ``memo`` afterwards so
+    later runs (e.g. further table rows) start warm.
+    """
+    if not tasks:
+        return []
+    n_workers = effective_workers(
+        workers, len(tasks), oversubscribe=oversubscribe
+    )
+    if n_workers <= 1:
+        return [run_chain(task, shared_memo=memo) for task in tasks]
+
+    import concurrent.futures
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        context = multiprocessing.get_context()
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=n_workers, mp_context=context
+    ) as pool:
+        outcomes = list(pool.map(run_chain, tasks))
+    outcomes.sort(key=lambda outcome: outcome.chain_index)
+    if memo is not None:
+        for outcome in outcomes:
+            if outcome.memo_snapshot is not None:
+                memo.merge(outcome.memo_snapshot)
+                outcome.memo_snapshot = None
+    return outcomes
+
+
+def parallel_map(
+    fn,
+    items,
+    *,
+    workers: int | None = None,
+    oversubscribe: bool = False,
+) -> list:
+    """Order-preserving map over a process pool (in-process when 1).
+
+    ``fn`` must be a module-level picklable callable and ``items``
+    picklable values — the batched table runners fan benchmark rows
+    through this with one row per task.
+    """
+    items = list(items)
+    if not items:
+        return []
+    n_workers = effective_workers(
+        workers, len(items), oversubscribe=oversubscribe
+    )
+    if n_workers <= 1:
+        return [fn(item) for item in items]
+
+    import concurrent.futures
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        context = multiprocessing.get_context()
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=n_workers, mp_context=context
+    ) as pool:
+        return list(pool.map(fn, items))

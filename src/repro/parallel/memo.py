@@ -1,0 +1,174 @@
+"""Content-addressed memoization of candidate evaluations.
+
+Annealing chains revisit parameter points far more often than one
+would guess: every proposal that walks into a box bound is clamped
+onto the bound itself, so at high temperature a large fraction of
+moves land on *exactly* the same clamped coordinates, and independent
+restarts share one template and therefore one bound box.  An
+:class:`EvalMemo` caches ``(cost, metrics)`` per candidate under a
+content-addressed key — the parameter dict quantized in log space —
+so a repeated candidate costs a dictionary lookup instead of a DC
+solve plus an AWE fit.
+
+Correctness contract: memoization is only sound because
+:meth:`~repro.synthesis.problems.OpAmpSizingProblem.evaluate` is
+*canonical* — the value returned for a parameter dict never depends
+on which candidates were evaluated before it (DC solves start from a
+run-constant initial guess, never from the previous candidate).  The
+parallel executor relies on the same property for its scheduling
+independence, and ``tests/test_parallel.py`` locks it in.
+
+The memo is pickle-clean (plain dicts and tuples), so per-worker
+caches can cross the process-pool boundary and be merged back into a
+session-wide cache shared across chains and table rows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping
+
+__all__ = ["EvalMemo", "memo_key"]
+
+#: Quantization step in natural-log space.  1e-9 means two values map
+#: to the same key only when they agree to ~1 part in 1e9 — far below
+#: any physical tolerance in the flow, so a hit is a true duplicate
+#: for every practical purpose, while float dust from clamping or
+#: printing round-trips still collapses onto one key.
+DEFAULT_QUANTUM = 1e-9
+
+MemoKey = tuple[tuple[str, int], ...]
+MemoValue = tuple[float, dict[str, float] | None]
+
+
+def memo_key(
+    params: Mapping[str, float], quantum: float = DEFAULT_QUANTUM
+) -> MemoKey:
+    """Content-addressed key: name-sorted, log-quantized parameters.
+
+    Values are keyed by ``round(ln(v) / quantum)`` — a relative grid,
+    which is the natural metric for geometric quantities spanning
+    decades.  Non-positive values (never produced by the log-space
+    annealer, but reachable through direct API use) fall back to an
+    exact bit-pattern key so they never collide with anything.
+    """
+    items = []
+    for name in sorted(params):
+        value = params[name]
+        if value > 0.0:
+            items.append((name, round(math.log(value) / quantum)))
+        else:
+            # Exact fallback: hash the IEEE bits via the float's repr.
+            items.append((name, hash(repr(float(value)))))
+    return tuple(items)
+
+
+class EvalMemo:
+    """Shared cache of candidate evaluations with hit/miss counters."""
+
+    def __init__(self, quantum: float = DEFAULT_QUANTUM) -> None:
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        self.quantum = quantum
+        self._data: dict[MemoKey, MemoValue] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------- core API
+
+    def key(self, params: Mapping[str, float]) -> MemoKey:
+        return memo_key(params, self.quantum)
+
+    def lookup(self, params: Mapping[str, float]) -> MemoValue | None:
+        """Cached ``(cost, metrics)`` or ``None``; counts the outcome."""
+        found = self._data.get(self.key(params))
+        if found is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        cost, metrics = found
+        # Hand out a copy: callers (and the annealer) may mutate metric
+        # dicts, and a shared cache must never observe that.
+        return cost, (dict(metrics) if metrics is not None else None)
+
+    def store(
+        self,
+        params: Mapping[str, float],
+        cost: float,
+        metrics: dict[str, float] | None,
+    ) -> None:
+        self._data[self.key(params)] = (
+            cost,
+            dict(metrics) if metrics is not None else None,
+        )
+        self.stores += 1
+
+    def wrap(
+        self,
+        evaluate: Callable[[dict[str, float]], MemoValue],
+    ) -> Callable[[dict[str, float]], MemoValue]:
+        """Cache-through wrapper around an ``evaluate(params)`` callable.
+
+        Failed evaluations (``metrics is None``) are cached only while
+        no fault injector is armed: injected faults are probabilistic
+        per *call*, so caching one would turn a transient fault into a
+        permanent verdict for that candidate and skew exact-count fault
+        accounting.
+        """
+        from ..runtime import faults
+
+        def cached(params: dict[str, float]) -> MemoValue:
+            found = self.lookup(params)
+            if found is not None:
+                return found
+            cost, metrics = evaluate(params)
+            if metrics is not None or faults.active() is None:
+                self.store(params, cost, metrics)
+            return cost, metrics
+
+        return cached
+
+    # ----------------------------------------------------- stats and merging
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def export(self) -> dict:
+        """Picklable snapshot (entries + counters) for pool merging."""
+        return {
+            "quantum": self.quantum,
+            "data": dict(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+    def merge(self, snapshot: "EvalMemo | dict") -> None:
+        """Fold a worker's exported snapshot (or another memo) back in.
+
+        Existing entries win: evaluation is canonical, so both sides
+        hold the same value and keeping ours is free.  Counters add,
+        giving session-wide hit/miss totals across the pool.
+        """
+        if isinstance(snapshot, EvalMemo):
+            snapshot = snapshot.export()
+        if snapshot["quantum"] != self.quantum:
+            raise ValueError(
+                "refusing to merge memos with different quanta: "
+                f"{snapshot['quantum']} != {self.quantum}"
+            )
+        for key, value in snapshot["data"].items():
+            self._data.setdefault(key, value)
+        self.hits += snapshot["hits"]
+        self.misses += snapshot["misses"]
+        self.stores += snapshot["stores"]

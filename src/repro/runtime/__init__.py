@@ -13,7 +13,9 @@ stack.  Four pieces, each usable on its own:
   every failure or degradation, mirrored to a process-wide session log
   (:mod:`repro.runtime.diagnostics`);
 * :mod:`repro.runtime.faults` — a deterministic, seedable
-  fault-injection harness proving that every recovery path fires.
+  fault-injection harness proving that every recovery path fires;
+* :class:`SessionStats` — process-wide throughput and cache counters
+  rendered by ``repro diagnostics`` (:mod:`repro.runtime.stats`).
 
 See ``docs/ROBUSTNESS.md`` for the model and usage.
 """
@@ -21,6 +23,7 @@ See ``docs/ROBUSTNESS.md`` for the model and usage.
 from .budget import EvalBudget
 from .diagnostics import Diagnostic, DiagnosticLog, global_log
 from .retry import RetryPolicy
+from .stats import SessionStats, global_stats
 from . import faults
 
 __all__ = [
@@ -29,5 +32,7 @@ __all__ = [
     "DiagnosticLog",
     "global_log",
     "RetryPolicy",
+    "SessionStats",
+    "global_stats",
     "faults",
 ]

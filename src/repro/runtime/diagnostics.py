@@ -104,14 +104,20 @@ class DiagnosticLog:
     tools can render everything accumulated across subsystems.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, mirror: bool = True) -> None:
         self.records: list[Diagnostic] = []
+        #: Parallel chain logs set ``mirror=False``: their records are
+        #: replayed into the caller's log after the chain returns, and
+        #: mirroring them at record time too would double-count them in
+        #: the session log.
+        self._mirror = mirror
 
     def record(self, diagnostic: Diagnostic) -> Diagnostic:
         self.records.append(diagnostic)
-        session = global_log()
-        if self is not session:
-            session.records.append(diagnostic)
+        if self._mirror:
+            session = global_log()
+            if self is not session:
+                session.records.append(diagnostic)
         return diagnostic
 
     def record_exception(

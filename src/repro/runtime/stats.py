@@ -1,0 +1,82 @@
+"""Process-wide performance counters for the synthesis session.
+
+Mirrors the role of :func:`~repro.runtime.diagnostics.global_log` for
+throughput: every synthesis run records its evaluation count, wall
+time and memo-cache traffic here, and ``repro diagnostics`` renders
+the totals so a long table run ends with one honest throughput line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SessionStats", "global_stats"]
+
+
+@dataclass
+class SessionStats:
+    """Cumulative evaluation/throughput counters for one process."""
+
+    runs: int = 0
+    evaluations: int = 0
+    eval_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def record_run(
+        self,
+        *,
+        evaluations: int,
+        seconds: float,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+    ) -> None:
+        self.runs += 1
+        self.evaluations += evaluations
+        self.eval_seconds += seconds
+        self.cache_hits += cache_hits
+        self.cache_misses += cache_misses
+
+    @property
+    def evals_per_second(self) -> float:
+        if self.eval_seconds <= 0:
+            return 0.0
+        return self.evaluations / self.eval_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self.runs = 0
+        self.evaluations = 0
+        self.eval_seconds = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def render(self) -> str:
+        """One-paragraph human-readable summary."""
+        lines = [
+            f"synthesis runs: {self.runs}",
+            f"candidate evaluations: {self.evaluations} "
+            f"({self.evals_per_second:.1f} evals/s over "
+            f"{self.eval_seconds:.2f}s)",
+        ]
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"evaluation cache: {self.cache_hits} hits / "
+                f"{self.cache_misses} misses "
+                f"(hit rate {self.cache_hit_rate:.1%})"
+            )
+        else:
+            lines.append("evaluation cache: unused")
+        return "\n".join(lines)
+
+
+_SESSION_STATS = SessionStats()
+
+
+def global_stats() -> SessionStats:
+    """The process-wide counters every synthesis run reports into."""
+    return _SESSION_STATS

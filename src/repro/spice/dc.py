@@ -58,7 +58,19 @@ class OperatingPointResult:
     gmin_used: float
     voltages: dict[str, float] = field(default_factory=dict)
     branch_currents: dict[str, float] = field(default_factory=dict)
-    mosfet_ops: dict[str, MosfetOp] = field(default_factory=dict)
+    _mosfet_ops: dict[str, MosfetOp] | None = field(default=None, repr=False)
+
+    @property
+    def mosfet_ops(self) -> dict[str, MosfetOp]:
+        """Per-transistor bias summaries, linearized on first access.
+
+        Building the table costs four device-model evaluations per
+        MOSFET, so the synthesis inner loop (which only reads node
+        voltages and hands the solved ``x`` to AWE) never pays for it.
+        """
+        if self._mosfet_ops is None:
+            self._mosfet_ops = _mosfet_op_table(self.system, self.x)
+        return self._mosfet_ops
 
     def v(self, node: str) -> float:
         """Voltage of a node [V] (ground -> 0)."""
@@ -273,7 +285,13 @@ def dc_operating_point(
     result.branch_currents = {
         name: float(x[i]) for name, i in system.branch_index.items()
     }
-    for mos in circuit.mosfets():
+    return result
+
+
+def _mosfet_op_table(system: System, x: np.ndarray) -> dict[str, MosfetOp]:
+    """Linearize every MOSFET at the solved bias (see ``mosfet_ops``)."""
+    table: dict[str, MosfetOp] = {}
+    for mos in system.circuit.mosfets():
         ev = evaluate_mosfet(
             mos,
             system.device(mos.name),
@@ -283,7 +301,7 @@ def dc_operating_point(
             system.voltage(x, mos.nb),
         )
         device = system.device(mos.name)
-        result.mosfet_ops[mos.name] = MosfetOp(
+        table[mos.name] = MosfetOp(
             name=mos.name,
             ids=ev.ids_normalized,
             vgs=ev.vgs,
@@ -294,7 +312,7 @@ def dc_operating_point(
             gds=device.gds(ev.vgs, ev.vds, ev.vsb),
             swapped=ev.swapped,
         )
-    return result
+    return table
 
 
 def dc_sweep(

@@ -228,6 +228,41 @@ class _MosVectors:
         s_live = self.raw_s >= 0
         self._res_s_idx = self.raw_s[s_live]
         self._res_s_live = None if s_live.all() else s_live
+        # Capacitance-stamp precomputes (see MosDevice.capacitances):
+        # oxide area for the Meyer split, overlap totals, and the
+        # junction bottom/sidewall prefactors with the default
+        # diffusion extension.
+        ext = 1.5e-6
+        cpar = np.empty((9, m))
+        for k, (mos, device, _i_d, _i_g, _i_s, _i_b) in enumerate(mosfets):
+            model = mos.model
+            cpar[:, k] = (
+                model.cox * device.w * device.l_eff,
+                model.cgso * device.w,
+                model.cgdo * device.w,
+                model.cgbo * device.l,
+                model.cj * (device.w * ext),
+                model.cjsw * (device.w + 2.0 * ext),
+                model.pb,
+                model.mj,
+                model.mjsw,
+            )
+        (self.cox_area, self.cgs_ov, self.cgd_ov, self.cgb_ov,
+         self.cj_area, self.cjsw_perim, self.pb, self.mj,
+         self.mjsw) = cpar
+        # Fixed scatter pattern for the forward-operation case: the
+        # five (a, b) pairs of _mos_cap_pairs laid out as blocks of m.
+        a0 = np.concatenate(
+            [self.raw_g, self.raw_g, self.raw_g, self.raw_d, self.raw_s]
+        )
+        b0 = np.concatenate(
+            [self.raw_s, self.raw_d, self.raw_b, self.raw_b, self.raw_b]
+        )
+        self._cap_a0 = a0
+        self._cap_b0 = b0
+        self._cap_live_a0 = a0 >= 0
+        self._cap_live_b0 = b0 >= 0
+        self._cap_live_ab0 = self._cap_live_a0 & self._cap_live_b0
 
     def linearize(self, x: np.ndarray):
         """Per-device stamp arrays at bias ``x``.
@@ -373,6 +408,77 @@ class _MosVectors:
         live = (rows >= 0) & (cols >= 0)
         np.add.at(jac, (rows[live], cols[live]), vals[live])
 
+    def stamp_caps(self, x: np.ndarray, cmat: np.ndarray) -> None:
+        """Add every device's Meyer + junction capacitance stamp.
+
+        Vectorizes :meth:`MosDevice.capacitances` and
+        :func:`_mos_cap_pairs` across all devices (same region rules
+        and junction law as the scalar model, term for term).
+        """
+        if self._xa.shape[0] != x.shape[0] + 1:
+            self._xa = np.zeros(x.shape[0] + 1)
+        xa = self._xa
+        xa[:-1] = x
+        vd, vg, vs, vb = xa[self.aug]
+        sign = self.sign
+        d = sign * (vd - vs)
+        swapped = d < 0.0
+        no_swap = not swapped.any()
+        if no_swap:
+            vsp = vs
+            vds = d
+        else:
+            vsp = np.where(swapped, vd, vs)
+            vdp = np.where(swapped, vs, vd)
+            vds = sign * (vdp - vsp)
+        vgs = sign * (vg - vsp)
+        vsb = sign * (vsp - vb)
+        vsb0 = np.maximum(vsb, 0.0)
+        sq = np.sqrt(self.phi + vsb0)
+        vth = self.vth0 + self.gamma * (sq - self.sqrt_phi)
+        vov = vgs - vth
+        on = vov > 0.0
+        if self.has_vel:
+            vel_live = self.vel & on
+            sat_den = np.where(vel_live, vov + self.vc, 1.0)
+            vdsat = np.where(vel_live, vov * self.vc / sat_den, vov)
+        else:
+            vdsat = vov
+        triode = on & (vds < vdsat)
+        sat = on & ~triode
+        cox = self.cox_area
+        cgs = np.where(
+            triode, 0.5 * cox, np.where(sat, (2.0 / 3.0) * cox, 0.0)
+        ) + self.cgs_ov
+        cgd = np.where(triode, 0.5 * cox, 0.0) + self.cgd_ov
+        cgb = np.where(on, 0.0, cox) + self.cgb_ov
+        vdb = np.maximum(vds + vsb, 0.0)
+        den_d = 1.0 + vdb / self.pb
+        cdb = (self.cj_area / den_d**self.mj
+               + self.cjsw_perim / den_d**self.mjsw)
+        den_s = 1.0 + vsb0 / self.pb
+        csb = (self.cj_area / den_s**self.mj
+               + self.cjsw_perim / den_s**self.mjsw)
+        vals = np.concatenate([cgs, cgd, cgb, cdb, csb])
+        if no_swap:
+            a, b = self._cap_a0, self._cap_b0
+            live_a = self._cap_live_a0
+            live_b = self._cap_live_b0
+            live_ab = self._cap_live_ab0
+        else:
+            dp = np.where(swapped, self.raw_s, self.raw_d)
+            sp = np.where(swapped, self.raw_d, self.raw_s)
+            a = np.concatenate([self.raw_g, self.raw_g, self.raw_g, dp, sp])
+            b = np.concatenate([sp, dp, self.raw_b, self.raw_b, self.raw_b])
+            live_a = a >= 0
+            live_b = b >= 0
+            live_ab = live_a & live_b
+        np.add.at(cmat, (a[live_a], a[live_a]), vals[live_a])
+        np.add.at(cmat, (b[live_b], b[live_b]), vals[live_b])
+        neg = -vals[live_ab]
+        np.add.at(cmat, (a[live_ab], b[live_ab]), neg)
+        np.add.at(cmat, (b[live_ab], a[live_ab]), neg)
+
 
 def _mos_cap_pairs(ev, caps, i_d, i_g, i_s, i_b):
     """The five Meyer/junction pairs in effective-terminal indices."""
@@ -430,24 +536,37 @@ class CompiledStamps:
         wave_i: list[tuple[int, int, CurrentSource]] = []
         mosfets = []
 
+        # Per-element scatter positions for the value-only refresh fast
+        # path: name -> ("R"|"C", slot tuple) or ("M", mosfet index).
+        value_slots: dict[str, tuple] = {}
+
         for element in circuit:
             if isinstance(element, Resistor):
                 a, b = idx(element.n1), idx(element.n2)
                 conductance = 1.0 / element.value
-                for mat in (g, tran_g):
-                    mat.add(a, a, conductance)
-                    mat.add(a, b, -conductance)
-                    mat.add(b, a, -conductance)
-                    mat.add(b, b, conductance)
+                r_slots: list[tuple[int, int, float]] = []
+                for mat_id, mat in ((0, g), (1, tran_g)):
+                    for row, col, sgn in (
+                        (a, a, 1.0), (a, b, -1.0), (b, a, -1.0), (b, b, 1.0)
+                    ):
+                        if row >= 0 and col >= 0:
+                            r_slots.append((mat_id, len(mat.vals), sgn))
+                            mat.add(row, col, sgn * conductance)
+                value_slots[element.name] = ("R", tuple(r_slots))
             elif isinstance(element, Capacitor):
                 if element.value <= 0.0:
+                    value_slots[element.name] = ("C", ())
                     continue
                 a, b = idx(element.n1), idx(element.n2)
-                cap.add(a, a, element.value)
-                cap.add(a, b, -element.value)
-                cap.add(b, a, -element.value)
-                cap.add(b, b, element.value)
+                c_slots: list[tuple[int, float]] = []
+                for row, col, sgn in (
+                    (a, a, 1.0), (a, b, -1.0), (b, a, -1.0), (b, b, 1.0)
+                ):
+                    if row >= 0 and col >= 0:
+                        c_slots.append((len(cap.vals), sgn))
+                        cap.add(row, col, sgn * element.value)
                 cap_hist.append((element.name, a, b))
+                value_slots[element.name] = ("C", tuple(c_slots))
             elif isinstance(element, Inductor):
                 a, b = idx(element.n1), idx(element.n2)
                 br = branch[element.name]
@@ -520,6 +639,7 @@ class CompiledStamps:
                     mat.add(b, c, -element.gm)
                     mat.add(b, d, element.gm)
             elif isinstance(element, Mosfet):
+                value_slots[element.name] = ("M", len(mosfets))
                 mosfets.append(
                     (
                         element,
@@ -555,6 +675,94 @@ class CompiledStamps:
         self.mos_vec = _MosVectors(mosfets) if mosfets else None
         self._tran_lin_cache: dict[tuple[float, float], tuple] = {}
         self._step_ctx: tuple | None = None
+        self._g_scatter = g
+        self._cap_scatter = cap
+        self._tran_g_scatter = tran_g
+        self._l_diag = l_diag
+        self._value_slots = value_slots
+        self._elements_snapshot = circuit.elements
+
+    def refresh(self, system: System) -> bool:
+        """Value-only update for a mutated but structurally identical circuit.
+
+        The synthesis inner loop swaps device geometries and R/C values
+        on one reused bench, which bumps the revision every candidate;
+        re-walking the netlist there dominates the per-candidate cost.
+        When every edit since compilation is a value swap (same element
+        class, same wiring), this rewrites the recorded scatter slots
+        and re-densifies only the touched matrices — bit-identical to a
+        fresh compile, since the same values land in the same positions
+        in the same order.  Returns False when any edit is structural
+        (or of an element kind without a value fast path), in which
+        case the caller must rebuild.
+        """
+        circuit = system.circuit
+        old_elems = self._elements_snapshot
+        new_elems = circuit.elements
+        if len(new_elems) != len(old_elems):
+            return False
+        g_dirty = False
+        cap_dirty = False
+        r_changes: list = []
+        c_changes: list = []
+        mos_changes: list = []
+        for old, new in zip(old_elems, new_elems):
+            if new is old:
+                continue
+            if type(new) is not type(old) or new.nodes != old.nodes:
+                return False
+            if isinstance(new, Resistor):
+                if new.value != old.value:
+                    r_changes.append(new)
+            elif isinstance(new, Capacitor):
+                if new.value == old.value:
+                    continue
+                if (new.value <= 0.0) != (old.value <= 0.0):
+                    # Stamped-vs-skipped flips the scatter layout.
+                    return False
+                if new.value > 0.0:
+                    c_changes.append(new)
+            elif isinstance(new, Mosfet):
+                if new != old:
+                    mos_changes.append(new)
+            elif new != old:
+                # Sources, controlled sources and inductors spread into
+                # ``src``/waveform state; rebuild rather than track it.
+                return False
+        for elem in r_changes:
+            _, slots = self._value_slots[elem.name]
+            conductance = 1.0 / elem.value
+            mats = (self._g_scatter, self._tran_g_scatter)
+            for mat_id, pos, sgn in slots:
+                mats[mat_id].vals[pos] = sgn * conductance
+            g_dirty = True
+        for elem in c_changes:
+            _, slots = self._value_slots[elem.name]
+            for pos, sgn in slots:
+                self._cap_scatter.vals[pos] = sgn * elem.value
+            cap_dirty = True
+        for elem in mos_changes:
+            _, k = self._value_slots[elem.name]
+            _, _, i_d, i_g, i_s, i_b = self.mosfets[k]
+            self.mosfets[k] = (
+                elem, system.device(elem.name), i_d, i_g, i_s, i_b
+            )
+        if mos_changes:
+            self.mos_vec = _MosVectors(self.mosfets)
+        if g_dirty:
+            self.g_lin = self._g_scatter.dense()
+            self.tran_g = self._tran_g_scatter.dense()
+        if cap_dirty:
+            self.cap_couple = self._cap_scatter.dense()
+            self.c_lin = self.cap_couple.copy()
+            for br, value in self._l_diag:
+                self.c_lin[br, br] += value
+        if g_dirty or cap_dirty:
+            self._tran_lin_cache.clear()
+        self._step_ctx = None
+        self.revision = circuit.revision
+        self._elements_snapshot = new_elems
+        return True
 
     # -- per-call assembly pieces --------------------------------------
 
@@ -643,10 +851,17 @@ class CompiledStamps:
 
 
 def stamps_for(system: System) -> CompiledStamps:
-    """The compiled stamps for ``system``, rebuilt when the circuit moved."""
+    """The compiled stamps for ``system``, rebuilt when the circuit moved.
+
+    Value-only edits (R/C value or MOSFET geometry swaps on unchanged
+    wiring) take the in-place :meth:`CompiledStamps.refresh` path; any
+    structural edit falls back to a full recompile.
+    """
     system._sync_devices()
     st = system._compiled
-    if st is None or st.revision != system.circuit.revision:
+    if st is None or (
+        st.revision != system.circuit.revision and not st.refresh(system)
+    ):
         st = CompiledStamps(system)
         system._compiled = st
     return st
@@ -685,11 +900,8 @@ def capacitance_matrix(system: System, x_op: np.ndarray) -> np.ndarray:
         return capacitance_matrix_naive(system, x_op)
     st = stamps_for(system)
     cmat = st.c_lin.copy()
-    for mos, device, i_d, i_g, i_s, i_b in st.mosfets:
-        ev = _eval_at(x_op, mos, device, i_d, i_g, i_s, i_b)
-        caps = device.capacitances(ev.vgs, ev.vds, ev.vsb)
-        for a, b, cval in _mos_cap_pairs(ev, caps, i_d, i_g, i_s, i_b):
-            _stamp_pair(cmat, a, b, cval)
+    if st.mos_vec is not None:
+        st.mos_vec.stamp_caps(x_op, cmat)
     return cmat
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -55,6 +56,10 @@ class AnnealResult:
     degraded: bool = False
     #: Why the budget stopped the run (empty on a natural finish).
     stop_reason: str = ""
+    #: Wall-clock seconds spent inside :meth:`Annealer.run`.
+    wall_seconds: float = 0.0
+    #: Throughput: ``evaluations / wall_seconds`` (0 when unmeasured).
+    evals_per_second: float = 0.0
 
 
 class Annealer:
@@ -81,12 +86,18 @@ class Annealer:
                 )
         self.evaluate = evaluate
         self.bounds = bounds
+        #: Variable names, fixed at construction: the move loop draws a
+        #: name per move, and rebuilding ``list(self.bounds)`` each time
+        #: showed up in profiles.  ``rng.choice`` consumes the identical
+        #: random stream for a tuple, so results are bit-for-bit the same.
+        self._names = tuple(bounds)
         self.schedule = schedule or AnnealingSchedule()
         self.rng = random.Random(seed)
 
     def _random_point(self) -> dict[str, float]:
         point = {}
-        for name, (lo, hi) in self.bounds.items():
+        for name in self._names:
+            lo, hi = self.bounds[name]
             point[name] = math.exp(
                 self.rng.uniform(math.log(lo), math.log(hi))
             )
@@ -94,7 +105,7 @@ class Annealer:
 
     def _perturb(self, params: dict[str, float], temperature: float) -> dict[str, float]:
         sched = self.schedule
-        name = self.rng.choice(list(self.bounds))
+        name = self.rng.choice(self._names)
         lo, hi = self.bounds[name]
         scale = sched.step_scale * math.sqrt(
             temperature / sched.t_start
@@ -118,6 +129,7 @@ class Annealer:
         budget exhaustion degrades the run, it never raises.
         """
         sched = self.schedule
+        t_run = time.perf_counter()
         if budget is not None:
             budget.start()
         failed = 0
@@ -165,6 +177,7 @@ class Annealer:
             if stop_reason:
                 break
             temperature *= sched.alpha
+        wall = time.perf_counter() - t_run
         return AnnealResult(
             best_params=best[0],
             best_cost=best[1],
@@ -175,4 +188,6 @@ class Annealer:
             failed_evaluations=failed,
             degraded=bool(stop_reason),
             stop_reason=stop_reason,
+            wall_seconds=wall,
+            evals_per_second=(evaluations / wall) if wall > 0 else 0.0,
         )

@@ -69,6 +69,18 @@ class SynthesisResult:
     degraded: bool = False
     #: Structured failure/degradation records accumulated by the run.
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Independent annealing chains this run fanned out (1 = classic
+    #: serial run) and the worker processes that executed them.
+    restarts: int = 1
+    workers: int = 1
+    #: Evaluation memo-cache traffic across all chains of this run.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Throughput over the annealing phase (includes cache hits).
+    evals_per_second: float = 0.0
+    #: Per-chain results, best chain first kept in ``metrics``/``params``
+    #: (chain order preserved here).
+    chains: list[AnnealResult] = field(default_factory=list)
 
     def metric(self, key: str, default: float = float("nan")) -> float:
         if self.metrics is None:
@@ -93,6 +105,10 @@ def synthesize_opamp(
     retry: RetryPolicy | None = None,
     diagnostics: DiagnosticLog | None = None,
     lint: bool = True,
+    restarts: int = 1,
+    workers: int | None = None,
+    memo: "bool | EvalMemo | None" = None,
+    oversubscribe: bool = False,
 ) -> SynthesisResult:
     """Run one APE(+/-)ASTRX/OBLX synthesis leg for an op-amp spec.
 
@@ -106,11 +122,32 @@ def synthesize_opamp(
     electrical rule checker so structurally singular or
     out-of-technology circuits are rejected before a Newton solve;
     rejections are counted on ``SynthesisResult.lint_rejections``.
+
+    ``restarts`` fans out that many independently seeded annealing
+    chains (chain ``i`` anneals with a seed derived from ``(seed, i)``;
+    chain 0 keeps ``seed``) across ``workers`` processes via
+    :mod:`repro.parallel` and returns the best chain; the per-chain
+    :class:`AnnealResult`s land on ``SynthesisResult.chains``.  Chains
+    run with the executor's fast evaluation profile (memoized,
+    warm-started, in-place benches), so ``restarts=1`` — the default,
+    bit-for-bit the classic serial path — is the reference behaviour.
+    ``memo`` controls the evaluation cache: ``None`` enables a private
+    cache for multi-restart runs only, ``True``/``False`` force it, and
+    an :class:`~repro.parallel.EvalMemo` instance is used directly (and
+    so can be shared across runs, e.g. the rows of a table).  A
+    ``budget`` deadline becomes a shared wall-clock deadline: every
+    chain stops at the same absolute instant, wherever it runs.
+    ``workers`` is clamped to usable CPUs unless ``oversubscribe``.
     """
     if mode not in ("standalone", "ape"):
         raise SpecificationError(
             f"unknown synthesis mode {mode!r}",
             context={"mode": mode, "known": ("standalone", "ape")},
+        )
+    if restarts < 1:
+        raise SpecificationError(
+            f"restarts must be >= 1, got {restarts}",
+            context={"parameter": "restarts", "value": restarts},
         )
     if synthesis_spec is None:
         synthesis_spec = opamp_synthesis_spec(spec)
@@ -120,6 +157,32 @@ def synthesize_opamp(
     # only this run's contribution.
     records_before = len(log.records)
     retries_before = retry.total_retries if retry is not None else 0
+    memo_obj = _resolve_memo(memo, restarts)
+
+    if restarts > 1:
+        return _synthesize_parallel(
+            tech=tech,
+            spec=spec,
+            topology=topology,
+            mode=mode,
+            synthesis_spec=synthesis_spec,
+            cost_fn=cost_fn,
+            range_factor=range_factor,
+            max_evaluations=max_evaluations,
+            schedule=schedule,
+            seed=seed,
+            name=name,
+            tolerant=tolerant,
+            budget=budget,
+            retry=retry,
+            log=log,
+            records_before=records_before,
+            lint=lint,
+            restarts=restarts,
+            workers=workers,
+            memo=memo_obj,
+            oversubscribe=oversubscribe,
+        )
 
     # APE always provides the *structure* (ASTRX/OBLX also receives the
     # topology); in standalone mode its sizes are discarded.
@@ -176,8 +239,17 @@ def synthesize_opamp(
             )
             return FAILURE_COST, None
 
+    chain_eval = evaluate_tolerant if tolerant else evaluate
+    hits_before = memo_obj.hits if memo_obj is not None else 0
+    misses_before = memo_obj.misses if memo_obj is not None else 0
+    if memo_obj is not None:
+        # Explicit opt-in on a serial run (restarts=1 never enables the
+        # memo by itself): cache hits skip the evaluation entirely,
+        # which is exact for canonical evaluations but visible to an
+        # armed fault injector's call sequence.
+        chain_eval = memo_obj.wrap(chain_eval)
     annealer = Annealer(
-        evaluate_tolerant if tolerant else evaluate,
+        chain_eval,
         problem.bounds(),
         schedule=schedule,
         seed=seed,
@@ -211,6 +283,16 @@ def synthesize_opamp(
         )
 
     meets = cost_fn.meets_spec(result.best_metrics)
+    from ..runtime.stats import global_stats
+
+    global_stats().record_run(
+        evaluations=result.evaluations,
+        seconds=cpu,
+        cache_hits=(memo_obj.hits - hits_before) if memo_obj is not None else 0,
+        cache_misses=(
+            (memo_obj.misses - misses_before) if memo_obj is not None else 0
+        ),
+    )
     return SynthesisResult(
         name=name,
         mode=mode,
@@ -233,4 +315,209 @@ def synthesize_opamp(
             or result.best_metrics is None
         ),
         diagnostics=list(log.records[records_before:]),
+        restarts=1,
+        workers=1,
+        cache_hits=(
+            (memo_obj.hits - hits_before) if memo_obj is not None else 0
+        ),
+        cache_misses=(
+            (memo_obj.misses - misses_before) if memo_obj is not None else 0
+        ),
+        evals_per_second=result.evals_per_second,
+        chains=[result],
+    )
+
+
+def _resolve_memo(memo, restarts: int):
+    """Normalize the ``memo`` argument to an EvalMemo or ``None``.
+
+    ``None`` means "default policy": cache only when the run fans out
+    multiple chains — a plain serial run stays exactly the classic
+    code path (and keeps exact-count fault-injection accounting).
+    """
+    from ..parallel import EvalMemo
+
+    if isinstance(memo, EvalMemo):
+        return memo
+    if memo is True or (memo is None and restarts > 1):
+        return EvalMemo()
+    return None
+
+
+def _synthesize_parallel(
+    *,
+    tech,
+    spec,
+    topology,
+    mode,
+    synthesis_spec,
+    cost_fn,
+    range_factor,
+    max_evaluations,
+    schedule,
+    seed,
+    name,
+    tolerant,
+    budget,
+    retry,
+    log,
+    records_before,
+    lint,
+    restarts,
+    workers,
+    memo,
+    oversubscribe,
+):
+    """Fan ``restarts`` chains across the pool and merge the outcomes."""
+    from ..parallel import ChainTask, effective_workers, run_annealing_chains
+    from ..runtime import faults
+    from ..runtime.stats import global_stats
+
+    deadline_epoch = None
+    if budget is not None:
+        budget.start()
+        if budget.deadline_seconds is not None:
+            remaining = budget.deadline_seconds - budget.elapsed()
+            deadline_epoch = time.time() + max(remaining, 0.0)
+    injector = faults.active()
+    fault_specs = (
+        tuple(injector.specs.values()) if injector is not None else None
+    )
+    fault_seed = injector.seed if injector is not None else 0
+
+    tasks = [
+        ChainTask(
+            tech=tech,
+            spec=spec,
+            topology=topology,
+            mode=mode,
+            synthesis_spec=synthesis_spec,
+            name=name,
+            range_factor=range_factor,
+            max_evaluations=max_evaluations,
+            schedule=schedule,
+            seed=seed,
+            chain_index=index,
+            tolerant=tolerant,
+            lint=lint,
+            retry=retry,
+            deadline_epoch=deadline_epoch,
+            max_failures=budget.max_failures if budget is not None else None,
+            per_eval_seconds=(
+                budget.per_eval_seconds if budget is not None else None
+            ),
+            fault_specs=fault_specs,
+            fault_seed=fault_seed,
+            memo_quantum=memo.quantum if memo is not None else None,
+        )
+        for index in range(restarts)
+    ]
+    n_workers = effective_workers(
+        workers, len(tasks), oversubscribe=oversubscribe
+    )
+    start = time.perf_counter()
+    outcomes = run_annealing_chains(
+        tasks, workers=workers, memo=memo, oversubscribe=oversubscribe
+    )
+    cpu = time.perf_counter() - start
+
+    for outcome in outcomes:
+        for diagnostic in outcome.diagnostics:
+            log.record(diagnostic)
+    best = min(
+        outcomes, key=lambda o: (o.anneal.best_cost, o.chain_index)
+    )
+    result = best.anneal
+    evaluations = sum(o.anneal.evaluations for o in outcomes)
+    failed = sum(o.anneal.failed_evaluations for o in outcomes)
+    lint_rejections = sum(o.lint_rejections for o in outcomes)
+    chain_retries = sum(o.retries for o in outcomes)
+    cache_hits = sum(o.cache_hits for o in outcomes)
+    cache_misses = sum(o.cache_misses for o in outcomes)
+    if retry is not None:
+        # Chains consume per-chain copies of the policy; fold their
+        # retries back so shared policies keep session-wide totals.
+        retry.total_retries += chain_retries
+    if budget is not None:
+        budget.evaluations += evaluations
+        budget.failures += failed
+
+    degraded_chains = [o for o in outcomes if o.anneal.degraded]
+    if degraded_chains:
+        log.record(
+            Diagnostic(
+                subsystem="synthesis.engine",
+                severity="warning",
+                message=(
+                    f"{name}: {len(degraded_chains)} of {restarts} chains "
+                    f"stopped early "
+                    f"({degraded_chains[0].anneal.stop_reason}); returning "
+                    "the best point so far"
+                ),
+                suggested_fix=(
+                    "raise the budget's deadline/failure limits or reduce "
+                    "max_evaluations to finish within budget"
+                ),
+                context={
+                    "name": name,
+                    "mode": mode,
+                    "stop_reason": degraded_chains[0].anneal.stop_reason,
+                    "degraded_chains": [
+                        o.chain_index for o in degraded_chains
+                    ],
+                },
+            )
+        )
+    evals_per_second = evaluations / cpu if cpu > 0 else 0.0
+    log.record(
+        Diagnostic(
+            subsystem="synthesis.parallel",
+            severity="info",
+            message=(
+                f"{name}: {restarts} chains on {n_workers} worker(s): "
+                f"{evaluations} evaluations ({evals_per_second:.1f}/s), "
+                f"cache {cache_hits} hits / {cache_misses} misses"
+            ),
+            context={
+                "name": name,
+                "restarts": restarts,
+                "workers": n_workers,
+                "cache_hits": cache_hits,
+                "cache_misses": cache_misses,
+            },
+        )
+    )
+    global_stats().record_run(
+        evaluations=evaluations,
+        seconds=cpu,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+    )
+    meets = cost_fn.meets_spec(result.best_metrics)
+    return SynthesisResult(
+        name=name,
+        mode=mode,
+        meets_spec=meets,
+        comment=cost_fn.describe_failure(result.best_metrics),
+        metrics=result.best_metrics,
+        best_cost=result.best_cost,
+        evaluations=evaluations,
+        cpu_seconds=cpu,
+        ape_seconds=outcomes[0].ape_seconds,
+        params=result.best_params,
+        failed_evaluations=failed,
+        lint_rejections=lint_rejections,
+        retries=chain_retries,
+        degraded=(
+            any(o.degraded_design for o in outcomes)
+            or bool(degraded_chains)
+            or result.best_metrics is None
+        ),
+        diagnostics=list(log.records[records_before:]),
+        restarts=restarts,
+        workers=n_workers,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        evals_per_second=evals_per_second,
+        chains=[o.anneal for o in outcomes],
     )

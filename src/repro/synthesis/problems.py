@@ -10,6 +10,7 @@ gain and unity-gain frequency — not a full AC sweep.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, replace
 from typing import Callable
@@ -198,6 +199,8 @@ class OpAmpSizingProblem(SizingProblem):
         reuse_state: bool = True,
         lint: bool = True,
         bench_factory: Callable[..., object] | None = None,
+        warm_start: bool = False,
+        reuse_bench: bool = False,
     ) -> None:
         self.template = template
         self._variables = variables
@@ -233,6 +236,26 @@ class OpAmpSizingProblem(SizingProblem):
         #: topology, so validation/indexing happen once per synthesis
         #: run instead of once per evaluation (and per bisection).
         self._system: System | None = None
+        #: Start every candidate's DC solve from the *template's*
+        #: operating point instead of the flat initial guess.  The warm
+        #: source is a run constant (computed once from the template,
+        #: never from previous candidates), so evaluation stays
+        #: *canonical*: the result for a parameter dict is independent
+        #: of evaluation order — the invariant the memo cache and the
+        #: parallel executor's scheduling independence rest on.
+        self.warm_start = warm_start
+        self._warm_x0 = None
+        self._warm_ready = False
+        #: Update the cached bench circuit in place instead of
+        #: rebuilding the netlist for every candidate.  A one-time probe
+        #: verifies each search variable maps *identically* onto element
+        #: fields (it does for the op-amp benches: MOSFET W/L, CC, RREF,
+        #: RBIASB); any non-identity dependence, structure change or
+        #: unknown parameter key falls back to the factory build, so the
+        #: fast path is bit-for-bit equivalent or not taken at all.
+        self.reuse_bench = reuse_bench
+        self._bench_map: tuple | None = None
+        self._bench_broken = False
 
     @property
     def variables(self) -> list[Variable]:
@@ -246,7 +269,7 @@ class OpAmpSizingProblem(SizingProblem):
             return None
         try:
             faults.check("synthesis.evaluate")
-            bench = self.bench_factory(amp, v_diff=0.0)
+            bench = self._candidate_bench(amp, params)
             if self.lint and self._lint_rejects(bench, amp):
                 return None
             if not self.reuse_state:
@@ -256,7 +279,10 @@ class OpAmpSizingProblem(SizingProblem):
             else:
                 self._system = self._system.rebind(bench)
             op = dc_operating_point(
-                bench, retry=self.retry, system=self._system
+                bench,
+                x0=self._warm_guess(),
+                retry=self.retry,
+                system=self._system,
             )
             v_out = op.v("out")
             if abs(v_out) > 0.25:
@@ -280,6 +306,134 @@ class OpAmpSizingProblem(SizingProblem):
         except SimulationError as exc:
             self._note_failure(exc)
             return None
+
+    def _warm_guess(self):
+        """Run-constant DC starting vector (template OP), or ``None``.
+
+        Computed at most once, from the template alone, with fault
+        injection suspended so enabling ``warm_start`` never shifts an
+        armed injector's decision stream.  Falls back to ``None`` (the
+        solver's cold start) when the template itself will not converge
+        or when the current system's unknown vector has another size.
+        """
+        if not self.warm_start:
+            return None
+        if not self._warm_ready:
+            self._warm_ready = True
+            previous = faults.active()
+            faults.disarm()
+            try:
+                bench = self.bench_factory(self.template, v_diff=0.0)
+                op = dc_operating_point(bench, system=System(bench))
+                self._warm_x0 = op.x.copy()
+            except ApeError as exc:
+                self._warm_x0 = None
+                if self.diagnostics is not None:
+                    self.diagnostics.record_exception(
+                        "synthesis.evaluate",
+                        exc,
+                        severity="info",
+                        suggested_fix=(
+                            "template operating point unavailable; "
+                            "candidates fall back to cold-started solves"
+                        ),
+                    )
+            finally:
+                if previous is not None:
+                    faults.arm(previous)
+        x0 = self._warm_x0
+        if (
+            x0 is not None
+            and self._system is not None
+            and len(x0) != self._system.size
+        ):
+            return None
+        return x0
+
+    def _candidate_bench(self, amp: OpAmp, params: dict[str, float]):
+        """The candidate's bench: factory build or in-place update."""
+        if not self.reuse_bench:
+            return self.bench_factory(amp, v_diff=0.0)
+        if self._bench_map is None and not self._bench_broken:
+            self._probe_bench_map(params)
+        if self._bench_broken or self._bench_map is None:
+            return self.bench_factory(amp, v_diff=0.0)
+        circuit, applied, mapping = self._bench_map
+        if set(params) != set(applied):
+            # Unknown or missing keys could affect the bench in ways the
+            # probe never saw; build this candidate the slow, safe way.
+            return self.bench_factory(amp, v_diff=0.0)
+        for name, value in params.items():
+            if value == applied[name]:
+                continue
+            for elem_name, field_name in mapping[name]:
+                elem = circuit.element(elem_name)
+                circuit.replace(replace(elem, **{field_name: value}))
+            applied[name] = value
+        return circuit
+
+    def _probe_bench_map(self, params: dict[str, float]) -> None:
+        """One-time discovery of the variable -> element-field mapping.
+
+        Builds the bench once at ``params`` and once per variable with
+        that variable nudged, and accepts only *identity* mappings: the
+        changed field's old/new values must equal the parameter's
+        old/new values exactly.  Anything else (derived values, changed
+        structure, non-positive parameters) marks the fast path broken
+        and every candidate keeps using the factory build.
+        """
+        if set(params) != {v.name for v in self._variables}:
+            # A non-canonical dict (extra or missing keys) could bake
+            # effects into the cached bench the mapping would not track;
+            # skip probing and try again on a canonical candidate.
+            return
+        try:
+            base_amp = parameterized_opamp(self.template, params)
+            base = self.bench_factory(base_amp, v_diff=0.0)
+        except ApeError:
+            self._bench_broken = True
+            return
+        base_elements = base.elements
+        base_sig = [(type(e), e.name, e.nodes) for e in base_elements]
+        mapping: dict[str, tuple[tuple[str, str], ...]] = {}
+        for variable in self._variables:
+            name = variable.name
+            value = params.get(name)
+            if value is None or value <= 0.0:
+                self._bench_broken = True
+                return
+            probe_value = value * 1.0625
+            probe_params = dict(params)
+            probe_params[name] = probe_value
+            try:
+                probe = self.bench_factory(
+                    parameterized_opamp(self.template, probe_params),
+                    v_diff=0.0,
+                )
+            except ApeError:
+                self._bench_broken = True
+                return
+            probe_elements = probe.elements
+            if [(type(e), e.name, e.nodes) for e in probe_elements] != base_sig:
+                self._bench_broken = True
+                return
+            entries: list[tuple[str, str]] = []
+            for e0, e1 in zip(base_elements, probe_elements):
+                if e0 == e1:
+                    continue
+                for f in dataclasses.fields(e0):
+                    v0 = getattr(e0, f.name)
+                    v1 = getattr(e1, f.name)
+                    if v0 == v1:
+                        continue
+                    if v0 == value and v1 == probe_value:
+                        entries.append((e0.name, f.name))
+                    else:
+                        self._bench_broken = True
+                        return
+            mapping[name] = tuple(entries)
+        applied = {name: params[name] for name in mapping}
+        self._bench_map = (base, applied, mapping)
 
     def _lint_rejects(self, bench, amp: OpAmp) -> bool:
         """True when the ERC finds an error — reject before Newton.
@@ -368,8 +522,8 @@ class OpAmpSizingProblem(SizingProblem):
                 # Phase margin from the reduced-order model: the open
                 # loop must be usable in feedback ("functionally
                 # correct design" in the paper's terms).
-                h_ugf = model.evaluate([metrics["ugf"]])[0]
-                h_dc = model.evaluate([max(metrics["ugf"] * 1e-6, 1e-3)])[0]
+                h_ugf = model.response_at(metrics["ugf"])
+                h_dc = model.response_at(max(metrics["ugf"] * 1e-6, 1e-3))
                 shift = math.degrees(
                     math.atan2(h_ugf.imag, h_ugf.real)
                     - math.atan2(h_dc.imag, h_dc.real)

@@ -8,6 +8,7 @@ paths.  Also holds the dedicated regression tests for the four solver /
 measurement bugs fixed alongside the engine.
 """
 
+import dataclasses
 import math
 
 import numpy as np
@@ -450,3 +451,108 @@ class TestNonPositiveCapacitorRegression:
             transient_analysis(self._with_cap(0.0), t_stop=1e-6, dt=1e-8)
         with pytest.raises(SimulationError, match="non-positive"):
             dc_operating_point(self._with_cap(0.0))
+
+
+class TestCompiledStampsRefresh:
+    """Value-only edits refresh the compiled stamps in place.
+
+    The synthesis inner loop swaps MOSFET geometries and R/C values on
+    one reused bench; ``stamps_for`` must serve those edits without a
+    full recompile AND stay bit-identical to a fresh compile (the
+    evaluation memo's exactness story depends on it).  Structural edits
+    must still force a rebuild.
+    """
+
+    def _compiled(self, ckt: Circuit):
+        from repro.spice.engine import stamps_for
+
+        system = System(ckt)
+        return system, stamps_for(system)
+
+    def _assert_matches_fresh(self, system, ckt: Circuit) -> None:
+        from repro.spice.engine import stamps_for
+
+        st = stamps_for(system)
+        fresh = stamps_for(System(ckt.copy()))
+        assert np.array_equal(st.g_lin, fresh.g_lin)
+        assert np.array_equal(st.c_lin, fresh.c_lin)
+        assert np.array_equal(st.tran_g, fresh.tran_g)
+        assert np.array_equal(st.src_dc, fresh.src_dc)
+        x = np.full(system.size, 0.3)
+        res_a, jac_a = assemble_dc(system, x)
+        res_b, jac_b = assemble_dc(System(ckt.copy()), x)
+        assert np.array_equal(res_a, res_b)
+        assert np.array_equal(jac_a, jac_b)
+        assert np.array_equal(
+            capacitance_matrix(system, x),
+            capacitance_matrix(System(ckt.copy()), x),
+        )
+
+    def test_resistor_value_swap_refreshes_in_place(self):
+        ckt = _mos_amp()
+        system, st = self._compiled(ckt)
+        elem = ckt.element("R1")
+        ckt.replace(dataclasses.replace(elem, value=elem.value * 1.7))
+        from repro.spice.engine import stamps_for
+
+        assert stamps_for(system) is st  # refreshed, not rebuilt
+        self._assert_matches_fresh(system, ckt)
+
+    def test_capacitor_value_swap_refreshes_in_place(self):
+        ckt = _mos_amp()
+        system, st = self._compiled(ckt)
+        elem = ckt.element("C1")
+        ckt.replace(dataclasses.replace(elem, value=elem.value * 0.4))
+        from repro.spice.engine import stamps_for
+
+        assert stamps_for(system) is st
+        self._assert_matches_fresh(system, ckt)
+
+    def test_mosfet_geometry_swap_refreshes_in_place(self):
+        ckt = _mos_amp()
+        system, st = self._compiled(ckt)
+        elem = ckt.element("M1")
+        ckt.replace(dataclasses.replace(elem, w=elem.w * 2.0, l=elem.l * 1.5))
+        from repro.spice.engine import stamps_for
+
+        assert stamps_for(system) is st
+        self._assert_matches_fresh(system, ckt)
+
+    def test_combined_value_sweep_stays_exact(self):
+        # The synthesis pattern: many successive R/C/M value swaps on
+        # one live System, each one served by refresh.
+        ckt = _mos_amp()
+        system, st = self._compiled(ckt)
+        from repro.spice.engine import stamps_for
+
+        for scale in (0.5, 1.25, 3.0):
+            for name in ("R1", "C1"):
+                elem = ckt.element(name)
+                ckt.replace(
+                    dataclasses.replace(elem, value=elem.value * scale)
+                )
+            m = ckt.element("M1")
+            ckt.replace(dataclasses.replace(m, w=m.w * scale))
+            assert stamps_for(system) is st
+            self._assert_matches_fresh(system, ckt)
+
+    def test_source_value_change_forces_rebuild(self):
+        ckt = _mos_amp()
+        system, st = self._compiled(ckt)
+        elem = ckt.element("V2")
+        ckt.replace(dataclasses.replace(elem, dc=0.9))
+        from repro.spice.engine import stamps_for
+
+        assert stamps_for(system) is not st  # no fast path for sources
+        self._assert_matches_fresh(system, ckt)
+
+    def test_structural_edit_forces_rebuild(self):
+        ckt = _mos_amp()
+        system, st = self._compiled(ckt)
+        ckt.c("g", "0", 2e-12)  # new element: structure changed
+        system2 = System(ckt)  # re-index for the new element
+        from repro.spice.engine import stamps_for
+
+        assert stamps_for(system2) is not st
+        fresh = stamps_for(System(ckt.copy()))
+        assert np.array_equal(stamps_for(system2).g_lin, fresh.g_lin)

@@ -30,6 +30,8 @@ __all__ = [
     "write_report",
     "SPEEDUP_TARGETS",
     "PARALLEL_SPEEDUP_TARGETS",
+    "SUPERVISED_OVERHEAD_TARGET",
+    "SUPERVISED_OVERHEAD_TARGET_QUICK",
 ]
 
 #: Acceptance floors: compiled must beat naive by at least this factor.
@@ -38,6 +40,13 @@ SPEEDUP_TARGETS = {"ac_sweep": 3.0, "anneal_eval": 2.0, "lint_gate": 3.0}
 #: Acceptance floor for the multi-chain executor: a 4-restart leg on
 #: 4 workers must beat 4 sequential pre-executor legs by this factor.
 PARALLEL_SPEEDUP_TARGETS = {"synth_parallel": 2.5}
+
+#: Acceptance ceiling for the supervised leg: heartbeats, watchdog
+#: polling and write-ahead journaling may cost at most this fraction
+#: over the bare parallel run (full mode; quick smoke runs are too
+#: short for the fsync cost to amortize, so they get a loose ceiling).
+SUPERVISED_OVERHEAD_TARGET = 0.05
+SUPERVISED_OVERHEAD_TARGET_QUICK = 0.50
 
 
 def _ops_per_sec(
@@ -317,10 +326,20 @@ def run_parallel_benchmark(
     executor's fast evaluation profile.  Both sides run in this
     process/pool with identical warm-up, so the reported speedup is a
     like-for-like A/B of the executor, not of the hardware.
+
+    A third *supervised* leg repeats the parallel run with the full
+    supervision stack armed — heartbeat watchdog, write-ahead run
+    journal (in a temporary directory), per-chain memo snapshots — and
+    reports its overhead over the bare parallel run, checked against
+    :data:`SUPERVISED_OVERHEAD_TARGET`.
     """
+    import os
+    import tempfile
+
     from .opamp import OpAmpSpec, OpAmpTopology
     from .parallel import derive_chain_seed, effective_workers, usable_cpu_count
     from .runtime.diagnostics import DiagnosticLog
+    from .runtime.supervisor import SupervisorConfig
     from .synthesis import synthesize_opamp
     from .technology import generic_05um
 
@@ -349,15 +368,37 @@ def run_parallel_benchmark(
         )
 
     # One short untimed leg warms process-wide one-time costs (imports,
-    # stamp compilation, technology tables) for both sides alike.
+    # stamp compilation, technology tables) for both sides alike, and a
+    # journaled one does the same for the supervised leg (journal
+    # module, tempdir machinery, first fsync on this filesystem, the
+    # full-size memo snapshot).  The supervised warm-up must match the
+    # timed workload in full mode: the first full-size journaled run
+    # pays one-time allocation costs a toy warm-up does not reach, and
+    # with a 5 % ceiling that residue alone would fail the check.
     serial_leg(0, 8)
+    with tempfile.TemporaryDirectory() as scratch:
+        synthesize_opamp(
+            tech, spec, topology, mode="ape",
+            max_evaluations=8 if quick else max_evaluations,
+            seed=seed, name="OpAmp1",
+            restarts=2 if quick else restarts, workers=workers,
+            diagnostics=log, run_dir=os.path.join(scratch, "warm"),
+            supervisor=SupervisorConfig(
+                heartbeat_timeout_seconds=30.0,
+                install_signal_handlers=False,
+            ),
+        )
 
     # Both sides are deterministic, so repeated passes redo identical
     # work; interleaving them and keeping the per-side minimum strips
     # out background-load noise without biasing the A/B ratio.
-    repeats = 1 if quick else 2
+    repeats = 1 if quick else 3
     serial_seconds = math.inf
     parallel_seconds = math.inf
+    supervised_seconds = math.inf
+    supervisor = SupervisorConfig(
+        heartbeat_timeout_seconds=30.0, install_signal_handlers=False
+    )
     for _ in range(repeats):
         start = time.perf_counter()
         serial_results = [
@@ -377,8 +418,28 @@ def run_parallel_benchmark(
             parallel_seconds, time.perf_counter() - start
         )
 
+        # Supervised leg: same workload with the watchdog and the
+        # write-ahead journal armed (journal I/O included in the cost).
+        with tempfile.TemporaryDirectory() as scratch:
+            start = time.perf_counter()
+            supervised_result = synthesize_opamp(
+                tech, spec, topology, mode="ape",
+                max_evaluations=max_evaluations, seed=seed, name="OpAmp1",
+                restarts=restarts, workers=workers, diagnostics=log,
+                run_dir=os.path.join(scratch, "run"),
+                supervisor=supervisor,
+            )
+            supervised_seconds = min(
+                supervised_seconds, time.perf_counter() - start
+            )
+
     serial_evals = sum(r.evaluations for r in serial_results)
     speedup = serial_seconds / parallel_seconds
+    supervised_overhead = supervised_seconds / parallel_seconds - 1.0
+    overhead_target = (
+        SUPERVISED_OVERHEAD_TARGET_QUICK if quick
+        else SUPERVISED_OVERHEAD_TARGET
+    )
     lookups = parallel_result.cache_hits + parallel_result.cache_misses
     report: dict = {
         "schema": "repro-bench-parallel/1",
@@ -422,10 +483,28 @@ def run_parallel_benchmark(
                 chain.best_cost for chain in parallel_result.chains
             ],
         },
+        "supervised": {
+            "seconds": supervised_seconds,
+            "overhead": supervised_overhead,
+            "best_cost": supervised_result.best_cost,
+            "best_cost_matches_parallel": (
+                supervised_result.best_cost == parallel_result.best_cost
+            ),
+            "worker_restarts": supervised_result.worker_restarts,
+            "heartbeat_timeout_seconds": (
+                supervisor.heartbeat_timeout_seconds
+            ),
+        },
         "speedup": speedup,
-        "targets": dict(PARALLEL_SPEEDUP_TARGETS),
+        "targets": {
+            **PARALLEL_SPEEDUP_TARGETS,
+            "supervised_overhead_max": overhead_target,
+        },
         "targets_met": {
-            "synth_parallel": speedup >= PARALLEL_SPEEDUP_TARGETS["synth_parallel"]
+            "synth_parallel": (
+                speedup >= PARALLEL_SPEEDUP_TARGETS["synth_parallel"]
+            ),
+            "supervised_overhead": supervised_overhead <= overhead_target,
         },
     }
     return report
@@ -453,6 +532,10 @@ def render_parallel_report(report: dict) -> str:
         f"cache: {par['cache_hits']} hits / {par['cache_misses']} misses "
         f"(hit rate {par['cache_hit_rate']:.1%})",
         f"speedup: {report['speedup']:.2f}x  (target {target:.1f}x: {met})",
+        f"supervised: {report['supervised']['seconds']:8.2f} s  "
+        f"overhead {report['supervised']['overhead']:+.1%}  "
+        f"(ceiling {report['targets']['supervised_overhead_max']:.0%}: "
+        f"{'ok' if report['targets_met']['supervised_overhead'] else 'MISSED'})",
     ])
 
 

@@ -111,27 +111,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("params", nargs="*", help="key=value spec entries")
 
     p = sub.add_parser("synthesize", help="run one synthesis leg")
-    p.add_argument("--gain", required=True)
-    p.add_argument("--ugf", required=True)
-    p.add_argument("--ibias", default="1u")
-    p.add_argument("--cl", default="10p")
-    p.add_argument("--area", default="inf")
-    p.add_argument("--mode", default="ape", choices=["ape", "standalone"])
-    p.add_argument("--budget", type=int, default=150)
-    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--gain", default=None,
+                   help="required unless --resume restores it from the "
+                        "run directory")
+    p.add_argument("--ugf", default=None,
+                   help="required unless --resume restores it from the "
+                        "run directory")
+    # Problem-defining flags default to None so --resume can tell
+    # "omitted" (restore from the run directory's sidecar) apart from
+    # "explicitly set"; _cmd_synthesize applies the documented defaults.
+    p.add_argument("--ibias", default=None, help="(default: 1u)")
+    p.add_argument("--cl", default=None, help="(default: 10p)")
+    p.add_argument("--area", default=None, help="(default: inf)")
+    p.add_argument("--mode", default=None, choices=["ape", "standalone"],
+                   help="(default: ape)")
+    p.add_argument("--budget", type=int, default=None,
+                   help="(default: 150)")
+    p.add_argument("--seed", type=int, default=None, help="(default: 1)")
     p.add_argument("--deadline", default=None,
                    help="wall-clock budget for the run in seconds")
     p.add_argument("--max-failures", type=int, default=None,
                    help="stop (degraded) after this many failed evaluations")
-    p.add_argument("--retries", type=int, default=0,
+    p.add_argument("--retries", type=int, default=None,
                    help="DC-solver retry attempts per evaluation "
-                        "(deterministic jittered restarts)")
-    p.add_argument("--restarts", type=int, default=1,
+                        "(deterministic jittered restarts; default: 0)")
+    p.add_argument("--restarts", type=int, default=None,
                    help="independently seeded annealing chains; the best "
                         "chain wins (default: 1, the classic serial run)")
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for multi-restart runs "
                         "(default: one per usable CPU)")
+    p.add_argument("--oversubscribe", action="store_true",
+                   help="allow more workers than usable CPUs (testing, "
+                        "or evaluations that block on something other "
+                        "than the CPU)")
+    p.add_argument("--run-dir", default=None,
+                   help="journal the run (write-ahead) into this "
+                        "directory so it can be resumed after a crash "
+                        "or interrupt")
+    p.add_argument("--resume", default=None, metavar="RUN_DIR",
+                   help="resume a journaled run: replay finished chains "
+                        "from RUN_DIR and execute only the rest "
+                        "(spec flags are restored from the run directory "
+                        "when omitted)")
+    p.add_argument("--heartbeat-timeout", default=None,
+                   help="declare a worker hung (and replace it) when a "
+                        "chain goes this many seconds without a "
+                        "heartbeat (default: off)")
+    p.add_argument("--chain-timeout", default=None,
+                   help="hard wall-clock deadline per chain attempt in "
+                        "seconds (default: off)")
+    p.add_argument("--max-chain-retries", type=int, default=None,
+                   help="resubmissions a chain may consume after losing "
+                        "its worker before it is quarantined "
+                        "(default: 2)")
 
     p = sub.add_parser(
         "bench",
@@ -256,10 +289,41 @@ def _cmd_estimate_module(args, tech) -> int:
     return 0
 
 
+#: ``synthesize`` flags that define the problem (not the machinery):
+#: journaled into the run directory's ``cli.json`` sidecar so
+#: ``--resume RUN_DIR`` works without repeating them.
+_SYNTH_SIDECAR_ARGS = (
+    "gain", "ugf", "ibias", "cl", "area", "mode", "budget", "seed",
+    "restarts", "retries", "deadline", "max_failures",
+)
+
+
 def _cmd_synthesize(args, tech) -> int:
     from .opamp import OpAmpSpec
-    from .runtime import EvalBudget, RetryPolicy
+    from .runtime import EvalBudget, RetryPolicy, RunJournal, SupervisorConfig
     from .synthesis import synthesize_opamp
+
+    resume = args.resume is not None
+    run_dir = args.resume if resume else args.run_dir
+    if resume:
+        # Restore the problem-defining flags the user omitted from the
+        # run directory's sidecar, so "repro synthesize --resume DIR"
+        # needs nothing else.
+        saved = RunJournal(run_dir).load_sidecar("cli.json") or {}
+        for key in _SYNTH_SIDECAR_ARGS:
+            if getattr(args, key, None) is None and key in saved:
+                setattr(args, key, saved[key])
+    if args.gain is None or args.ugf is None:
+        raise ApeError(
+            "synthesize requires --gain and --ugf "
+            "(or --resume RUN_DIR with a cli.json sidecar)"
+        )
+    for key, fallback in (
+        ("ibias", "1u"), ("cl", "10p"), ("area", "inf"), ("mode", "ape"),
+        ("budget", 150), ("seed", 1), ("retries", 0), ("restarts", 1),
+    ):
+        if getattr(args, key, None) is None:
+            setattr(args, key, fallback)
 
     spec = OpAmpSpec(
         gain=parse_quantity(args.gain),
@@ -281,6 +345,37 @@ def _cmd_synthesize(args, tech) -> int:
         RetryPolicy(max_attempts=args.retries + 1, seed=args.seed)
         if args.retries > 0 else None
     )
+    supervisor = None
+    if (
+        args.heartbeat_timeout is not None
+        or args.chain_timeout is not None
+        or args.max_chain_retries is not None
+    ):
+        defaults = SupervisorConfig()
+        supervisor = SupervisorConfig(
+            heartbeat_timeout_seconds=(
+                parse_quantity(args.heartbeat_timeout)
+                if args.heartbeat_timeout is not None else None
+            ),
+            chain_timeout_seconds=(
+                parse_quantity(args.chain_timeout)
+                if args.chain_timeout is not None else None
+            ),
+            max_chain_retries=(
+                args.max_chain_retries
+                if args.max_chain_retries is not None
+                else defaults.max_chain_retries
+            ),
+        )
+    if run_dir is not None and not resume:
+        RunJournal(run_dir).write_sidecar(
+            "cli.json",
+            {
+                key: getattr(args, key)
+                for key in _SYNTH_SIDECAR_ARGS
+                if getattr(args, key, None) is not None
+            },
+        )
     log = DiagnosticLog()
     result = synthesize_opamp(
         tech, spec, mode=args.mode,
@@ -288,6 +383,8 @@ def _cmd_synthesize(args, tech) -> int:
         tolerant=args.tolerant, budget=budget, retry=retry,
         diagnostics=log,
         restarts=args.restarts, workers=args.workers,
+        oversubscribe=args.oversubscribe,
+        run_dir=run_dir, resume=resume, supervisor=supervisor,
     )
     print(f"mode:       {result.mode}")
     print(f"meets spec: {result.meets_spec} ({result.comment})")
@@ -303,9 +400,20 @@ def _cmd_synthesize(args, tech) -> int:
           f"annealer {result.cpu_seconds:.2f} s, "
           f"APE {result.ape_seconds * 1e3:.2f} ms")
     if result.restarts > 1:
-        print(f"chains:      {result.restarts} on {result.workers} "
-              f"worker(s), best costs "
+        print(f"chains:      {len(result.chains)} of {result.restarts} "
+              f"on {result.workers} worker(s), best costs "
               f"{[round(c.best_cost, 6) for c in result.chains]}")
+    if (
+        result.worker_restarts or result.quarantined_chains
+        or result.resumed_chains or result.interrupted
+    ):
+        print(f"supervision: {result.worker_restarts} worker restart(s), "
+              f"quarantined {result.quarantined_chains}, "
+              f"resumed {result.resumed_chains}, "
+              f"interrupted {result.interrupted}")
+    if result.run_dir is not None:
+        print(f"run journal: {result.run_dir} "
+              f"(resume with: repro synthesize --resume {result.run_dir})")
     lookups = result.cache_hits + result.cache_misses
     cache = (
         f"{result.cache_hits} hits / {result.cache_misses} misses "

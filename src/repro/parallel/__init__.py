@@ -10,15 +10,19 @@ evaluation memo pays for itself even on one core.
 * :class:`EvalMemo` — quantized log-space parameter key ->
   ``(cost, metrics)`` cache, shareable across chains and table rows.
 * :class:`ChainTask` / :func:`run_chain` /
-  :func:`run_annealing_chains` — the process-pool chain executor with
-  a strict determinism contract (results depend only on
-  ``(seed, restarts)``, never on worker count or scheduling).
+  :func:`run_supervised_chains` (and its thin
+  :func:`run_annealing_chains` wrapper) — the supervised process-pool
+  chain executor with a strict determinism contract (results depend
+  only on ``(seed, restarts)``, never on worker count, scheduling, or
+  crash recovery) plus worker crash/hang recovery, graceful interrupt
+  drain and write-ahead journaling.
 * :func:`parallel_map` — order-preserving pool map for batched table
   runners.
 
 See ``docs/PERFORMANCE.md`` ("Parallel synthesis & evaluation
 caching") for the worker model and the canonical-evaluation invariant
-everything here rests on.
+everything here rests on, and ``docs/ROBUSTNESS.md`` ("Supervision,
+checkpointing & resume") for the recovery loop.
 """
 
 from .executor import (
@@ -29,13 +33,15 @@ from .executor import (
     parallel_map,
     run_annealing_chains,
     run_chain,
+    run_supervised_chains,
     usable_cpu_count,
 )
-from .memo import DEFAULT_QUANTUM, EvalMemo, memo_key
+from .memo import DEFAULT_CAPACITY, DEFAULT_QUANTUM, EvalMemo, memo_key
 
 __all__ = [
     "ChainOutcome",
     "ChainTask",
+    "DEFAULT_CAPACITY",
     "DEFAULT_QUANTUM",
     "EvalMemo",
     "derive_chain_seed",
@@ -44,5 +50,6 @@ __all__ = [
     "parallel_map",
     "run_annealing_chains",
     "run_chain",
+    "run_supervised_chains",
     "usable_cpu_count",
 ]

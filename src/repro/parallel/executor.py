@@ -1,4 +1,4 @@
-"""Process-pool execution of independent annealing chains.
+"""Supervised process-pool execution of independent annealing chains.
 
 The unit of work is a :class:`ChainTask` — a frozen, pickle-clean
 description of one annealing restart (technology, spec, topology,
@@ -6,7 +6,8 @@ schedule, derived seed, budget share, fault configuration).  A task is
 executed by :func:`run_chain`, either in-process or inside a worker of
 a ``fork``-based :class:`~concurrent.futures.ProcessPoolExecutor`.
 
-Determinism contract (locked in by ``tests/test_parallel.py``):
+Determinism contract (locked in by ``tests/test_parallel.py`` and
+``tests/test_supervisor.py``):
 
 * Chain ``i`` anneals with seed ``derive_chain_seed(master_seed, i)``
   and, when fault injection is configured, a fault injector seeded
@@ -16,16 +17,31 @@ Determinism contract (locked in by ``tests/test_parallel.py``):
   chain's result is a pure function of its task — never of which
   worker ran it, in what order, or what the shared memo cache already
   contained.  Results therefore depend only on ``(seed, restarts)``,
-  not on the worker count or scheduling.
+  not on the worker count, scheduling, or how many times a chain was
+  re-run after its worker was lost.
 * While a fault injector is armed the chain bypasses the memo
   entirely: fault decisions are drawn per evaluation *call*, and a
   cache hit would skip that call, entangling the injector's stream
   with cache warmth (which does depend on scheduling).
 
+Supervision (:func:`run_supervised_chains`, built on
+:mod:`repro.runtime.supervisor`): chains are submitted one-per-worker
+and watched by the parent.  A killed worker (``BrokenProcessPool``)
+or a hung one (stale heartbeat / chain deadline, the worker is then
+killed) collapses the pool; the parent rebuilds it and resubmits only
+the lost chains, with bounded retries and a quarantine list for poison
+tasks.  SIGINT/SIGTERM drain in-flight chains and return the completed
+outcomes.  Every completed chain can be journaled write-ahead
+(:class:`~repro.runtime.journal.RunJournal`) so an interrupted run
+resumes without repeating finished chains.
+
 Workers rebuild the sizing problem from the task description and keep
 it cached per task signature — ``System.rebind`` then reuses the
 compiled MNA engine across every candidate of every chain that worker
 runs, instead of re-pickling solver state across the pool boundary.
+Worker caches die with their processes; the parent's pool teardown is
+guaranteed on every exit path by
+:class:`~repro.runtime.supervisor.PoolManager`.
 """
 
 from __future__ import annotations
@@ -33,12 +49,19 @@ from __future__ import annotations
 import os
 import pickle
 import time
+from collections import deque
 from dataclasses import dataclass, field, replace as dc_replace
 
 from ..runtime import faults
 from ..runtime.budget import EvalBudget
 from ..runtime.diagnostics import Diagnostic, DiagnosticLog
 from ..runtime.retry import RetryPolicy
+from ..runtime.supervisor import (
+    PoolManager,
+    SupervisionReport,
+    SupervisorConfig,
+    interrupt_guard,
+)
 from ..synthesis.annealing import Annealer, AnnealingSchedule, AnnealResult
 from ..synthesis.cost import CostFunction, FAILURE_COST
 from .memo import DEFAULT_QUANTUM, EvalMemo
@@ -51,6 +74,8 @@ __all__ = [
     "usable_cpu_count",
     "run_chain",
     "run_annealing_chains",
+    "run_supervised_chains",
+    "clear_worker_caches",
     "parallel_map",
 ]
 
@@ -174,9 +199,84 @@ class ChainOutcome:
 
 # Worker-local state, keyed by ChainTask.problem_key(): the sizing
 # problem (with its compiled MNA system) and the worker's memo cache
-# survive across the chains one worker executes.
+# survive across the chains one worker executes.  In pool workers the
+# caches die with the process (PoolManager guarantees teardown); the
+# in-process caches are bounded by the distinct problem signatures of
+# one session and can be dropped with clear_worker_caches().
 _WORKER_BUNDLES: dict[bytes, tuple] = {}
 _WORKER_MEMOS: dict[bytes, EvalMemo] = {}
+
+#: Fork-shared heartbeat slots (one double per chain index), set by the
+#: parent just before it builds a pool and inherited by the workers.
+_HEARTBEATS = None
+
+#: True only inside a pool worker process (set by the pool
+#: initializer).  Worker-level faults fire nowhere else: an injected
+#: ``os._exit`` in the parent would take the whole run down instead of
+#: simulating a lost worker.
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def clear_worker_caches() -> None:
+    """Drop the in-process problem-bundle and memo caches."""
+    _WORKER_BUNDLES.clear()
+    _WORKER_MEMOS.clear()
+
+
+def _heartbeat(chain_index: int) -> None:
+    """Stamp this chain's liveness slot (no-op outside supervision)."""
+    beats = _HEARTBEATS
+    if beats is not None and 0 <= chain_index < len(beats):
+        beats[chain_index] = time.monotonic()
+
+
+def _check_worker_faults(chain_index: int) -> None:
+    """Fire an armed ``worker.kill`` / ``worker.hang`` fault, if any.
+
+    Checked once per candidate evaluation, only inside pool workers.
+    ``worker.kill`` hard-exits the process (the parent sees a broken
+    pool, exactly like an OOM kill); ``worker.hang`` stops
+    heartbeating and sleeps until the supervisor kills the worker.
+    """
+    injector = faults.active()
+    if injector is None or not _IN_WORKER:
+        return
+    for site in (faults.WORKER_KILL, faults.WORKER_HANG):
+        spec = injector.specs.get(site)
+        if spec is None:
+            continue
+        if spec.chain is not None and spec.chain != chain_index:
+            continue
+        if not injector.fires_at(site):
+            continue
+        if site == faults.WORKER_KILL:
+            os._exit(86)
+        while True:  # pragma: no cover - killed from outside
+            time.sleep(0.05)
+
+
+def _strip_worker_faults(task: ChainTask) -> ChainTask:
+    """Retry profile: worker loss was transient, drop ``worker.*`` specs.
+
+    The stripped tuple stays a tuple (possibly empty) rather than
+    ``None``: the retried chain must still arm its *own* injector so a
+    fault configuration inherited from the forked parent cannot leak
+    back in and re-kill the retry.
+    """
+    if task.fault_specs is None:
+        return task
+    kept = tuple(
+        spec for spec in task.fault_specs
+        if spec.site not in faults.WORKER_SITES
+    )
+    if kept == task.fault_specs:
+        return task
+    return dc_replace(task, fault_specs=kept)
 
 
 def _memo_for(task: ChainTask, shared_memo: EvalMemo | None) -> EvalMemo | None:
@@ -262,6 +362,7 @@ def run_chain(task: ChainTask, shared_memo: EvalMemo | None = None) -> ChainOutc
             )
         )
     try:
+        _heartbeat(task.chain_index)
         x0, cost_fn, problem, design_notes, ape_seconds = _bundle_for(task)
         memo = _memo_for(task, shared_memo)
         if faults.active() is not None:
@@ -309,6 +410,14 @@ def run_chain(task: ChainTask, shared_memo: EvalMemo | None = None) -> ChainOutc
         if memo is not None:
             chain_eval = memo.wrap(chain_eval)
 
+        def supervised_eval(params, _inner=chain_eval, _idx=task.chain_index):
+            # Outermost wrapper: the fault decision and the heartbeat
+            # are per *candidate*, cache hit or not, so the worker's
+            # fault stream never depends on memo warmth.
+            _check_worker_faults(_idx)
+            _heartbeat(_idx)
+            return _inner(params)
+
         budget = None
         if (
             task.deadline_epoch is not None
@@ -325,7 +434,7 @@ def run_chain(task: ChainTask, shared_memo: EvalMemo | None = None) -> ChainOutc
             )
 
         annealer = Annealer(
-            chain_eval,
+            supervised_eval,
             problem.bounds(),
             schedule=task.schedule,
             seed=derive_chain_seed(task.seed, task.chain_index),
@@ -366,42 +475,317 @@ def run_annealing_chains(
     workers: int | None = None,
     memo: EvalMemo | None = None,
     oversubscribe: bool = False,
+    config: SupervisorConfig | None = None,
+    journal=None,
 ) -> list[ChainOutcome]:
     """Run every task and return outcomes ordered by chain index.
 
+    Thin wrapper over :func:`run_supervised_chains` for callers that
+    only want the outcomes; note that with supervision an interrupted
+    or quarantined run returns the chains that *did* complete.
+    """
+    outcomes, _report = run_supervised_chains(
+        tasks,
+        workers=workers,
+        memo=memo,
+        oversubscribe=oversubscribe,
+        config=config,
+        journal=journal,
+    )
+    return [outcomes[index] for index in sorted(outcomes)]
+
+
+def run_supervised_chains(
+    tasks: list[ChainTask],
+    *,
+    workers: int | None = None,
+    memo: EvalMemo | None = None,
+    oversubscribe: bool = False,
+    config: SupervisorConfig | None = None,
+    journal=None,
+) -> tuple[dict[int, ChainOutcome], SupervisionReport]:
+    """Run chains under supervision; return outcomes + what happened.
+
     With one effective worker the chains run in-process, sharing
     ``memo`` directly (plus the problem/MNA state across chains) — no
-    pool, no pickling.  With more, a ``fork``-context process pool
-    executes the tasks; each worker keeps its own memo and problem
-    cache, and the snapshots are merged into ``memo`` afterwards so
-    later runs (e.g. further table rows) start warm.
+    pool, no pickling; supervision is reduced to graceful interrupt
+    handling between chains.  With more, a ``fork``-context process
+    pool executes the tasks one-per-worker while the parent watches
+    for dead workers (``BrokenProcessPool``), hung ones (stale
+    heartbeats, chain deadlines) and interrupts, rebuilding the pool
+    and resubmitting only the lost chains within
+    ``config.max_chain_retries``; chains that keep losing their worker
+    are quarantined.  Completed chains are journaled write-ahead when
+    ``journal`` is given, and worker memo snapshots are merged into
+    ``memo`` as chains finish.
+
+    The returned mapping holds one outcome per *completed* chain —
+    interrupts and quarantines leave gaps instead of raising, so the
+    caller can always assemble a best-so-far partial result.
     """
+    config = config or SupervisorConfig()
+    report = SupervisionReport()
+    outcomes: dict[int, ChainOutcome] = {}
     if not tasks:
-        return []
+        return outcomes, report
+    tasks = sorted(tasks, key=lambda task: task.chain_index)
     n_workers = effective_workers(
         workers, len(tasks), oversubscribe=oversubscribe
     )
-    if n_workers <= 1:
-        return [run_chain(task, shared_memo=memo) for task in tasks]
 
+    def finish(outcome: ChainOutcome) -> None:
+        outcomes[outcome.chain_index] = outcome
+        if memo is not None and outcome.memo_snapshot is not None:
+            memo.merge(outcome.memo_snapshot)
+            outcome.memo_snapshot = None
+        if journal is not None:
+            journal.record_outcome(outcome)
+            if (
+                memo is not None
+                and config.memo_snapshot_every
+                and len(outcomes) % config.memo_snapshot_every == 0
+            ):
+                journal.snapshot_memo(memo)
+
+    def synthetic_stop() -> bool:
+        return (
+            config.interrupt_after is not None
+            and len(outcomes) >= config.interrupt_after
+        )
+
+    def note_interrupt(pending_indices: list[int], detail: str) -> None:
+        if report.interrupted:
+            return
+        report.interrupted = True
+        report.record(
+            "interrupted",
+            detail=f"{detail}; unfinished chains: {pending_indices}",
+        )
+        if journal is not None:
+            journal.append("interrupted", pending=pending_indices)
+
+    if n_workers <= 1:
+        _run_in_process(
+            tasks, memo, config, report,
+            finish=finish,
+            synthetic_stop=synthetic_stop,
+            note_interrupt=note_interrupt,
+            outcomes=outcomes,
+        )
+        return outcomes, report
+
+    _run_pooled(
+        tasks, n_workers, config, report,
+        finish=finish,
+        synthetic_stop=synthetic_stop,
+        note_interrupt=note_interrupt,
+        outcomes=outcomes,
+        journal=journal,
+    )
+    return outcomes, report
+
+
+def _run_in_process(
+    tasks, memo, config, report, *, finish, synthetic_stop, note_interrupt,
+    outcomes,
+) -> None:
+    def unfinished():
+        return [
+            task.chain_index for task in tasks
+            if task.chain_index not in outcomes
+        ]
+
+    with interrupt_guard(config.install_signal_handlers) as stop:
+        for task in tasks:
+            if stop() or synthetic_stop():
+                note_interrupt(unfinished(), "stop requested between chains")
+                break
+            try:
+                outcome = run_chain(task, shared_memo=memo)
+            except KeyboardInterrupt:
+                note_interrupt(unfinished(), "interrupted mid-chain")
+                break
+            finish(outcome)
+
+
+def _run_pooled(
+    tasks, n_workers, config, report, *, finish, synthetic_stop,
+    note_interrupt, outcomes, journal,
+) -> None:
     import concurrent.futures
     import multiprocessing
+    from concurrent.futures.process import BrokenProcessPool
+
+    global _HEARTBEATS
 
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX fallback
         context = multiprocessing.get_context()
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=n_workers, mp_context=context
-    ) as pool:
-        outcomes = list(pool.map(run_chain, tasks))
-    outcomes.sort(key=lambda outcome: outcome.chain_index)
-    if memo is not None:
-        for outcome in outcomes:
-            if outcome.memo_snapshot is not None:
-                memo.merge(outcome.memo_snapshot)
-                outcome.memo_snapshot = None
-    return outcomes
+
+    heartbeats = context.Array(
+        "d", max(task.chain_index for task in tasks) + 1, lock=False
+    )
+    clock = time.monotonic
+
+    def factory():
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=context,
+            initializer=_mark_worker,
+        )
+
+    pending: deque[ChainTask] = deque(tasks)
+    in_flight: dict[object, ChainTask] = {}
+    submitted_at: dict[int, float] = {}
+    retries: dict[int, int] = {}
+    kill_pending = False
+
+    def journal_event(event: str, **payload) -> None:
+        if journal is not None:
+            journal.append(event, **payload)
+
+    def unfinished() -> list[int]:
+        return sorted(
+            {task.chain_index for task in pending}
+            | {task.chain_index for task in in_flight.values()}
+        )
+
+    def handle_collapse(lost: list[ChainTask], pm: PoolManager) -> None:
+        """Rebuild the pool; resubmit, retry-bound or quarantine ``lost``."""
+        nonlocal kill_pending
+        kill_pending = False
+        lost_indices = sorted(task.chain_index for task in lost)
+        if report.interrupted:
+            # Interrupt + collapse (e.g. terminal Ctrl-C reached the
+            # workers too): the run is over, resume will redo the rest.
+            journal_event("worker-lost", chains=lost_indices, interrupted=True)
+            pending.clear()
+            return
+        for task in sorted(lost, key=lambda t: t.chain_index):
+            index = task.chain_index
+            retries[index] = retries.get(index, 0) + 1
+            if retries[index] > config.max_chain_retries:
+                report.quarantined.append(index)
+                report.record(
+                    "chain-quarantined", index,
+                    f"lost its worker {retries[index]} times "
+                    f"(max_chain_retries={config.max_chain_retries})",
+                )
+                journal_event("chain-quarantined", chain_index=index)
+                continue
+            report.chain_retries += 1
+            report.record(
+                "chain-retried", index,
+                f"attempt {retries[index] + 1}",
+            )
+            journal_event("chain-retried", chain_index=index,
+                          attempt=retries[index] + 1)
+            retry_task = (
+                _strip_worker_faults(task)
+                if config.strip_worker_faults_on_retry else task
+            )
+            pending.append(retry_task)
+        if pending:
+            pm.rebuild()
+            report.worker_restarts += 1
+            report.record(
+                "worker-restart", None,
+                f"pool rebuilt after losing chains {lost_indices}",
+            )
+            journal_event("worker-restart", chains=lost_indices)
+
+    def find_stuck() -> tuple[ChainTask, str] | None:
+        now = clock()
+        for task in in_flight.values():
+            index = task.chain_index
+            started = submitted_at.get(index, now)
+            if (
+                config.chain_timeout_seconds is not None
+                and now - started > config.chain_timeout_seconds
+            ):
+                return task, "chain-timeout"
+            if config.heartbeat_timeout_seconds is not None:
+                beat = heartbeats[index]
+                last_signal = beat if beat > started else started
+                if now - last_signal > config.heartbeat_timeout_seconds:
+                    return task, "chain-hung"
+        return None
+
+    _HEARTBEATS = heartbeats
+    try:
+        with PoolManager(factory) as pm, \
+                interrupt_guard(config.install_signal_handlers) as stop:
+            while pending or in_flight:
+                stopping = stop() or synthetic_stop()
+                if stopping:
+                    note_interrupt(unfinished(), "stop requested")
+                    if stop.hard:
+                        # Second signal: abandon in-flight work too.
+                        pm.kill_workers()
+                        break
+                    if not in_flight:
+                        break
+                # Top up: one in-flight chain per worker, so every
+                # submitted future is actually running (which makes
+                # hang detection and loss accounting exact).
+                broken_on_submit = False
+                while (
+                    pending and len(in_flight) < n_workers and not stopping
+                ):
+                    task = pending.popleft()
+                    heartbeats[task.chain_index] = 0.0
+                    submitted_at[task.chain_index] = clock()
+                    try:
+                        future = pm.pool.submit(run_chain, task)
+                    except BrokenProcessPool:
+                        pending.appendleft(task)
+                        broken_on_submit = True
+                        break
+                    in_flight[future] = task
+                if broken_on_submit:
+                    lost = list(in_flight.values())
+                    in_flight.clear()
+                    handle_collapse(lost, pm)
+                    continue
+                if not in_flight:
+                    continue
+                done, _ = concurrent.futures.wait(
+                    list(in_flight),
+                    timeout=config.poll_interval_seconds,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                lost: list[ChainTask] = []
+                for future in done:
+                    task = in_flight.pop(future)
+                    try:
+                        finish(future.result())
+                    except (BrokenProcessPool,
+                            concurrent.futures.CancelledError):
+                        lost.append(task)
+                if lost or getattr(pm.pool, "_broken", False):
+                    # A broken pool takes every in-flight chain with it.
+                    lost.extend(in_flight.values())
+                    in_flight.clear()
+                    handle_collapse(lost, pm)
+                    continue
+                if kill_pending:
+                    continue  # workers already killed; wait for collapse
+                stuck = find_stuck()
+                if stuck is not None:
+                    task, kind = stuck
+                    report.record(
+                        kind, task.chain_index,
+                        "no heartbeat within "
+                        f"{config.heartbeat_timeout_seconds}s"
+                        if kind == "chain-hung" else
+                        f"exceeded {config.chain_timeout_seconds}s deadline",
+                    )
+                    journal_event(kind, chain_index=task.chain_index)
+                    kill_pending = True
+                    pm.kill_workers()
+    finally:
+        _HEARTBEATS = None
 
 
 def parallel_map(
@@ -415,7 +799,9 @@ def parallel_map(
 
     ``fn`` must be a module-level picklable callable and ``items``
     picklable values — the batched table runners fan benchmark rows
-    through this with one row per task.
+    through this with one row per task.  Pool teardown is guaranteed
+    on every exit path (PoolManager kills workers instead of waiting
+    on them when an exception unwinds past a running task).
     """
     items = list(items)
     if not items:
@@ -433,7 +819,11 @@ def parallel_map(
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX fallback
         context = multiprocessing.get_context()
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=n_workers, mp_context=context
-    ) as pool:
-        return list(pool.map(fn, items))
+
+    def factory():
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=context
+        )
+
+    with PoolManager(factory) as pm:
+        return list(pm.pool.map(fn, items))

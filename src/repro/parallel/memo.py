@@ -12,11 +12,16 @@ solve plus an AWE fit.
 
 Correctness contract: memoization is only sound because
 :meth:`~repro.synthesis.problems.OpAmpSizingProblem.evaluate` is
-*canonical* — the value returned for a parameter dict never depends
-on which candidates were evaluated before it (DC solves start from a
-run-constant initial guess, never from the previous candidate).  The
-parallel executor relies on the same property for its scheduling
-independence, and ``tests/test_parallel.py`` locks it in.
+*canonical* (history-independent), so evicting or losing an entry can
+never change a result — only how fast it arrives.  The parallel
+executor relies on the same property for its scheduling independence,
+and ``tests/test_parallel.py`` locks it in.
+
+The memo is *bounded*: entries live in an LRU ordering and the oldest
+are evicted once ``capacity`` is exceeded (long supervised runs and
+multi-row table sessions would otherwise grow the cache without
+limit).  Evictions are counted and surfaced through
+``repro diagnostics``.
 
 The memo is pickle-clean (plain dicts and tuples), so per-worker
 caches can cross the process-pool boundary and be merged back into a
@@ -26,9 +31,10 @@ session-wide cache shared across chains and table rows.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Callable, Mapping
 
-__all__ = ["EvalMemo", "memo_key"]
+__all__ = ["EvalMemo", "memo_key", "DEFAULT_QUANTUM", "DEFAULT_CAPACITY"]
 
 #: Quantization step in natural-log space.  1e-9 means two values map
 #: to the same key only when they agree to ~1 part in 1e9 — far below
@@ -36,6 +42,13 @@ __all__ = ["EvalMemo", "memo_key"]
 #: for every practical purpose, while float dust from clamping or
 #: printing round-trips still collapses onto one key.
 DEFAULT_QUANTUM = 1e-9
+
+#: Default LRU capacity.  An entry is a quantized key plus a small
+#: metrics dict (~a few hundred bytes), so the default bounds the memo
+#: at tens of megabytes — far beyond any single run (a 4 x 250-eval
+#: fan stores well under 1k entries) but a hard ceiling for week-long
+#: supervised sessions sharing one memo across thousands of rows.
+DEFAULT_CAPACITY = 65536
 
 MemoKey = tuple[tuple[str, int], ...]
 MemoValue = tuple[float, dict[str, float] | None]
@@ -64,16 +77,32 @@ def memo_key(
 
 
 class EvalMemo:
-    """Shared cache of candidate evaluations with hit/miss counters."""
+    """Bounded (LRU) shared cache of candidate evaluations.
 
-    def __init__(self, quantum: float = DEFAULT_QUANTUM) -> None:
+    ``capacity`` caps the entry count (``None`` = unbounded); lookups
+    refresh recency and stores evict the least-recently-used entries
+    past the cap, counted in ``evictions``.
+    """
+
+    def __init__(
+        self,
+        quantum: float = DEFAULT_QUANTUM,
+        *,
+        capacity: int | None = DEFAULT_CAPACITY,
+    ) -> None:
         if quantum <= 0:
             raise ValueError(f"quantum must be positive, got {quantum}")
+        if capacity is not None and capacity <= 0:
+            raise ValueError(
+                f"capacity must be positive or None, got {capacity}"
+            )
         self.quantum = quantum
-        self._data: dict[MemoKey, MemoValue] = {}
+        self.capacity = capacity
+        self._data: OrderedDict[MemoKey, MemoValue] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------- core API
 
@@ -82,11 +111,13 @@ class EvalMemo:
 
     def lookup(self, params: Mapping[str, float]) -> MemoValue | None:
         """Cached ``(cost, metrics)`` or ``None``; counts the outcome."""
-        found = self._data.get(self.key(params))
+        key = self.key(params)
+        found = self._data.get(key)
         if found is None:
             self.misses += 1
             return None
         self.hits += 1
+        self._data.move_to_end(key)
         cost, metrics = found
         # Hand out a copy: callers (and the annealer) may mutate metric
         # dicts, and a shared cache must never observe that.
@@ -98,11 +129,23 @@ class EvalMemo:
         cost: float,
         metrics: dict[str, float] | None,
     ) -> None:
-        self._data[self.key(params)] = (
-            cost,
-            dict(metrics) if metrics is not None else None,
+        self._store_key(
+            self.key(params),
+            (cost, dict(metrics) if metrics is not None else None),
         )
         self.stores += 1
+
+    def _store_key(self, key: MemoKey, value: MemoValue) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        self._evict()
+
+    def _evict(self) -> None:
+        if self.capacity is None:
+            return
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
 
     def wrap(
         self,
@@ -147,10 +190,12 @@ class EvalMemo:
         """Picklable snapshot (entries + counters) for pool merging."""
         return {
             "quantum": self.quantum,
+            "capacity": self.capacity,
             "data": dict(self._data),
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "evictions": self.evictions,
         }
 
     def merge(self, snapshot: "EvalMemo | dict") -> None:
@@ -158,7 +203,8 @@ class EvalMemo:
 
         Existing entries win: evaluation is canonical, so both sides
         hold the same value and keeping ours is free.  Counters add,
-        giving session-wide hit/miss totals across the pool.
+        giving session-wide hit/miss totals across the pool.  This
+        memo's own ``capacity`` is enforced after the fold.
         """
         if isinstance(snapshot, EvalMemo):
             snapshot = snapshot.export()
@@ -168,7 +214,9 @@ class EvalMemo:
                 f"{snapshot['quantum']} != {self.quantum}"
             )
         for key, value in snapshot["data"].items():
-            self._data.setdefault(key, value)
+            if key not in self._data:
+                self._store_key(key, value)
         self.hits += snapshot["hits"]
         self.misses += snapshot["misses"]
         self.stores += snapshot["stores"]
+        self.evictions += snapshot.get("evictions", 0)

@@ -15,15 +15,29 @@ stack.  Four pieces, each usable on its own:
 * :mod:`repro.runtime.faults` — a deterministic, seedable
   fault-injection harness proving that every recovery path fires;
 * :class:`SessionStats` — process-wide throughput and cache counters
-  rendered by ``repro diagnostics`` (:mod:`repro.runtime.stats`).
+  rendered by ``repro diagnostics`` (:mod:`repro.runtime.stats`);
+* :mod:`repro.runtime.supervisor` — parent-side supervision of pooled
+  workers: crash/hang detection, bounded chain retries, quarantine,
+  graceful interrupt drain (:class:`SupervisorConfig`,
+  :class:`SupervisionReport`, :class:`PoolManager`);
+* :class:`RunJournal` — write-ahead run checkpointing powering
+  ``repro synthesize --resume`` (:mod:`repro.runtime.journal`).
 
 See ``docs/ROBUSTNESS.md`` for the model and usage.
 """
 
 from .budget import EvalBudget
 from .diagnostics import Diagnostic, DiagnosticLog, global_log
+from .journal import RunJournal, run_fingerprint
 from .retry import RetryPolicy
 from .stats import SessionStats, global_stats
+from .supervisor import (
+    PoolManager,
+    SupervisionEvent,
+    SupervisionReport,
+    SupervisorConfig,
+    interrupt_guard,
+)
 from . import faults
 
 __all__ = [
@@ -31,8 +45,15 @@ __all__ = [
     "Diagnostic",
     "DiagnosticLog",
     "global_log",
+    "PoolManager",
     "RetryPolicy",
+    "RunJournal",
+    "run_fingerprint",
     "SessionStats",
+    "SupervisionEvent",
+    "SupervisionReport",
+    "SupervisorConfig",
     "global_stats",
+    "interrupt_guard",
     "faults",
 ]

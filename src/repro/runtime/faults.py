@@ -36,6 +36,16 @@ Instrumented sites:
     :meth:`~repro.synthesis.problems.OpAmpSizingProblem.evaluate`
     call, so the configured probability IS the per-evaluation
     failure rate).
+``worker.kill`` / ``worker.hang``
+    Process-level faults checked once per candidate evaluation by the
+    parallel executor's worker loop, and only inside pool worker
+    processes (never in-process, where they would take the caller
+    down).  ``worker.kill`` hard-exits the worker (``os._exit``),
+    collapsing the pool exactly like an OOM kill; ``worker.hang``
+    stops heartbeating and sleeps until the supervisor kills the
+    worker.  The optional ``chain`` field on :class:`FaultSpec`
+    (``@N`` in ``REPRO_FAULTS``) restricts a fault to one chain
+    index, so tests can kill *exactly one* worker deterministically.
 
 Arm from code::
 
@@ -47,7 +57,10 @@ or from the environment (picked up by the CLI)::
 
     REPRO_FAULTS="seed=7,spice.dc=0.2,spice.awe=0.1:3" repro synthesize ...
 
-where the optional ``:N`` suffix caps a site at N fires.
+where the optional ``:N`` suffix caps a site at N fires and the
+optional ``@C`` suffix (worker sites) targets chain index C, e.g.
+``REPRO_FAULTS="worker.kill=1.0:1@1"`` kills the worker running
+chain 1, once.
 """
 
 from __future__ import annotations
@@ -69,6 +82,9 @@ __all__ = [
     "FaultSpec",
     "FaultInjector",
     "KNOWN_SITES",
+    "WORKER_KILL",
+    "WORKER_HANG",
+    "WORKER_SITES",
     "arm",
     "disarm",
     "active",
@@ -77,6 +93,13 @@ __all__ = [
     "check",
     "fires",
 ]
+
+#: Process-level fault sites consumed by the parallel executor's
+#: worker loop (see the module docstring).  They never raise through
+#: :func:`check`; the executor performs the kill/hang itself.
+WORKER_KILL = "worker.kill"
+WORKER_HANG = "worker.hang"
+WORKER_SITES = frozenset({WORKER_KILL, WORKER_HANG})
 
 #: Canonical exception raised by :func:`check` for each site.
 KNOWN_SITES: dict[str, type[ApeError]] = {
@@ -98,6 +121,9 @@ class FaultSpec:
     probability: float = 1.0
     #: Stop firing after this many faults (``None`` = unlimited).
     max_fires: int | None = None
+    #: Restrict the fault to one annealing-chain index (worker sites;
+    #: ``None`` = every chain).  Ignored by sites with no chain scope.
+    chain: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0:
@@ -108,6 +134,10 @@ class FaultSpec:
         if self.max_fires is not None and self.max_fires < 0:
             raise ValueError(
                 f"{self.site}: max_fires must be >= 0, got {self.max_fires}"
+            )
+        if self.chain is not None and self.chain < 0:
+            raise ValueError(
+                f"{self.site}: chain must be >= 0, got {self.chain}"
             )
 
 
@@ -225,12 +255,17 @@ def arm_from_env(environ: Mapping[str, str] | None = None) -> FaultInjector | No
             seed = int(value)
             continue
         max_fires: int | None = None
+        chain: int | None = None
         try:
+            if "@" in value:
+                value, chain_raw = value.split("@", 1)
+                chain = int(chain_raw)
             if ":" in value:
                 value, fires_raw = value.split(":", 1)
                 max_fires = int(fires_raw)
             specs[site] = FaultSpec(
-                site, probability=float(value), max_fires=max_fires
+                site, probability=float(value), max_fires=max_fires,
+                chain=chain,
             )
         except ValueError as exc:
             raise ApeError(

@@ -22,6 +22,11 @@ class SessionStats:
     eval_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
+    worker_restarts: int = 0
+    chains_quarantined: int = 0
+    chains_resumed: int = 0
+    runs_interrupted: int = 0
 
     def record_run(
         self,
@@ -30,12 +35,22 @@ class SessionStats:
         seconds: float,
         cache_hits: int = 0,
         cache_misses: int = 0,
+        cache_evictions: int = 0,
+        worker_restarts: int = 0,
+        chains_quarantined: int = 0,
+        chains_resumed: int = 0,
+        interrupted: bool = False,
     ) -> None:
         self.runs += 1
         self.evaluations += evaluations
         self.eval_seconds += seconds
         self.cache_hits += cache_hits
         self.cache_misses += cache_misses
+        self.cache_evictions += cache_evictions
+        self.worker_restarts += worker_restarts
+        self.chains_quarantined += chains_quarantined
+        self.chains_resumed += chains_resumed
+        self.runs_interrupted += 1 if interrupted else 0
 
     @property
     def evals_per_second(self) -> float:
@@ -54,6 +69,11 @@ class SessionStats:
         self.eval_seconds = 0.0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
+        self.worker_restarts = 0
+        self.chains_quarantined = 0
+        self.chains_resumed = 0
+        self.runs_interrupted = 0
 
     def render(self) -> str:
         """One-paragraph human-readable summary."""
@@ -64,13 +84,28 @@ class SessionStats:
             f"{self.eval_seconds:.2f}s)",
         ]
         if self.cache_hits or self.cache_misses:
-            lines.append(
+            cache_line = (
                 f"evaluation cache: {self.cache_hits} hits / "
                 f"{self.cache_misses} misses "
                 f"(hit rate {self.cache_hit_rate:.1%})"
             )
+            if self.cache_evictions:
+                cache_line += f", {self.cache_evictions} LRU evictions"
+            lines.append(cache_line)
         else:
             lines.append("evaluation cache: unused")
+        if (
+            self.worker_restarts
+            or self.chains_quarantined
+            or self.chains_resumed
+            or self.runs_interrupted
+        ):
+            lines.append(
+                f"supervision: {self.worker_restarts} worker restarts, "
+                f"{self.chains_quarantined} chains quarantined, "
+                f"{self.chains_resumed} chains resumed from journal, "
+                f"{self.runs_interrupted} runs interrupted"
+            )
         return "\n".join(lines)
 
 

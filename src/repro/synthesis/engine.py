@@ -81,6 +81,19 @@ class SynthesisResult:
     #: Per-chain results, best chain first kept in ``metrics``/``params``
     #: (chain order preserved here).
     chains: list[AnnealResult] = field(default_factory=list)
+    #: Pool rebuilds after a worker was killed or declared hung.
+    worker_restarts: int = 0
+    #: Chains abandoned after exhausting their supervised retry budget.
+    quarantined_chains: list[int] = field(default_factory=list)
+    #: Chains whose outcomes were replayed from the run journal.
+    resumed_chains: list[int] = field(default_factory=list)
+    #: True when SIGINT/SIGTERM stopped the run early; the result then
+    #: holds the best of the chains that *did* complete (``degraded``).
+    interrupted: bool = False
+    #: Journaled run directory (``None`` for unjournaled runs).
+    run_dir: str | None = None
+    #: LRU entries evicted from this run's evaluation memo.
+    cache_evictions: int = 0
 
     def metric(self, key: str, default: float = float("nan")) -> float:
         if self.metrics is None:
@@ -109,6 +122,9 @@ def synthesize_opamp(
     workers: int | None = None,
     memo: "bool | EvalMemo | None" = None,
     oversubscribe: bool = False,
+    run_dir: str | None = None,
+    resume: bool = False,
+    supervisor: "SupervisorConfig | None" = None,
 ) -> SynthesisResult:
     """Run one APE(+/-)ASTRX/OBLX synthesis leg for an op-amp spec.
 
@@ -138,6 +154,19 @@ def synthesize_opamp(
     ``budget`` deadline becomes a shared wall-clock deadline: every
     chain stops at the same absolute instant, wherever it runs.
     ``workers`` is clamped to usable CPUs unless ``oversubscribe``.
+
+    Multi-chain runs are *supervised* (``supervisor`` overrides the
+    default :class:`~repro.runtime.SupervisorConfig`): killed or hung
+    workers are replaced and their chains re-run (bounded retries,
+    quarantine for poison tasks), and SIGINT/SIGTERM drain in-flight
+    chains and return the best-so-far partial result flagged
+    ``degraded``/``interrupted`` instead of raising.  ``run_dir``
+    write-ahead journals every finished chain; ``resume=True`` replays
+    the journaled chains of an interrupted run (after verifying the
+    directory's problem fingerprint) and executes only the rest,
+    reproducing the uninterrupted run's result bit-for-bit — chain
+    seeds are derived from ``(seed, index)``, so nothing depends on
+    which process (or which *run*) executed a chain.
     """
     if mode not in ("standalone", "ape"):
         raise SpecificationError(
@@ -157,9 +186,9 @@ def synthesize_opamp(
     # only this run's contribution.
     records_before = len(log.records)
     retries_before = retry.total_retries if retry is not None else 0
-    memo_obj = _resolve_memo(memo, restarts)
+    memo_obj = _resolve_memo(memo, restarts, journaled=run_dir is not None)
 
-    if restarts > 1:
+    if restarts > 1 or run_dir is not None:
         return _synthesize_parallel(
             tech=tech,
             spec=spec,
@@ -182,6 +211,9 @@ def synthesize_opamp(
             workers=workers,
             memo=memo_obj,
             oversubscribe=oversubscribe,
+            run_dir=run_dir,
+            resume=resume,
+            supervisor=supervisor,
         )
 
     # APE always provides the *structure* (ASTRX/OBLX also receives the
@@ -328,20 +360,28 @@ def synthesize_opamp(
     )
 
 
-def _resolve_memo(memo, restarts: int):
+def _resolve_memo(memo, restarts: int, *, journaled: bool = False):
     """Normalize the ``memo`` argument to an EvalMemo or ``None``.
 
     ``None`` means "default policy": cache only when the run fans out
-    multiple chains — a plain serial run stays exactly the classic
-    code path (and keeps exact-count fault-injection accounting).
+    multiple chains or is journaled (a resumed run wants its warm
+    cache back) — a plain serial run stays exactly the classic code
+    path (and keeps exact-count fault-injection accounting).
     """
     from ..parallel import EvalMemo
 
     if isinstance(memo, EvalMemo):
         return memo
-    if memo is True or (memo is None and restarts > 1):
+    if memo is True or (memo is None and (restarts > 1 or journaled)):
         return EvalMemo()
     return None
+
+
+def _run_fingerprint(**parts):
+    """Problem identity for the run journal (see ``run_fingerprint``)."""
+    from ..runtime.journal import run_fingerprint
+
+    return run_fingerprint(tuple(sorted(parts.items())))
 
 
 def _synthesize_parallel(
@@ -367,11 +407,27 @@ def _synthesize_parallel(
     workers,
     memo,
     oversubscribe,
+    run_dir=None,
+    resume=False,
+    supervisor=None,
 ):
-    """Fan ``restarts`` chains across the pool and merge the outcomes."""
-    from ..parallel import ChainTask, effective_workers, run_annealing_chains
+    """Fan ``restarts`` chains across the pool and merge the outcomes.
+
+    The supervised path: chains lost to killed/hung workers are re-run
+    (bounded, then quarantined), interrupts drain to a partial result,
+    and — when ``run_dir`` is set — every finished chain is journaled
+    write-ahead so ``resume=True`` replays it instead of re-running it.
+    """
+    from ..parallel import (
+        ChainTask,
+        derive_chain_seed,
+        effective_workers,
+        run_supervised_chains,
+    )
     from ..runtime import faults
+    from ..runtime.journal import RunJournal
     from ..runtime.stats import global_stats
+    from ..runtime.supervisor import SupervisorConfig
 
     deadline_epoch = None
     if budget is not None:
@@ -384,6 +440,65 @@ def _synthesize_parallel(
         tuple(injector.specs.values()) if injector is not None else None
     )
     fault_seed = injector.seed if injector is not None else 0
+    config = supervisor if supervisor is not None else SupervisorConfig()
+
+    journal = None
+    journaled_outcomes: dict[int, object] = {}
+    resumed_indices: list[int] = []
+    if run_dir is not None:
+        journal = RunJournal(run_dir)
+        fingerprint = _run_fingerprint(
+            schema=RunJournal.SCHEMA,
+            tech=repr(tech),
+            spec=repr(spec),
+            topology=repr(topology),
+            mode=mode,
+            synthesis_spec=repr(synthesis_spec),
+            name=name,
+            range_factor=range_factor,
+            max_evaluations=max_evaluations,
+            schedule=repr(schedule),
+            seed=seed,
+            restarts=restarts,
+            tolerant=tolerant,
+            lint=lint,
+        )
+        if resume:
+            manifest = journal.load_manifest()
+            if manifest.get("fingerprint") != fingerprint:
+                raise SpecificationError(
+                    f"run directory {run_dir!r} belongs to a different "
+                    "synthesis problem; refusing to resume",
+                    context={
+                        "run_dir": run_dir,
+                        "expected_fingerprint": fingerprint,
+                        "found_fingerprint": manifest.get("fingerprint"),
+                    },
+                )
+            journaled_outcomes = {
+                index: outcome
+                for index, outcome in journal.load_outcomes().items()
+                if index < restarts
+            }
+            resumed_indices = sorted(journaled_outcomes)
+            if memo is not None:
+                warm = journal.load_memo()
+                if warm is not None and warm.quantum == memo.quantum:
+                    memo.merge(warm)
+        else:
+            journal.initialize(
+                {
+                    "fingerprint": fingerprint,
+                    "name": name,
+                    "mode": mode,
+                    "seed": seed,
+                    "restarts": restarts,
+                    "chain_seeds": [
+                        derive_chain_seed(seed, index)
+                        for index in range(restarts)
+                    ],
+                }
+            )
 
     tasks = [
         ChainTask(
@@ -411,15 +526,87 @@ def _synthesize_parallel(
             memo_quantum=memo.quantum if memo is not None else None,
         )
         for index in range(restarts)
+        if index not in journaled_outcomes
     ]
     n_workers = effective_workers(
-        workers, len(tasks), oversubscribe=oversubscribe
+        workers, max(len(tasks), 1), oversubscribe=oversubscribe
     )
+    evictions_before = memo.evictions if memo is not None else 0
     start = time.perf_counter()
-    outcomes = run_annealing_chains(
-        tasks, workers=workers, memo=memo, oversubscribe=oversubscribe
+    fresh_outcomes, report = run_supervised_chains(
+        tasks,
+        workers=workers,
+        memo=memo,
+        oversubscribe=oversubscribe,
+        config=config,
+        journal=journal,
     )
     cpu = time.perf_counter() - start
+
+    report.resumed.extend(resumed_indices)
+    for index in resumed_indices:
+        report.record(
+            "chain-resumed", index, "outcome replayed from the run journal"
+        )
+    outcome_map = dict(journaled_outcomes)
+    outcome_map.update(fresh_outcomes)
+    outcomes = [outcome_map[index] for index in sorted(outcome_map)]
+
+    for event in report.events:
+        where = (
+            f" (chain {event.chain_index})"
+            if event.chain_index is not None else ""
+        )
+        detail = f": {event.detail}" if event.detail else ""
+        log.record(
+            Diagnostic(
+                subsystem="synthesis.supervisor",
+                severity=(
+                    "info" if event.kind == "chain-resumed" else "warning"
+                ),
+                message=f"{name}: {event.kind}{where}{detail}",
+                context={
+                    "name": name,
+                    "event": event.kind,
+                    "chain_index": event.chain_index,
+                },
+            )
+        )
+
+    if not outcomes:
+        # Interrupted before any chain finished, or every chain was
+        # quarantined: return an honest empty shell instead of raising,
+        # so callers (and table runs) keep going.
+        if journal is not None:
+            journal.append("run-finished", completed=0, best_cost=None)
+        global_stats().record_run(
+            evaluations=0,
+            seconds=cpu,
+            worker_restarts=report.worker_restarts,
+            chains_quarantined=len(report.quarantined),
+            chains_resumed=len(report.resumed),
+            interrupted=report.interrupted,
+        )
+        return SynthesisResult(
+            name=name,
+            mode=mode,
+            meets_spec=False,
+            comment="no chains completed (interrupted or quarantined)",
+            metrics=None,
+            best_cost=FAILURE_COST,
+            evaluations=0,
+            cpu_seconds=cpu,
+            ape_seconds=0.0,
+            degraded=True,
+            diagnostics=list(log.records[records_before:]),
+            restarts=restarts,
+            workers=n_workers,
+            worker_restarts=report.worker_restarts,
+            quarantined_chains=list(report.quarantined),
+            resumed_chains=list(report.resumed),
+            interrupted=report.interrupted,
+            run_dir=run_dir,
+        )
 
     for outcome in outcomes:
         for diagnostic in outcome.diagnostics:
@@ -469,6 +656,9 @@ def _synthesize_parallel(
             )
         )
     evals_per_second = evaluations / cpu if cpu > 0 else 0.0
+    cache_evictions = (
+        memo.evictions - evictions_before if memo is not None else 0
+    )
     log.record(
         Diagnostic(
             subsystem="synthesis.parallel",
@@ -492,7 +682,19 @@ def _synthesize_parallel(
         seconds=cpu,
         cache_hits=cache_hits,
         cache_misses=cache_misses,
+        cache_evictions=cache_evictions,
+        worker_restarts=report.worker_restarts,
+        chains_quarantined=len(report.quarantined),
+        chains_resumed=len(report.resumed),
+        interrupted=report.interrupted,
     )
+    if journal is not None:
+        journal.append(
+            "run-finished",
+            completed=len(outcomes),
+            best_chain=best.chain_index,
+            best_cost=result.best_cost,
+        )
     meets = cost_fn.meets_spec(result.best_metrics)
     return SynthesisResult(
         name=name,
@@ -512,6 +714,8 @@ def _synthesize_parallel(
             any(o.degraded_design for o in outcomes)
             or bool(degraded_chains)
             or result.best_metrics is None
+            or bool(report.quarantined)
+            or report.interrupted
         ),
         diagnostics=list(log.records[records_before:]),
         restarts=restarts,
@@ -520,4 +724,10 @@ def _synthesize_parallel(
         cache_misses=cache_misses,
         evals_per_second=evals_per_second,
         chains=[o.anneal for o in outcomes],
+        worker_restarts=report.worker_restarts,
+        quarantined_chains=list(report.quarantined),
+        resumed_chains=list(report.resumed),
+        interrupted=report.interrupted,
+        run_dir=run_dir,
+        cache_evictions=cache_evictions,
     )

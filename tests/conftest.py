@@ -1,0 +1,79 @@
+"""Shared pytest configuration: a per-test wall-clock deadline.
+
+The supervised-runtime tests intentionally create hung workers, broken
+process pools and interrupted runs; a regression in the recovery path
+would previously wedge the whole suite instead of failing one test.
+``pytest-timeout`` is not available in the container image, so this is
+the dependency-free equivalent: a SIGALRM-based deadline around every
+test (Unix main thread only — exactly where pytest runs tests).
+
+* Default deadline: 120 s per test, far above anything in the suite.
+* Override per test with ``@pytest.mark.timeout(seconds)``.
+* Override globally with the ``REPRO_TEST_TIMEOUT`` environment
+  variable (``0`` disables the mechanism entirely).
+
+The alarm fires inside the test process, so the traceback points at
+the exact line that was stuck — same failure shape pytest-timeout's
+signal method produces.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import pytest
+
+DEFAULT_TEST_TIMEOUT = 120.0
+
+
+def _configured_timeout() -> float:
+    raw = os.environ.get("REPRO_TEST_TIMEOUT", "").strip()
+    if not raw:
+        return DEFAULT_TEST_TIMEOUT
+    try:
+        return float(raw)
+    except ValueError:
+        return DEFAULT_TEST_TIMEOUT
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test wall-clock deadline (SIGALRM based; "
+        "overrides the 120 s default)",
+    )
+
+
+def _supports_alarm() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item: pytest.Item):
+    deadline = _configured_timeout()
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        deadline = float(marker.args[0])
+    if deadline <= 0 or not _supports_alarm():
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {deadline:g}s wall-clock deadline "
+            "(tests/conftest.py SIGALRM guard)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, deadline)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -18,6 +18,7 @@ import pytest
 from repro.opamp import OpAmpSpec, OpAmpTopology, coarse_design_opamp
 from repro.parallel import (
     ChainTask,
+    DEFAULT_CAPACITY,
     DEFAULT_QUANTUM,
     EvalMemo,
     derive_chain_seed,
@@ -189,6 +190,55 @@ class TestEvalMemo:
     def test_bad_quantum_rejected(self):
         with pytest.raises(ValueError):
             EvalMemo(0.0)
+
+    def test_lru_evicts_oldest_past_capacity(self):
+        memo = EvalMemo(capacity=2)
+        memo.store({"a": 1.0}, 0.1, None)
+        memo.store({"b": 1.0}, 0.2, None)
+        memo.store({"c": 1.0}, 0.3, None)
+        assert len(memo) == 2
+        assert memo.evictions == 1
+        assert memo.lookup({"a": 1.0}) is None  # the oldest went
+        assert memo.lookup({"c": 1.0}) == (0.3, None)
+
+    def test_lookup_refreshes_lru_recency(self):
+        memo = EvalMemo(capacity=2)
+        memo.store({"a": 1.0}, 0.1, None)
+        memo.store({"b": 1.0}, 0.2, None)
+        memo.lookup({"a": 1.0})  # "a" is now most recent
+        memo.store({"c": 1.0}, 0.3, None)
+        assert memo.lookup({"a": 1.0}) == (0.1, None)
+        assert memo.lookup({"b": 1.0}) is None  # "b" was evicted instead
+
+    def test_merge_respects_capacity(self):
+        memo = EvalMemo(capacity=2)
+        incoming = EvalMemo()
+        for i, name in enumerate("abcd"):
+            incoming.store({name: 1.0}, float(i), None)
+        memo.merge(incoming)
+        assert len(memo) == 2
+        assert memo.evictions == 2
+
+    def test_unbounded_when_capacity_none(self):
+        memo = EvalMemo(capacity=None)
+        for i in range(DEFAULT_CAPACITY // 256):  # cheap, still > any cap
+            memo.store({"x": float(i + 1)}, 0.0, None)
+        assert memo.evictions == 0
+
+    def test_default_capacity_applied(self):
+        assert EvalMemo().capacity == DEFAULT_CAPACITY
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EvalMemo(capacity=0)
+
+    def test_export_carries_capacity_and_evictions(self):
+        memo = EvalMemo(capacity=1)
+        memo.store({"a": 1.0}, 0.1, None)
+        memo.store({"b": 1.0}, 0.2, None)
+        snapshot = memo.export()
+        assert snapshot["capacity"] == 1
+        assert snapshot["evictions"] == 1
 
 
 # ------------------------------------------------------- canonical evaluation

@@ -85,7 +85,7 @@ def main(argv: list[str] | None = None) -> int:
     print(render_report(report))
     write_report(report, args.out)
     print(f"report written to {args.out}")
-    if args.check and not all(report["targets_met"].values()):
+    if args.check and not report.all_targets_met():
         return 1
     return 0
 

@@ -1,0 +1,58 @@
+"""Benchmark suites plus the typed report schema they emit.
+
+Three suites — the engine hot path (:func:`run_engine_benchmark`), the
+parallel multi-chain executor (:func:`run_parallel_benchmark`) and
+corner-robust synthesis (:func:`run_robust_benchmark`) — all return a
+:class:`~repro.benchmark.report.BenchReport`, the single validated
+schema behind every committed ``BENCH_*.json``.
+"""
+
+from .report import (
+    REGRESSION_TOLERANCE,
+    SCHEMA,
+    BenchMeasure,
+    BenchReport,
+    BenchTarget,
+    check_regression,
+    load_report,
+    validate_report,
+    write_report,
+)
+from .robust import ROBUST_TARGETS, render_robust_report, run_robust_benchmark
+from .suites import (
+    PARALLEL_SPEEDUP_TARGETS,
+    SPEEDUP_TARGETS,
+    SUPERVISED_OVERHEAD_TARGET,
+    SUPERVISED_OVERHEAD_TARGET_QUICK,
+    _anneal_fixture,
+    _lint_gate_fixture,
+    _opamp_fixture,
+    _transient_fixture,
+    render_parallel_report,
+    render_report,
+    run_engine_benchmark,
+    run_parallel_benchmark,
+)
+
+__all__ = [
+    "SCHEMA",
+    "REGRESSION_TOLERANCE",
+    "BenchMeasure",
+    "BenchTarget",
+    "BenchReport",
+    "validate_report",
+    "load_report",
+    "write_report",
+    "check_regression",
+    "run_engine_benchmark",
+    "run_parallel_benchmark",
+    "run_robust_benchmark",
+    "render_report",
+    "render_parallel_report",
+    "render_robust_report",
+    "SPEEDUP_TARGETS",
+    "PARALLEL_SPEEDUP_TARGETS",
+    "SUPERVISED_OVERHEAD_TARGET",
+    "SUPERVISED_OVERHEAD_TARGET_QUICK",
+    "ROBUST_TARGETS",
+]

@@ -1,0 +1,301 @@
+"""Typed, validated benchmark report models.
+
+Every ``BENCH_*.json`` the benchmark suites emit follows one schema
+(``repro-bench/2``): a suite name, a human-readable baseline
+description, a set of *measures* — each a ``(value, baseline, ratio)``
+triple so the improvement factor is recorded next to the raw numbers
+it came from — and a set of *targets* that constrain measure ratios
+(``floor``: ratio must be at least the target; ``ceiling``: at most).
+
+The models are plain dataclasses; :func:`validate_report` rebuilds a
+:class:`BenchReport` from a JSON payload and raises
+:class:`~repro.errors.ApeError` listing *every* problem it finds
+(missing fields, non-numeric measures, targets pointing at unknown
+measures, inconsistent recorded ``targets_met``), so a hand-edited or
+truncated report fails loudly in CI rather than silently passing.
+
+:func:`check_regression` compares a fresh report against a previously
+committed one measure-by-measure and reports ratios that slipped more
+than :data:`REGRESSION_TOLERANCE` — but only when the two reports ran
+in the same mode (a quick CI smoke against a committed full run is
+noise, not a regression).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..errors import ApeError
+
+__all__ = [
+    "SCHEMA",
+    "REGRESSION_TOLERANCE",
+    "BenchMeasure",
+    "BenchTarget",
+    "BenchReport",
+    "validate_report",
+    "load_report",
+    "write_report",
+    "check_regression",
+]
+
+SCHEMA = "repro-bench/2"
+
+#: A measure's ratio may drift this fraction below (floor targets) or
+#: above (ceiling targets) the committed report before ``--check``
+#: calls it a regression.
+REGRESSION_TOLERANCE = 0.20
+
+
+@dataclass(frozen=True)
+class BenchMeasure:
+    """One A/B measurement: contender value, baseline value, ratio.
+
+    ``ratio`` is the number the suite's target constrains — usually
+    ``value / baseline`` (a speedup) but suites may record a derived
+    quantity (e.g. fractional overhead); the report stores it
+    explicitly rather than recomputing so the constrained number is
+    always on disk.
+    """
+
+    name: str
+    value: float
+    baseline: float
+    ratio: float
+    unit: str = ""
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BenchTarget:
+    """A pass/fail constraint on one measure's ratio."""
+
+    measure: str
+    kind: str  # "floor" | "ceiling"
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("floor", "ceiling"):
+            raise ApeError(
+                f"benchmark target kind must be 'floor' or 'ceiling', "
+                f"got {self.kind!r}",
+                context={"measure": self.measure},
+            )
+
+    def met(self, ratio: float) -> bool:
+        if self.kind == "floor":
+            return ratio >= self.value
+        return ratio <= self.value
+
+
+@dataclass
+class BenchReport:
+    """One benchmark suite run, ready to serialize as ``BENCH_*.json``."""
+
+    suite: str
+    generated_at: str
+    quick: bool
+    baseline: str
+    measures: dict[str, BenchMeasure]
+    targets: tuple[BenchTarget, ...]
+    context: dict = field(default_factory=dict)
+
+    # --------------------------------------------------------------- targets
+
+    def target_results(self) -> dict[str, bool]:
+        return {
+            t.measure: t.met(self.measures[t.measure].ratio)
+            for t in self.targets
+        }
+
+    def missed_targets(self) -> list[str]:
+        return [name for name, ok in self.target_results().items() if not ok]
+
+    def all_targets_met(self) -> bool:
+        return not self.missed_targets()
+
+    # --------------------------------------------------------- serialization
+
+    def to_jsonable(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "suite": self.suite,
+            "generated_at": self.generated_at,
+            "quick": self.quick,
+            "baseline": self.baseline,
+            "measures": {
+                m.name: {
+                    "value": m.value,
+                    "baseline": m.baseline,
+                    "ratio": m.ratio,
+                    "unit": m.unit,
+                    "detail": m.detail,
+                }
+                for m in self.measures.values()
+            },
+            "targets": [
+                {"measure": t.measure, "kind": t.kind, "value": t.value}
+                for t in self.targets
+            ],
+            "targets_met": self.target_results(),
+            "context": self.context,
+        }
+
+
+def validate_report(payload: object, *, source: str = "report") -> BenchReport:
+    """Rebuild a :class:`BenchReport`, collecting *all* schema violations."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        raise ApeError(
+            f"{source}: benchmark report must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    if payload.get("schema") != SCHEMA:
+        problems.append(
+            f"schema must be {SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    for key, kind in (
+        ("suite", str), ("generated_at", str), ("baseline", str),
+        ("quick", bool),
+    ):
+        if not isinstance(payload.get(key), kind):
+            problems.append(f"missing or non-{kind.__name__} field {key!r}")
+
+    measures: dict[str, BenchMeasure] = {}
+    raw_measures = payload.get("measures")
+    if not isinstance(raw_measures, dict) or not raw_measures:
+        problems.append("'measures' must be a non-empty object")
+        raw_measures = {}
+    for name, row in raw_measures.items():
+        if not isinstance(row, dict):
+            problems.append(f"measure {name!r} must be an object")
+            continue
+        bad = [
+            key for key in ("value", "baseline", "ratio")
+            if not isinstance(row.get(key), (int, float))
+            or isinstance(row.get(key), bool)
+        ]
+        if bad:
+            problems.append(
+                f"measure {name!r} missing numeric field(s): {', '.join(bad)}"
+            )
+            continue
+        measures[name] = BenchMeasure(
+            name=name,
+            value=float(row["value"]),
+            baseline=float(row["baseline"]),
+            ratio=float(row["ratio"]),
+            unit=str(row.get("unit", "")),
+            detail=dict(row.get("detail", {})),
+        )
+
+    targets: list[BenchTarget] = []
+    raw_targets = payload.get("targets")
+    if not isinstance(raw_targets, list):
+        problems.append("'targets' must be a list")
+        raw_targets = []
+    for row in raw_targets:
+        if not isinstance(row, dict):
+            problems.append(f"target {row!r} must be an object")
+            continue
+        measure = row.get("measure")
+        kind = row.get("kind")
+        value = row.get("value")
+        if (
+            not isinstance(measure, str)
+            or kind not in ("floor", "ceiling")
+            or not isinstance(value, (int, float))
+            or isinstance(value, bool)
+        ):
+            problems.append(
+                f"target {row!r} needs string 'measure', "
+                "'kind' of floor/ceiling and numeric 'value'"
+            )
+            continue
+        if measure not in measures:
+            problems.append(f"target references unknown measure {measure!r}")
+            continue
+        targets.append(BenchTarget(measure, kind, float(value)))
+
+    report = BenchReport(
+        suite=str(payload.get("suite", "")),
+        generated_at=str(payload.get("generated_at", "")),
+        quick=bool(payload.get("quick", False)),
+        baseline=str(payload.get("baseline", "")),
+        measures=measures,
+        targets=tuple(targets),
+        context=dict(payload.get("context", {})),
+    )
+    recorded = payload.get("targets_met")
+    if not problems:
+        if not isinstance(recorded, dict):
+            problems.append("'targets_met' must be an object")
+        elif recorded != report.target_results():
+            problems.append(
+                f"recorded targets_met {recorded} disagrees with the "
+                f"measures/targets ({report.target_results()})"
+            )
+    if problems:
+        raise ApeError(
+            f"{source}: invalid benchmark report: " + "; ".join(problems),
+            context={"source": source, "problems": problems},
+        )
+    return report
+
+
+def load_report(path: str) -> BenchReport:
+    """Read and validate a ``BENCH_*.json`` file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError as exc:
+        raise ApeError(f"no benchmark report at {path!r}") from exc
+    except json.JSONDecodeError as exc:
+        raise ApeError(f"corrupt benchmark report {path!r}: {exc}") from exc
+    return validate_report(payload, source=path)
+
+
+def write_report(report: BenchReport | dict, path: str) -> None:
+    """Serialize a benchmark report as machine-readable JSON."""
+    payload = (
+        report.to_jsonable() if isinstance(report, BenchReport) else report
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def check_regression(
+    new: BenchReport,
+    old: BenchReport,
+    *,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> list[str]:
+    """Measure ratios that slipped beyond ``tolerance`` vs ``old``.
+
+    Only like-for-like comparisons count: a quick smoke run is never
+    held against a committed full run (or vice versa), and measures
+    absent from either report are skipped.  Which direction counts as
+    "worse" comes from the target kind constraining the measure
+    (no-target measures are informational and never regress).
+    """
+    if new.quick != old.quick or new.suite != old.suite:
+        return []
+    kinds = {t.measure: t.kind for t in new.targets}
+    regressions = []
+    for name, measure in new.measures.items():
+        previous = old.measures.get(name)
+        kind = kinds.get(name)
+        if previous is None or kind is None:
+            continue
+        if kind == "floor":
+            worse = measure.ratio < previous.ratio * (1.0 - tolerance)
+        else:
+            worse = measure.ratio > previous.ratio * (1.0 + tolerance)
+        if worse:
+            regressions.append(
+                f"{name}: ratio {measure.ratio:.3g} regressed beyond "
+                f"{tolerance:.0%} of the committed {previous.ratio:.3g}"
+            )
+    return regressions

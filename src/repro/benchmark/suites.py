@@ -9,25 +9,26 @@ per-element assembly loops forced via
 happen in one process on the same fixtures, the reported speedups are
 a like-for-like A/B, not a comparison against a stale recording.
 
-The entry point is :func:`run_engine_benchmark`, which returns a plain
-dict ready to be serialized as ``BENCH_engine.json``; the ``repro
-bench`` CLI subcommand and ``benchmarks/bench_engine_hotpath.py`` are
-thin wrappers around it.
+The entry point is :func:`run_engine_benchmark`, which returns a
+validated :class:`~repro.benchmark.report.BenchReport` ready to be
+serialized as ``BENCH_engine.json``; the ``repro bench`` CLI
+subcommand and ``benchmarks/bench_engine_hotpath.py`` are thin
+wrappers around it.
 """
 
 from __future__ import annotations
 
-import json
 import math
 import time
 from typing import Callable
+
+from .report import BenchMeasure, BenchReport, BenchTarget
 
 __all__ = [
     "run_engine_benchmark",
     "run_parallel_benchmark",
     "render_report",
     "render_parallel_report",
-    "write_report",
     "SPEEDUP_TARGETS",
     "PARALLEL_SPEEDUP_TARGETS",
     "SUPERVISED_OVERHEAD_TARGET",
@@ -84,10 +85,10 @@ def _ops_per_sec(
 
 def _opamp_fixture():
     """A realistically sized op-amp open-loop bench plus its OP."""
-    from .opamp import OpAmpSpec, design_opamp
-    from .opamp.benches import open_loop_bench
-    from .spice import System, dc_operating_point
-    from .technology import generic_05um
+    from ..opamp import OpAmpSpec, design_opamp
+    from ..opamp.benches import open_loop_bench
+    from ..spice import System, dc_operating_point
+    from ..technology import generic_05um
 
     tech = generic_05um()
     amp = design_opamp(
@@ -101,7 +102,7 @@ def _opamp_fixture():
 
 def _transient_fixture():
     """An RC + switching-source circuit for time-domain stepping."""
-    from .spice import Circuit, PulseWave
+    from ..spice import Circuit, PulseWave
 
     ckt = Circuit("bench-tran")
     ckt.v(
@@ -124,9 +125,9 @@ def _anneal_fixture():
     Returns ``(problem, params_list)`` where the params cycle through a
     few perturbed candidates, exactly like the annealer's inner loop.
     """
-    from .opamp import OpAmpSpec, coarse_design_opamp
-    from .synthesis.problems import OpAmpSizingProblem, ape_ranges
-    from .technology import generic_05um
+    from ..opamp import OpAmpSpec, coarse_design_opamp
+    from ..synthesis.problems import OpAmpSizingProblem, ape_ranges
+    from ..technology import generic_05um
 
     tech = generic_05um()
     template, _ = coarse_design_opamp(
@@ -159,11 +160,11 @@ def _lint_gate_fixture():
     """
     from dataclasses import replace as dc_replace
 
-    from .opamp import OpAmpSpec, coarse_design_opamp
-    from .opamp.benches import open_loop_bench
-    from .spice.netlist import Circuit, Mosfet
-    from .synthesis.problems import OpAmpSizingProblem, ape_ranges
-    from .technology import generic_05um
+    from ..opamp import OpAmpSpec, coarse_design_opamp
+    from ..opamp.benches import open_loop_bench
+    from ..spice.netlist import Circuit, Mosfet
+    from ..synthesis.problems import OpAmpSizingProblem, ape_ranges
+    from ..technology import generic_05um
 
     tech = generic_05um()
     template, _ = coarse_design_opamp(
@@ -202,18 +203,18 @@ def _lint_gate_fixture():
 
 def run_engine_benchmark(
     *, quick: bool = False, min_time: float | None = None
-) -> dict:
+) -> BenchReport:
     """A/B benchmark of the compiled engine against naive assembly.
 
     Measures ops/sec for each workload in both engine modes within one
-    process and returns a JSON-ready report dict.  ``quick`` shortens
-    the per-measurement time floor for CI smoke runs; ``min_time``
-    overrides it outright.
+    process and returns a validated :class:`BenchReport`.  ``quick``
+    shortens the per-measurement time floor for CI smoke runs;
+    ``min_time`` overrides it outright.
     """
-    from .spice import naive_assembly
-    from .spice.ac import ac_analysis, log_frequencies
-    from .spice.dc import dc_operating_point
-    from .spice.transient import transient_analysis
+    from ..spice import naive_assembly
+    from ..spice.ac import ac_analysis, log_frequencies
+    from ..spice.dc import dc_operating_point
+    from ..spice.transient import transient_analysis
 
     if min_time is None:
         min_time = 0.2 if quick else 0.75
@@ -265,21 +266,7 @@ def run_engine_benchmark(
             False,
         ),
     }
-    report: dict = {
-        "schema": "repro-bench-engine/1",
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "quick": quick,
-        "min_time_per_measurement_s": min_time,
-        "baseline": (
-            "naive per-element assembly; anneal_eval additionally "
-            "rebuilds the MNA system and cold-starts each bisection "
-            "(pre-compiled-engine evaluation path); lint_gate's "
-            "baseline instead solves structurally broken candidates "
-            "the ERC would have rejected (compiled engine both sides)"
-        ),
-        "workloads": {},
-        "targets": dict(SPEEDUP_TARGETS),
-    }
+    measures: dict[str, BenchMeasure] = {}
     for name, (fast_fn, base_fn, naive_baseline) in workloads.items():
         # Naive first so the compiled pass cannot inherit a warm cache
         # the baseline did not also enjoy (both get their own warm-up).
@@ -291,17 +278,32 @@ def run_engine_benchmark(
         else:
             naive_rate, naive_reps = _ops_per_sec(base_fn, min_time=min_time)
         compiled_rate, compiled_reps = _ops_per_sec(fast_fn, min_time=min_time)
-        report["workloads"][name] = {
-            "compiled_ops_per_sec": compiled_rate,
-            "naive_ops_per_sec": naive_rate,
-            "speedup": compiled_rate / naive_rate,
-            "reps": {"compiled": compiled_reps, "naive": naive_reps},
-        }
-    report["targets_met"] = {
-        name: report["workloads"][name]["speedup"] >= floor
-        for name, floor in SPEEDUP_TARGETS.items()
-    }
-    return report
+        measures[name] = BenchMeasure(
+            name=name,
+            value=compiled_rate,
+            baseline=naive_rate,
+            ratio=compiled_rate / naive_rate,
+            unit="ops/s",
+            detail={"reps": {"compiled": compiled_reps, "naive": naive_reps}},
+        )
+    return BenchReport(
+        suite="engine",
+        generated_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        quick=quick,
+        baseline=(
+            "naive per-element assembly; anneal_eval additionally "
+            "rebuilds the MNA system and cold-starts each bisection "
+            "(pre-compiled-engine evaluation path); lint_gate's "
+            "baseline instead solves structurally broken candidates "
+            "the ERC would have rejected (compiled engine both sides)"
+        ),
+        measures=measures,
+        targets=tuple(
+            BenchTarget(name, "floor", floor)
+            for name, floor in SPEEDUP_TARGETS.items()
+        ),
+        context={"min_time_per_measurement_s": min_time},
+    )
 
 
 def run_parallel_benchmark(
@@ -311,7 +313,7 @@ def run_parallel_benchmark(
     workers: int = 4,
     seed: int = 1,
     max_evaluations: int | None = None,
-) -> dict:
+) -> BenchReport:
     """A/B benchmark of the multi-chain executor against serial legs.
 
     The workload is the Table-3 OpAmp1 synthesis leg (Wilson tail,
@@ -336,12 +338,12 @@ def run_parallel_benchmark(
     import os
     import tempfile
 
-    from .opamp import OpAmpSpec, OpAmpTopology
-    from .parallel import derive_chain_seed, effective_workers, usable_cpu_count
-    from .runtime.diagnostics import DiagnosticLog
-    from .runtime.supervisor import SupervisorConfig
-    from .synthesis import synthesize_opamp
-    from .technology import generic_05um
+    from ..opamp import OpAmpSpec, OpAmpTopology
+    from ..parallel import derive_chain_seed, effective_workers, usable_cpu_count
+    from ..runtime.diagnostics import DiagnosticLog
+    from ..runtime.supervisor import SupervisorConfig
+    from ..synthesis import synthesize_opamp
+    from ..technology import generic_05um
 
     # Full mode uses the engine's default per-leg budget; the annealer's
     # late phase revisits (and bound-clamps onto) previously seen points,
@@ -441,128 +443,136 @@ def run_parallel_benchmark(
         else SUPERVISED_OVERHEAD_TARGET
     )
     lookups = parallel_result.cache_hits + parallel_result.cache_misses
-    report: dict = {
-        "schema": "repro-bench-parallel/1",
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "quick": quick,
-        "workload": {
-            "name": "synth_parallel",
-            "description": (
-                "Table-3 OpAmp1 APE-mode leg: "
-                f"{restarts} restarts x {max_evaluations} evaluations"
-            ),
-            "restarts": restarts,
-            "max_evaluations_per_chain": max_evaluations,
-            "seed": seed,
-        },
-        "baseline": (
+    measures = {
+        "synth_parallel": BenchMeasure(
+            name="synth_parallel",
+            value=parallel_seconds,
+            baseline=serial_seconds,
+            ratio=speedup,
+            unit="s",
+            detail={
+                "serial_evaluations": serial_evals,
+                "serial_evals_per_sec": serial_evals / serial_seconds,
+                "serial_best_cost": min(
+                    r.best_cost for r in serial_results
+                ),
+                "parallel_evaluations": parallel_result.evaluations,
+                "parallel_evals_per_sec": parallel_result.evals_per_second,
+                "parallel_best_cost": parallel_result.best_cost,
+                "cache_hits": parallel_result.cache_hits,
+                "cache_misses": parallel_result.cache_misses,
+                "cache_hit_rate": (
+                    parallel_result.cache_hits / lookups if lookups else 0.0
+                ),
+                "chain_best_costs": [
+                    chain.best_cost for chain in parallel_result.chains
+                ],
+            },
+        ),
+        "supervised_overhead": BenchMeasure(
+            name="supervised_overhead",
+            value=supervised_seconds,
+            baseline=parallel_seconds,
+            ratio=supervised_overhead,
+            unit="s",
+            detail={
+                "best_cost": supervised_result.best_cost,
+                "best_cost_matches_parallel": (
+                    supervised_result.best_cost == parallel_result.best_cost
+                ),
+                "worker_restarts": supervised_result.worker_restarts,
+                "heartbeat_timeout_seconds": (
+                    supervisor.heartbeat_timeout_seconds
+                ),
+            },
+        ),
+    }
+    return BenchReport(
+        suite="parallel",
+        generated_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        quick=quick,
+        baseline=(
             f"{restarts} sequential single-chain synthesize_opamp legs "
             "(pre-executor path: no memo, factory-built benches), same "
             "per-chain seeds and evaluation budget"
         ),
-        "cpu_count": usable_cpu_count(),
-        "workers_requested": workers,
-        "workers_effective": effective_workers(workers, restarts),
-        "serial": {
-            "seconds": serial_seconds,
-            "evaluations": serial_evals,
-            "evals_per_sec": serial_evals / serial_seconds,
-            "best_cost": min(r.best_cost for r in serial_results),
-        },
-        "parallel": {
-            "seconds": parallel_seconds,
-            "evaluations": parallel_result.evaluations,
-            "evals_per_sec": parallel_result.evals_per_second,
-            "best_cost": parallel_result.best_cost,
-            "cache_hits": parallel_result.cache_hits,
-            "cache_misses": parallel_result.cache_misses,
-            "cache_hit_rate": (
-                parallel_result.cache_hits / lookups if lookups else 0.0
+        measures=measures,
+        targets=(
+            BenchTarget(
+                "synth_parallel", "floor",
+                PARALLEL_SPEEDUP_TARGETS["synth_parallel"],
             ),
-            "chain_best_costs": [
-                chain.best_cost for chain in parallel_result.chains
-            ],
+            BenchTarget("supervised_overhead", "ceiling", overhead_target),
+        ),
+        context={
+            "workload": {
+                "name": "synth_parallel",
+                "description": (
+                    "Table-3 OpAmp1 APE-mode leg: "
+                    f"{restarts} restarts x {max_evaluations} evaluations"
+                ),
+                "restarts": restarts,
+                "max_evaluations_per_chain": max_evaluations,
+                "seed": seed,
+            },
+            "cpu_count": usable_cpu_count(),
+            "workers_requested": workers,
+            "workers_effective": effective_workers(workers, restarts),
         },
-        "supervised": {
-            "seconds": supervised_seconds,
-            "overhead": supervised_overhead,
-            "best_cost": supervised_result.best_cost,
-            "best_cost_matches_parallel": (
-                supervised_result.best_cost == parallel_result.best_cost
-            ),
-            "worker_restarts": supervised_result.worker_restarts,
-            "heartbeat_timeout_seconds": (
-                supervisor.heartbeat_timeout_seconds
-            ),
-        },
-        "speedup": speedup,
-        "targets": {
-            **PARALLEL_SPEEDUP_TARGETS,
-            "supervised_overhead_max": overhead_target,
-        },
-        "targets_met": {
-            "synth_parallel": (
-                speedup >= PARALLEL_SPEEDUP_TARGETS["synth_parallel"]
-            ),
-            "supervised_overhead": supervised_overhead <= overhead_target,
-        },
-    }
-    return report
+    )
 
 
-def render_parallel_report(report: dict) -> str:
+def render_parallel_report(report: BenchReport) -> str:
     """Human-readable summary of a :func:`run_parallel_benchmark` report."""
-    serial = report["serial"]
-    par = report["parallel"]
-    target = report["targets"]["synth_parallel"]
-    met = "ok" if report["targets_met"]["synth_parallel"] else "MISSED"
+    par = report.measures["synth_parallel"]
+    sup = report.measures["supervised_overhead"]
+    targets = {t.measure: t for t in report.targets}
+    met = report.target_results()
+    context = report.context
     return "\n".join([
         f"parallel synthesis benchmark "
-        f"({'quick' if report['quick'] else 'full'})",
-        f"workload: {report['workload']['description']}",
-        f"workers: {report['workers_effective']} effective of "
-        f"{report['workers_requested']} requested "
-        f"({report['cpu_count']} usable CPU(s))",
-        f"serial:   {serial['seconds']:8.2f} s  "
-        f"{serial['evals_per_sec']:7.1f} evals/s  "
-        f"best cost {serial['best_cost']:.6g}",
-        f"parallel: {par['seconds']:8.2f} s  "
-        f"{par['evals_per_sec']:7.1f} evals/s  "
-        f"best cost {par['best_cost']:.6g}",
-        f"cache: {par['cache_hits']} hits / {par['cache_misses']} misses "
-        f"(hit rate {par['cache_hit_rate']:.1%})",
-        f"speedup: {report['speedup']:.2f}x  (target {target:.1f}x: {met})",
-        f"supervised: {report['supervised']['seconds']:8.2f} s  "
-        f"overhead {report['supervised']['overhead']:+.1%}  "
-        f"(ceiling {report['targets']['supervised_overhead_max']:.0%}: "
-        f"{'ok' if report['targets_met']['supervised_overhead'] else 'MISSED'})",
+        f"({'quick' if report.quick else 'full'})",
+        f"workload: {context['workload']['description']}",
+        f"workers: {context['workers_effective']} effective of "
+        f"{context['workers_requested']} requested "
+        f"({context['cpu_count']} usable CPU(s))",
+        f"serial:   {par.baseline:8.2f} s  "
+        f"{par.detail['serial_evals_per_sec']:7.1f} evals/s  "
+        f"best cost {par.detail['serial_best_cost']:.6g}",
+        f"parallel: {par.value:8.2f} s  "
+        f"{par.detail['parallel_evals_per_sec']:7.1f} evals/s  "
+        f"best cost {par.detail['parallel_best_cost']:.6g}",
+        f"cache: {par.detail['cache_hits']} hits / "
+        f"{par.detail['cache_misses']} misses "
+        f"(hit rate {par.detail['cache_hit_rate']:.1%})",
+        f"speedup: {par.ratio:.2f}x  "
+        f"(target {targets['synth_parallel'].value:.1f}x: "
+        f"{'ok' if met['synth_parallel'] else 'MISSED'})",
+        f"supervised: {sup.value:8.2f} s  "
+        f"overhead {sup.ratio:+.1%}  "
+        f"(ceiling {targets['supervised_overhead'].value:.0%}: "
+        f"{'ok' if met['supervised_overhead'] else 'MISSED'})",
     ])
 
 
-def render_report(report: dict) -> str:
+def render_report(report: BenchReport) -> str:
     """Human-readable table for a :func:`run_engine_benchmark` report."""
     lines = [
-        f"engine hot-path benchmark ({'quick' if report['quick'] else 'full'})",
+        f"engine hot-path benchmark ({'quick' if report.quick else 'full'})",
         f"{'workload':<12} {'compiled/s':>12} {'naive/s':>12} {'speedup':>9}",
     ]
-    for name, row in report["workloads"].items():
-        target = report["targets"].get(name)
+    targets = {t.measure: t.value for t in report.targets}
+    for name, row in report.measures.items():
+        target = targets.get(name)
         mark = ""
         if target is not None:
             mark = (
                 f"  (target {target:.1f}x: "
-                f"{'ok' if row['speedup'] >= target else 'MISSED'})"
+                f"{'ok' if row.ratio >= target else 'MISSED'})"
             )
         lines.append(
-            f"{name:<12} {row['compiled_ops_per_sec']:>12.2f} "
-            f"{row['naive_ops_per_sec']:>12.2f} "
-            f"{row['speedup']:>8.2f}x{mark}"
+            f"{name:<12} {row.value:>12.2f} "
+            f"{row.baseline:>12.2f} "
+            f"{row.ratio:>8.2f}x{mark}"
         )
     return "\n".join(lines)
-
-
-def write_report(report: dict, path: str) -> None:
-    """Serialize a benchmark report as machine-readable JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")

@@ -165,16 +165,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resubmissions a chain may consume after losing "
                         "its worker before it is quarantined "
                         "(default: 2)")
+    p.add_argument("--corners", default=None, metavar="LIST",
+                   help="comma-separated process corners to size against "
+                        "(e.g. TT,SS,FF or 'SS@-40C,4.5V'); enables "
+                        "variation-robust synthesis")
+    p.add_argument("--mc-samples", type=int, default=None,
+                   help="deterministic Pelgrom mismatch Monte Carlo "
+                        "samples per candidate (default: 0)")
+    p.add_argument("--robust-cost", default=None,
+                   choices=["worst", "yield"],
+                   help="robust cost aggregation: worst-case over "
+                        "corners/samples, or yield-weighted "
+                        "(default: worst)")
+    p.add_argument("--yield-target", default=None,
+                   help="target yield fraction for --robust-cost yield "
+                        "(default: 1.0)")
 
     p = sub.add_parser(
         "bench",
-        help="benchmark the engine and the parallel synthesis executor",
+        help="benchmark the engine, the parallel synthesis executor "
+             "and corner-robust synthesis",
     )
     p.add_argument("--suite", default="engine",
-                   choices=["engine", "parallel", "all"],
+                   choices=["engine", "parallel", "robust", "all"],
                    help="engine: compiled vs naive assembly; parallel: "
-                        "multi-chain executor vs serial legs (default: "
-                        "engine)")
+                        "multi-chain executor vs serial legs; robust: "
+                        "corner-aware vs nominal-only synthesis "
+                        "(default: engine)")
     p.add_argument("--quick", action="store_true",
                    help="short per-measurement floor (CI smoke mode)")
     p.add_argument("--min-time", default=None,
@@ -185,9 +202,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: 4)")
     p.add_argument("--out", default=None,
                    help="report path (default: BENCH_engine.json / "
-                        "BENCH_parallel.json per suite)")
+                        "BENCH_parallel.json / BENCH_robust.json per "
+                        "suite)")
     p.add_argument("--check", action="store_true",
-                   help="exit non-zero when a speedup target is missed")
+                   help="exit non-zero when a target is missed or a "
+                        "measure regressed beyond tolerance against the "
+                        "previously committed report")
+    p.add_argument("--validate", nargs="+", default=None, metavar="PATH",
+                   help="validate existing BENCH_*.json files against "
+                        "the report schema and exit (no benchmarks run)")
+    p.add_argument("--oversubscribe", action="store_true",
+                   help="allow more workers than usable CPUs (CI smoke "
+                        "runs on small machines)")
 
     p = sub.add_parser(
         "diagnostics",
@@ -295,6 +321,7 @@ def _cmd_estimate_module(args, tech) -> int:
 _SYNTH_SIDECAR_ARGS = (
     "gain", "ugf", "ibias", "cl", "area", "mode", "budget", "seed",
     "restarts", "retries", "deadline", "max_failures",
+    "corners", "mc_samples", "robust_cost", "yield_target",
 )
 
 
@@ -332,6 +359,25 @@ def _cmd_synthesize(args, tech) -> int:
         cl=parse_quantity(args.cl),
         area=(math.inf if args.area == "inf" else parse_quantity(args.area)),
     )
+    robust = None
+    if args.corners is not None or (args.mc_samples or 0) > 0:
+        from .synthesis import RobustSpec
+
+        # MC-only runs still need a corner list; plain "tt" aliases the
+        # nominal evaluation, so it costs nothing extra.
+        corners = (
+            tuple(c for c in args.corners.split(",") if c.strip())
+            if args.corners is not None else ("tt",)
+        )
+        robust = RobustSpec(
+            corners=corners,
+            mc_samples=args.mc_samples or 0,
+            mode=args.robust_cost or "worst",
+            yield_target=(
+                float(args.yield_target)
+                if args.yield_target is not None else 1.0
+            ),
+        )
     budget = None
     if args.deadline is not None or args.max_failures is not None:
         budget = EvalBudget(
@@ -385,6 +431,7 @@ def _cmd_synthesize(args, tech) -> int:
         restarts=args.restarts, workers=args.workers,
         oversubscribe=args.oversubscribe,
         run_dir=run_dir, resume=resume, supervisor=supervisor,
+        robust=robust,
     )
     print(f"mode:       {result.mode}")
     print(f"meets spec: {result.meets_spec} ({result.comment})")
@@ -399,6 +446,15 @@ def _cmd_synthesize(args, tech) -> int:
           f"{result.retries} retries), "
           f"annealer {result.cpu_seconds:.2f} s, "
           f"APE {result.ape_seconds * 1e3:.2f} ms")
+    if result.robust_mode is not None:
+        print(f"robust:      {result.robust_mode}-case over "
+              f"{len(result.corner_metrics)} variant(s), "
+              f"corner evals: {result.corner_evals}, "
+              f"screened: {result.screened_candidates}")
+        if result.worst_corner is not None:
+            print(f"worst case:  {result.worst_corner}")
+        if result.estimated_yield is not None:
+            print(f"est. yield:  {result.estimated_yield:.1%}")
     if result.restarts > 1:
         print(f"chains:      {len(result.chains)} of {result.restarts} "
               f"on {result.workers} worker(s), best costs "
@@ -427,25 +483,64 @@ def _cmd_synthesize(args, tech) -> int:
 
 
 def _cmd_bench(args, tech) -> int:
+    import os
+
     from .benchmark import (
+        check_regression,
+        load_report,
         render_parallel_report,
         render_report,
+        render_robust_report,
         run_engine_benchmark,
         run_parallel_benchmark,
+        run_robust_benchmark,
         write_report,
     )
+
+    if args.validate is not None:
+        failures = 0
+        for path in args.validate:
+            try:
+                report = load_report(path)
+            except ApeError as exc:
+                print(f"{path}: INVALID — {exc}")
+                failures += 1
+            else:
+                met = report.target_results()
+                print(f"{path}: ok (suite {report.suite}, "
+                      f"{len(report.measures)} measure(s), "
+                      f"{sum(met.values())}/{len(met)} target(s) met)")
+        return 1 if failures else 0
 
     min_time = (
         parse_quantity(args.min_time) if args.min_time is not None else None
     )
+
+    def finish(report, out: str) -> bool:
+        """Write the report; True when targets hold and nothing regressed."""
+        previous = None
+        if args.check and os.path.exists(out):
+            try:
+                previous = load_report(out)
+            except ApeError:
+                previous = None  # pre-schema or corrupt: no baseline
+        write_report(report, out)
+        print(f"report written to {out}")
+        ok = report.all_targets_met()
+        for name in report.missed_targets():
+            print(f"target MISSED: {name}")
+        if previous is not None:
+            for line in check_regression(report, previous):
+                print(f"regression: {line}")
+                ok = False
+        return ok
+
     ok = True
     if args.suite in ("engine", "all"):
         report = run_engine_benchmark(quick=args.quick, min_time=min_time)
         print(render_report(report))
         out = args.out if args.suite == "engine" and args.out else "BENCH_engine.json"
-        write_report(report, out)
-        print(f"report written to {out}")
-        ok = ok and all(report["targets_met"].values())
+        ok = finish(report, out) and ok
     if args.suite in ("parallel", "all"):
         report = run_parallel_benchmark(
             quick=args.quick, workers=args.workers
@@ -455,9 +550,18 @@ def _cmd_bench(args, tech) -> int:
             args.out if args.suite == "parallel" and args.out
             else "BENCH_parallel.json"
         )
-        write_report(report, out)
-        print(f"report written to {out}")
-        ok = ok and all(report["targets_met"].values())
+        ok = finish(report, out) and ok
+    if args.suite in ("robust", "all"):
+        report = run_robust_benchmark(
+            quick=args.quick, workers=args.workers,
+            oversubscribe=args.oversubscribe,
+        )
+        print(render_robust_report(report))
+        out = (
+            args.out if args.suite == "robust" and args.out
+            else "BENCH_robust.json"
+        )
+        ok = finish(report, out) and ok
     if args.check and not ok:
         return 1
     return 0

@@ -77,6 +77,7 @@ __all__ = [
     "run_supervised_chains",
     "clear_worker_caches",
     "parallel_map",
+    "robust_variant_eval",
 ]
 
 #: Weyl increment (golden-ratio based) for per-chain seed derivation:
@@ -152,6 +153,10 @@ class ChainTask:
     #: in-place bench updates (both canonical, see the module docstring).
     warm_start: bool = True
     reuse_bench: bool = True
+    #: Optional :class:`~repro.synthesis.robust.RobustSpec` — when set,
+    #: every candidate is evaluated across its corners/Monte Carlo
+    #: samples and the chain anneals on the aggregated robust cost.
+    robust: object | None = None
 
     def problem_key(self) -> bytes:
         """Signature of the sizing problem this task needs.
@@ -174,6 +179,7 @@ class ChainTask:
                 self.memo_quantum,
                 self.warm_start,
                 self.reuse_bench,
+                self.robust,
             )
         )
 
@@ -191,6 +197,11 @@ class ChainOutcome:
     retries: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Robust-synthesis counters: logical per-corner/per-sample
+    #: evaluations beyond the nominal ones, and candidates the nominal
+    #: screen kept away from the corner fan-out.
+    corner_evals: int = 0
+    screened_candidates: int = 0
     diagnostics: list[Diagnostic] = field(default_factory=list)
     #: Worker-side memo snapshot for merging into the caller's cache
     #: (``None`` when the chain already wrote into a shared memo).
@@ -205,6 +216,7 @@ class ChainOutcome:
 # one session and can be dropped with clear_worker_caches().
 _WORKER_BUNDLES: dict[bytes, tuple] = {}
 _WORKER_MEMOS: dict[bytes, EvalMemo] = {}
+_WORKER_ROBUST: dict[bytes, object] = {}
 
 #: Fork-shared heartbeat slots (one double per chain index), set by the
 #: parent just before it builds a pool and inherited by the workers.
@@ -226,6 +238,7 @@ def clear_worker_caches() -> None:
     """Drop the in-process problem-bundle and memo caches."""
     _WORKER_BUNDLES.clear()
     _WORKER_MEMOS.clear()
+    _WORKER_ROBUST.clear()
 
 
 def _heartbeat(chain_index: int) -> None:
@@ -345,6 +358,57 @@ def _bundle_for(task: ChainTask):
     return bundle
 
 
+def _robust_evaluator_for(task: ChainTask):
+    """The worker-cached :class:`RobustEvaluator` for a robust task.
+
+    Shares the bundle's nominal problem (and its compiled MNA system);
+    the corner/Monte Carlo problems live alongside it for every chain
+    of the same signature this worker runs.  Returns ``None`` for
+    plain (non-robust) tasks.
+    """
+    if task.robust is None:
+        return None
+    key = task.problem_key()
+    evaluator = _WORKER_ROBUST.get(key)
+    if evaluator is None:
+        from ..synthesis.robust import RobustEvaluator
+
+        _x0, cost_fn, problem, _notes, _ape = _bundle_for(task)
+        evaluator = RobustEvaluator(
+            problem.template,
+            problem.variables,
+            task.robust,
+            cost_fn.spec,
+            lint=task.lint,
+            warm_start=task.warm_start,
+            reuse_bench=task.reuse_bench,
+            nominal_problem=problem,
+        )
+        _WORKER_ROBUST[key] = evaluator
+    return evaluator
+
+
+def robust_variant_eval(item):
+    """Evaluate one ``(task, label, params)`` robust variant.
+
+    Module-level so :func:`parallel_map` can fan the final corner
+    verification of a winning design across the pool — corners become
+    a second axis of parallelism next to chains.  Fault injection is
+    suspended for the duration: verification is a reporting stage, and
+    an inherited injector's stream position would differ between
+    in-process and pooled execution.
+    """
+    task, label, params = item
+    previous = faults.active()
+    faults.disarm()
+    try:
+        evaluator = _robust_evaluator_for(task)
+        return label, evaluator.evaluate_variant(label, params)
+    finally:
+        if previous is not None:
+            faults.arm(previous)
+
+
 def run_chain(task: ChainTask, shared_memo: EvalMemo | None = None) -> ChainOutcome:
     """Execute one annealing chain described by ``task``.
 
@@ -382,11 +446,30 @@ def run_chain(task: ChainTask, shared_memo: EvalMemo | None = None) -> ChainOutc
             else None
         )
         problem.retry = retry
+        evaluator = _robust_evaluator_for(task)
+        if evaluator is not None:
+            # The evaluator (and its variant problems) is worker-cached
+            # across chains; rebind this chain's log/retry/memo.  Memo
+            # tagging happens inside the evaluator, so the outer
+            # memo.wrap below stays nominal-only.
+            evaluator.bind(
+                diagnostics=chain_log if task.tolerant else None,
+                retry=retry,
+                memo=memo,
+            )
+        corner_before = (
+            evaluator.corner_evaluations if evaluator is not None else 0
+        )
+        screened_before = (
+            evaluator.screened_candidates if evaluator is not None else 0
+        )
         lint_before = problem.lint_rejections
         hits_before = memo.hits if memo is not None else 0
         misses_before = memo.misses if memo is not None else 0
 
         def evaluate(params):
+            if evaluator is not None:
+                return evaluator.evaluate(params)
             metrics = problem.evaluate(params)
             return cost_fn(metrics), metrics
 
@@ -407,7 +490,7 @@ def run_chain(task: ChainTask, shared_memo: EvalMemo | None = None) -> ChainOutc
                 return FAILURE_COST, None
 
         chain_eval = evaluate_tolerant if task.tolerant else evaluate
-        if memo is not None:
+        if memo is not None and evaluator is None:
             chain_eval = memo.wrap(chain_eval)
 
         def supervised_eval(params, _inner=chain_eval, _idx=task.chain_index):
@@ -453,6 +536,14 @@ def run_chain(task: ChainTask, shared_memo: EvalMemo | None = None) -> ChainOutc
             cache_hits=(memo.hits - hits_before) if memo is not None else 0,
             cache_misses=(
                 (memo.misses - misses_before) if memo is not None else 0
+            ),
+            corner_evals=(
+                evaluator.corner_evaluations - corner_before
+                if evaluator is not None else 0
+            ),
+            screened_candidates=(
+                evaluator.screened_candidates - screened_before
+                if evaluator is not None else 0
             ),
             diagnostics=list(chain_log.records),
             memo_snapshot=(

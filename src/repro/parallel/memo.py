@@ -50,12 +50,18 @@ DEFAULT_QUANTUM = 1e-9
 #: supervised sessions sharing one memo across thousands of rows.
 DEFAULT_CAPACITY = 65536
 
-MemoKey = tuple[tuple[str, int], ...]
+MemoKey = tuple[tuple[str, "int | str"], ...]
 MemoValue = tuple[float, dict[str, float] | None]
+
+#: Key-element name reserved for the evaluation-context tag.  It starts
+#: with a NUL byte so it can never collide with a real parameter name.
+_TAG_FIELD = "\x00tag"
 
 
 def memo_key(
-    params: Mapping[str, float], quantum: float = DEFAULT_QUANTUM
+    params: Mapping[str, float],
+    quantum: float = DEFAULT_QUANTUM,
+    tag: str | None = None,
 ) -> MemoKey:
     """Content-addressed key: name-sorted, log-quantized parameters.
 
@@ -63,16 +69,28 @@ def memo_key(
     which is the natural metric for geometric quantities spanning
     decades.  Non-positive values (never produced by the log-space
     annealer, but reachable through direct API use) fall back to an
-    exact bit-pattern key so they never collide with anything.
+    exact bit-pattern key (the float's repr — *not* ``hash()``, whose
+    string randomization differs across processes) so they never
+    collide with anything.
+
+    ``tag`` names the evaluation context — corner/Monte Carlo-aware
+    synthesis keys the same parameter dict per corner (``"corner:ss"``)
+    and per mismatch sample (``"mc:3"``), so a shared memo can never
+    hand a nominal result to a corner evaluation or vice versa.  The
+    tag rides in the key as a reserved element whose field name cannot
+    collide with a parameter, and string-valued elements round-trip
+    the journal's JSON snapshot exactly like integers do.
     """
-    items = []
+    items: list[tuple[str, int | str]] = []
     for name in sorted(params):
         value = params[name]
         if value > 0.0:
             items.append((name, round(math.log(value) / quantum)))
         else:
-            # Exact fallback: hash the IEEE bits via the float's repr.
-            items.append((name, hash(repr(float(value)))))
+            # Exact fallback: the IEEE bits via the float's repr.
+            items.append((name, repr(float(value))))
+    if tag is not None:
+        items.append((_TAG_FIELD, tag))
     return tuple(items)
 
 
@@ -106,12 +124,16 @@ class EvalMemo:
 
     # ------------------------------------------------------------- core API
 
-    def key(self, params: Mapping[str, float]) -> MemoKey:
-        return memo_key(params, self.quantum)
+    def key(
+        self, params: Mapping[str, float], tag: str | None = None
+    ) -> MemoKey:
+        return memo_key(params, self.quantum, tag)
 
-    def lookup(self, params: Mapping[str, float]) -> MemoValue | None:
+    def lookup(
+        self, params: Mapping[str, float], tag: str | None = None
+    ) -> MemoValue | None:
         """Cached ``(cost, metrics)`` or ``None``; counts the outcome."""
-        key = self.key(params)
+        key = self.key(params, tag)
         found = self._data.get(key)
         if found is None:
             self.misses += 1
@@ -128,9 +150,10 @@ class EvalMemo:
         params: Mapping[str, float],
         cost: float,
         metrics: dict[str, float] | None,
+        tag: str | None = None,
     ) -> None:
         self._store_key(
-            self.key(params),
+            self.key(params, tag),
             (cost, dict(metrics) if metrics is not None else None),
         )
         self.stores += 1

@@ -50,6 +50,13 @@ class EvalBudget:
         self.evaluations = 0
         self.failures = 0
         self.slow_evaluations = 0
+        #: Extra per-corner / per-mismatch-sample evaluations charged by
+        #: variation-robust runs.  Informational: robust fan-out rides
+        #: inside a candidate evaluation, so only the *candidate* counts
+        #: against ``max_evaluations`` — but the wall-clock deadline
+        #: naturally covers the corner work, and this counter keeps the
+        #: budget's accounting honest about where the time went.
+        self.corner_evaluations = 0
 
     # ------------------------------------------------------------ lifecycle
 

@@ -120,6 +120,8 @@ def outcome_to_jsonable(outcome: Any) -> dict:
         "retries": outcome.retries,
         "cache_hits": outcome.cache_hits,
         "cache_misses": outcome.cache_misses,
+        "corner_evals": outcome.corner_evals,
+        "screened_candidates": outcome.screened_candidates,
         "diagnostics": [
             _diagnostic_to_jsonable(d) for d in outcome.diagnostics
         ],
@@ -157,6 +159,10 @@ def outcome_from_jsonable(payload: dict) -> Any:
         retries=payload["retries"],
         cache_hits=payload["cache_hits"],
         cache_misses=payload["cache_misses"],
+        # .get(): journals written before corner/yield-aware synthesis
+        # carry no robust counters; default them to zero on replay.
+        corner_evals=payload.get("corner_evals", 0),
+        screened_candidates=payload.get("screened_candidates", 0),
         diagnostics=[
             _diagnostic_from_jsonable(d) for d in payload["diagnostics"]
         ],

@@ -19,6 +19,10 @@ class SessionStats:
 
     runs: int = 0
     evaluations: int = 0
+    #: Extra per-corner / per-mismatch-sample evaluations performed by
+    #: variation-robust runs (beyond the nominal candidate evaluations
+    #: counted in ``evaluations``).
+    corner_evals: int = 0
     eval_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -33,6 +37,7 @@ class SessionStats:
         *,
         evaluations: int,
         seconds: float,
+        corner_evals: int = 0,
         cache_hits: int = 0,
         cache_misses: int = 0,
         cache_evictions: int = 0,
@@ -43,6 +48,7 @@ class SessionStats:
     ) -> None:
         self.runs += 1
         self.evaluations += evaluations
+        self.corner_evals += corner_evals
         self.eval_seconds += seconds
         self.cache_hits += cache_hits
         self.cache_misses += cache_misses
@@ -66,6 +72,7 @@ class SessionStats:
     def clear(self) -> None:
         self.runs = 0
         self.evaluations = 0
+        self.corner_evals = 0
         self.eval_seconds = 0.0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -83,6 +90,10 @@ class SessionStats:
             f"({self.evals_per_second:.1f} evals/s over "
             f"{self.eval_seconds:.2f}s)",
         ]
+        if self.corner_evals:
+            lines.append(
+                f"corner/mismatch evaluations: {self.corner_evals}"
+            )
         if self.cache_hits or self.cache_misses:
             cache_line = (
                 f"evaluation cache: {self.cache_hits} hits / "

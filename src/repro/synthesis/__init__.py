@@ -21,8 +21,9 @@ The two operating modes of the paper's experiments:
 """
 
 from .specs import Constraint, Objective, SynthesisSpec, opamp_synthesis_spec
-from .cost import CostFunction
+from .cost import CostFunction, RobustCost, worst_case_metrics
 from .annealing import AnnealingSchedule, Annealer, AnnealResult
+from .robust import RobustEvaluator, RobustSpec, retarget_opamp
 from .problems import (
     OpAmpSizingProblem,
     SizingProblem,
@@ -40,6 +41,11 @@ __all__ = [
     "SynthesisSpec",
     "opamp_synthesis_spec",
     "CostFunction",
+    "RobustCost",
+    "RobustSpec",
+    "RobustEvaluator",
+    "retarget_opamp",
+    "worst_case_metrics",
     "Annealer",
     "AnnealingSchedule",
     "AnnealResult",

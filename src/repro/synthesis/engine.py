@@ -35,8 +35,9 @@ from ..runtime.diagnostics import Diagnostic, DiagnosticLog
 from ..runtime.retry import RetryPolicy
 from ..technology import Technology
 from .annealing import Annealer, AnnealingSchedule, AnnealResult
-from .cost import CostFunction, FAILURE_COST
+from .cost import CostFunction, FAILURE_COST, RobustCost
 from .problems import OpAmpSizingProblem, ape_ranges, standalone_ranges
+from .robust import RobustEvaluator, RobustSpec
 from .specs import SynthesisSpec, opamp_synthesis_spec
 
 __all__ = ["SynthesisResult", "synthesize_opamp"]
@@ -94,6 +95,20 @@ class SynthesisResult:
     run_dir: str | None = None
     #: LRU entries evicted from this run's evaluation memo.
     cache_evictions: int = 0
+    #: Robust-synthesis reporting (``robust_mode`` is ``None`` for a
+    #: plain nominal run).  ``metrics`` then holds the *worst-case*
+    #: per-metric aggregation over the variant family, ``corner_metrics``
+    #: the winning design's full per-variant fan-out, ``worst_corner``
+    #: the costliest variant label and ``estimated_yield`` the fraction
+    #: of variants meeting the spec.
+    robust_mode: str | None = None
+    corner_evals: int = 0
+    screened_candidates: int = 0
+    worst_corner: str | None = None
+    estimated_yield: float | None = None
+    corner_metrics: dict[str, dict[str, float] | None] = field(
+        default_factory=dict
+    )
 
     def metric(self, key: str, default: float = float("nan")) -> float:
         if self.metrics is None:
@@ -125,6 +140,7 @@ def synthesize_opamp(
     run_dir: str | None = None,
     resume: bool = False,
     supervisor: "SupervisorConfig | None" = None,
+    robust: RobustSpec | None = None,
 ) -> SynthesisResult:
     """Run one APE(+/-)ASTRX/OBLX synthesis leg for an op-amp spec.
 
@@ -167,6 +183,18 @@ def synthesize_opamp(
     reproducing the uninterrupted run's result bit-for-bit — chain
     seeds are derived from ``(seed, index)``, so nothing depends on
     which process (or which *run*) executed a chain.
+
+    ``robust`` (a :class:`~repro.synthesis.robust.RobustSpec`) turns
+    variation into a first-class objective: every candidate is
+    evaluated across the spec's process corners and deterministic
+    mismatch samples (screen-then-verify: only candidates whose
+    nominal cost clears a fixed threshold fan out), and the annealer
+    minimizes the worst-case or yield-weighted cost.  The result then
+    reports worst-corner spec margins in ``metrics`` plus the robust
+    fields (``corner_evals``, ``worst_corner``, ``estimated_yield``,
+    ``corner_metrics``).  All determinism/resume guarantees above hold
+    unchanged — variant evaluations are canonical and memo-tagged per
+    corner/sample.
     """
     if mode not in ("standalone", "ape"):
         raise SpecificationError(
@@ -214,6 +242,7 @@ def synthesize_opamp(
             run_dir=run_dir,
             resume=resume,
             supervisor=supervisor,
+            robust=robust,
         )
 
     # APE always provides the *structure* (ASTRX/OBLX also receives the
@@ -251,8 +280,22 @@ def synthesize_opamp(
         diagnostics=log if tolerant else None,
         lint=lint,
     )
+    robust_eval = None
+    if robust is not None:
+        robust_eval = RobustEvaluator(
+            template,
+            variables,
+            robust,
+            synthesis_spec,
+            retry=retry,
+            diagnostics=log if tolerant else None,
+            lint=lint,
+            nominal_problem=problem,
+        )
 
     def evaluate(params: dict[str, float]):
+        if robust_eval is not None:
+            return robust_eval.evaluate(params)
         metrics = problem.evaluate(params)
         return cost_fn(metrics), metrics
 
@@ -274,12 +317,16 @@ def synthesize_opamp(
     chain_eval = evaluate_tolerant if tolerant else evaluate
     hits_before = memo_obj.hits if memo_obj is not None else 0
     misses_before = memo_obj.misses if memo_obj is not None else 0
-    if memo_obj is not None:
+    if memo_obj is not None and robust_eval is None:
         # Explicit opt-in on a serial run (restarts=1 never enables the
         # memo by itself): cache hits skip the evaluation entirely,
         # which is exact for canonical evaluations but visible to an
         # armed fault injector's call sequence.
         chain_eval = memo_obj.wrap(chain_eval)
+    elif robust_eval is not None:
+        # Robust runs memoize per variant (tagged keys) inside the
+        # evaluator instead of wrapping the aggregated cost.
+        robust_eval.memo = memo_obj
     annealer = Annealer(
         chain_eval,
         problem.bounds(),
@@ -315,11 +362,29 @@ def synthesize_opamp(
         )
 
     meets = cost_fn.meets_spec(result.best_metrics)
+    robust_detail: dict | None = None
+    worst_corner = None
+    estimated_yield = None
+    corner_evals = 0
+    screened = 0
+    if robust_eval is not None:
+        screened = robust_eval.screened_candidates
+        if result.best_params:
+            # Final verification: the winning design's full fan-out
+            # (screening ignored), the basis of the robust report.
+            robust_detail = robust_eval.detail(result.best_params)
+            worst_corner = robust_eval.cost.worst_variant(robust_detail)
+            estimated_yield = robust_eval.cost.estimated_yield(robust_detail)
+            meets = robust_eval.cost.meets_spec(robust_detail)
+        corner_evals = robust_eval.corner_evaluations
+        if budget is not None:
+            budget.corner_evaluations += corner_evals
     from ..runtime.stats import global_stats
 
     global_stats().record_run(
         evaluations=result.evaluations,
         seconds=cpu,
+        corner_evals=corner_evals,
         cache_hits=(memo_obj.hits - hits_before) if memo_obj is not None else 0,
         cache_misses=(
             (memo_obj.misses - misses_before) if memo_obj is not None else 0
@@ -345,6 +410,10 @@ def synthesize_opamp(
             degraded_design
             or result.degraded
             or result.best_metrics is None
+            or (
+                robust_detail is not None
+                and any(m is None for m in robust_detail.values())
+            )
         ),
         diagnostics=list(log.records[records_before:]),
         restarts=1,
@@ -357,6 +426,12 @@ def synthesize_opamp(
         ),
         evals_per_second=result.evals_per_second,
         chains=[result],
+        robust_mode=robust.mode if robust is not None else None,
+        corner_evals=corner_evals,
+        screened_candidates=screened,
+        worst_corner=worst_corner,
+        estimated_yield=estimated_yield,
+        corner_metrics=robust_detail if robust_detail is not None else {},
     )
 
 
@@ -382,6 +457,41 @@ def _run_fingerprint(**parts):
     from ..runtime.journal import run_fingerprint
 
     return run_fingerprint(tuple(sorted(parts.items())))
+
+
+def _robust_verify(task, robust, params, *, journal, workers, oversubscribe):
+    """Final per-variant verification of a winning robust design.
+
+    Fans the variant labels over the process pool
+    (:func:`~repro.parallel.parallel_map`) — corners are a second axis
+    of parallelism next to chains.  The detail is journaled
+    (``robust-verified``) keyed by the exact winning parameters, so a
+    resumed run replays the recorded fan-out instead of recomputing it
+    (JSON floats round-trip exactly, keeping resume bit-for-bit).
+    """
+    from ..parallel import parallel_map
+    from ..parallel.executor import robust_variant_eval
+
+    if journal is not None:
+        for record in journal.events():
+            if (
+                record.get("event") == "robust-verified"
+                and record.get("params") == params
+            ):
+                return {
+                    label: dict(metrics) if metrics is not None else None
+                    for label, metrics in record["detail"].items()
+                }
+    pairs = parallel_map(
+        robust_variant_eval,
+        [(task, label, params) for label in robust.variant_labels],
+        workers=workers,
+        oversubscribe=oversubscribe,
+    )
+    detail = dict(pairs)
+    if journal is not None:
+        journal.append("robust-verified", params=params, detail=detail)
+    return detail
 
 
 def _synthesize_parallel(
@@ -410,6 +520,7 @@ def _synthesize_parallel(
     run_dir=None,
     resume=False,
     supervisor=None,
+    robust=None,
 ):
     """Fan ``restarts`` chains across the pool and merge the outcomes.
 
@@ -447,7 +558,7 @@ def _synthesize_parallel(
     resumed_indices: list[int] = []
     if run_dir is not None:
         journal = RunJournal(run_dir)
-        fingerprint = _run_fingerprint(
+        fingerprint_parts = dict(
             schema=RunJournal.SCHEMA,
             tech=repr(tech),
             spec=repr(spec),
@@ -463,6 +574,11 @@ def _synthesize_parallel(
             tolerant=tolerant,
             lint=lint,
         )
+        if robust is not None:
+            # Only robust runs carry the extra part, so journals written
+            # before (or without) corner-aware synthesis keep resuming.
+            fingerprint_parts["robust"] = repr(robust)
+        fingerprint = _run_fingerprint(**fingerprint_parts)
         if resume:
             manifest = journal.load_manifest()
             if manifest.get("fingerprint") != fingerprint:
@@ -524,6 +640,7 @@ def _synthesize_parallel(
             fault_specs=fault_specs,
             fault_seed=fault_seed,
             memo_quantum=memo.quantum if memo is not None else None,
+            robust=robust,
         )
         for index in range(restarts)
         if index not in journaled_outcomes
@@ -606,6 +723,7 @@ def _synthesize_parallel(
             resumed_chains=list(report.resumed),
             interrupted=report.interrupted,
             run_dir=run_dir,
+            robust_mode=robust.mode if robust is not None else None,
         )
 
     for outcome in outcomes:
@@ -628,6 +746,54 @@ def _synthesize_parallel(
     if budget is not None:
         budget.evaluations += evaluations
         budget.failures += failed
+
+    robust_detail = None
+    worst_corner = None
+    estimated_yield = None
+    robust_meets = None
+    corner_evals = 0
+    screened = 0
+    if robust is not None:
+        corner_evals = sum(o.corner_evals for o in outcomes)
+        screened = sum(o.screened_candidates for o in outcomes)
+        if result.best_params:
+            verify_task = ChainTask(
+                tech=tech,
+                spec=spec,
+                topology=topology,
+                mode=mode,
+                synthesis_spec=synthesis_spec,
+                name=name,
+                range_factor=range_factor,
+                max_evaluations=max_evaluations,
+                schedule=schedule,
+                seed=seed,
+                chain_index=best.chain_index,
+                tolerant=tolerant,
+                lint=lint,
+                memo_quantum=memo.quantum if memo is not None else None,
+                robust=robust,
+            )
+            robust_detail = _robust_verify(
+                verify_task,
+                robust,
+                result.best_params,
+                journal=journal,
+                workers=workers,
+                oversubscribe=oversubscribe,
+            )
+            # The verify fan-out counts whether it ran live or was
+            # replayed from the journal, so resumed and uninterrupted
+            # runs report identical totals.
+            corner_evals += len(robust.variant_labels) - 1
+            robust_cost = RobustCost(
+                synthesis_spec, robust.mode, yield_target=robust.yield_target
+            )
+            worst_corner = robust_cost.worst_variant(robust_detail)
+            estimated_yield = robust_cost.estimated_yield(robust_detail)
+            robust_meets = robust_cost.meets_spec(robust_detail)
+        if budget is not None:
+            budget.corner_evaluations += corner_evals
 
     degraded_chains = [o for o in outcomes if o.anneal.degraded]
     if degraded_chains:
@@ -680,6 +846,7 @@ def _synthesize_parallel(
     global_stats().record_run(
         evaluations=evaluations,
         seconds=cpu,
+        corner_evals=corner_evals,
         cache_hits=cache_hits,
         cache_misses=cache_misses,
         cache_evictions=cache_evictions,
@@ -695,7 +862,11 @@ def _synthesize_parallel(
             best_chain=best.chain_index,
             best_cost=result.best_cost,
         )
-    meets = cost_fn.meets_spec(result.best_metrics)
+    meets = (
+        robust_meets
+        if robust_meets is not None
+        else cost_fn.meets_spec(result.best_metrics)
+    )
     return SynthesisResult(
         name=name,
         mode=mode,
@@ -716,6 +887,10 @@ def _synthesize_parallel(
             or result.best_metrics is None
             or bool(report.quarantined)
             or report.interrupted
+            or (
+                robust_detail is not None
+                and any(m is None for m in robust_detail.values())
+            )
         ),
         diagnostics=list(log.records[records_before:]),
         restarts=restarts,
@@ -730,4 +905,10 @@ def _synthesize_parallel(
         interrupted=report.interrupted,
         run_dir=run_dir,
         cache_evictions=cache_evictions,
+        robust_mode=robust.mode if robust is not None else None,
+        corner_evals=corner_evals,
+        screened_candidates=screened,
+        worst_corner=worst_corner,
+        estimated_yield=estimated_yield,
+        corner_metrics=robust_detail if robust_detail is not None else {},
     )

@@ -8,10 +8,18 @@ runs Monte Carlo samples of any circuit with per-device threshold/beta
 perturbations.
 """
 
-from .corners import CORNER_NAMES, derive_corner, corner_sweep
+from .corners import (
+    CORNER_NAMES,
+    CornerSpec,
+    derive_corner,
+    corner_sweep,
+    parse_corner,
+    parse_corner_list,
+)
 from .montecarlo import (
     MismatchModel,
     MonteCarloResult,
+    derive_sample_seed,
     monte_carlo,
     perturbed_circuit,
     opamp_offset_spread,
@@ -19,10 +27,14 @@ from .montecarlo import (
 
 __all__ = [
     "CORNER_NAMES",
+    "CornerSpec",
+    "parse_corner",
+    "parse_corner_list",
     "derive_corner",
     "corner_sweep",
     "MismatchModel",
     "MonteCarloResult",
+    "derive_sample_seed",
     "monte_carlo",
     "perturbed_circuit",
     "opamp_offset_spread",

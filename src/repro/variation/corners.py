@@ -5,17 +5,34 @@ lower mobility) and "fast" (lower |VT|, higher mobility) device models,
 combined as TT / SS / FF / SF / FS (first letter NMOS, second PMOS).
 The shift magnitudes are the generic +/-3-sigma values foundries quote
 for these nodes: |VT| +/- 10 %, KP -/+ 10 %.
+
+Beyond the speed letters, a corner may carry *environmental* axes in
+the canonical ``"SS@-40C,4.5V"`` notation: a junction temperature
+(``C`` suffix, applied through :func:`repro.technology.at_temperature`)
+and a total rail-to-rail supply span (``V`` suffix, scaling both rails
+proportionally).  :func:`parse_corner` turns the string into a
+:class:`CornerSpec`; :func:`derive_corner` accepts either form and
+returns the shifted :class:`Technology`.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Callable
+import re
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable
 
 from ..errors import TechnologyError
 from ..technology import MosModelParams, Technology
+from ..technology.temperature import at_temperature
 
-__all__ = ["CORNER_NAMES", "derive_corner", "corner_sweep"]
+__all__ = [
+    "CORNER_NAMES",
+    "CornerSpec",
+    "parse_corner",
+    "parse_corner_list",
+    "derive_corner",
+    "corner_sweep",
+]
 
 #: Recognised corner names (NMOS letter first).
 CORNER_NAMES = ("tt", "ss", "ff", "sf", "fs")
@@ -23,6 +40,106 @@ CORNER_NAMES = ("tt", "ss", "ff", "sf", "fs")
 #: 3-sigma fractional shifts.
 VTO_SHIFT = 0.10
 KP_SHIFT = 0.10
+
+#: A bare environmental modifier: a signed number followed by the axis
+#: suffix (``C`` = junction temperature, ``V`` = rail-to-rail supply).
+_MODIFIER = re.compile(r"^[+-]?\d+(?:\.\d+)?[cv]$", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class CornerSpec:
+    """One corner: process speed plus optional environmental axes.
+
+    ``temp_c`` is the junction temperature in Celsius (``None`` keeps
+    the model card's nominal 27 C); ``supply_v`` is the total
+    rail-to-rail span in volts (``None`` keeps the technology's nominal
+    rails).  ``canonical`` renders the ``"ss@-40C,4.5V"`` form that
+    :func:`parse_corner` round-trips.
+    """
+
+    speed: str
+    temp_c: float | None = None
+    supply_v: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.speed not in CORNER_NAMES:
+            raise TechnologyError(
+                f"unknown corner {self.speed!r}; available: "
+                f"{', '.join(CORNER_NAMES)}"
+            )
+        if self.supply_v is not None and self.supply_v <= 0:
+            raise TechnologyError(
+                f"corner supply span must be positive, got {self.supply_v}"
+            )
+
+    @property
+    def canonical(self) -> str:
+        mods = []
+        if self.temp_c is not None:
+            mods.append(f"{self.temp_c:g}C")
+        if self.supply_v is not None:
+            mods.append(f"{self.supply_v:g}V")
+        if not mods:
+            return self.speed
+        return f"{self.speed}@{','.join(mods)}"
+
+
+def parse_corner(text: "str | CornerSpec") -> CornerSpec:
+    """Parse the canonical corner notation into a :class:`CornerSpec`.
+
+    ``"SS"`` is a plain speed corner; ``"SS@-40C"``, ``"SS@4.5V"`` and
+    ``"SS@-40C,4.5V"`` attach temperature and/or supply axes (order
+    free, case-insensitive).  Unknown speed letters or modifier
+    suffixes raise :class:`TechnologyError` listing what is known.
+    """
+    if isinstance(text, CornerSpec):
+        return text
+    name, _, modifier_text = text.strip().partition("@")
+    speed = name.strip().lower()
+    if speed not in CORNER_NAMES:
+        raise TechnologyError(
+            f"unknown corner {speed!r}; available: {', '.join(CORNER_NAMES)}"
+        )
+    temp_c: float | None = None
+    supply_v: float | None = None
+    if modifier_text:
+        for token in modifier_text.split(","):
+            token = token.strip()
+            if not _MODIFIER.match(token):
+                raise TechnologyError(
+                    f"bad corner modifier {token!r} in {text!r}; expected "
+                    "<number>C (junction temperature) or <number>V "
+                    "(rail-to-rail supply span), e.g. 'SS@-40C,4.5V'"
+                )
+            value = float(token[:-1])
+            if token[-1].lower() == "c":
+                temp_c = value
+            else:
+                supply_v = value
+    return CornerSpec(speed=speed, temp_c=temp_c, supply_v=supply_v)
+
+
+def parse_corner_list(text: "str | Iterable[str]") -> tuple[CornerSpec, ...]:
+    """Parse a comma-separated corner list such as CLI ``--corners``.
+
+    The list separator and the modifier separator are both commas, so a
+    fragment that is *only* an environmental modifier (``"4.5V"``)
+    attaches to the preceding corner: ``"TT,SS@-40C,4.5V,FF"`` parses
+    as three corners — TT, SS at -40 C with a 4.5 V supply, and FF.
+    """
+    if isinstance(text, str):
+        fragments = [f.strip() for f in text.split(",") if f.strip()]
+        merged: list[str] = []
+        for fragment in fragments:
+            if merged and _MODIFIER.match(fragment) and "@" in merged[-1]:
+                merged[-1] += f",{fragment}"
+            else:
+                merged.append(fragment)
+    else:
+        merged = [str(f) for f in text]
+    if not merged:
+        raise TechnologyError("empty corner list")
+    return tuple(parse_corner(fragment) for fragment in merged)
 
 
 def _shift_model(model: MosModelParams, speed: str) -> MosModelParams:
@@ -36,31 +153,50 @@ def _shift_model(model: MosModelParams, speed: str) -> MosModelParams:
     )
 
 
-def derive_corner(tech: Technology, corner: str) -> Technology:
-    """A copy of ``tech`` at the named corner (``tt``/``ss``/``ff``/
-    ``sf``/``fs``)."""
-    corner = corner.lower()
-    if corner not in CORNER_NAMES:
-        raise TechnologyError(
-            f"unknown corner {corner!r}; available: {', '.join(CORNER_NAMES)}"
-        )
-    n_speed, p_speed = corner[0], corner[1]
-    return replace(
+def derive_corner(tech: Technology, corner: "str | CornerSpec") -> Technology:
+    """A copy of ``tech`` at the named corner.
+
+    Plain speed corners (``tt``/``ss``/``ff``/``sf``/``fs``) keep the
+    historical behaviour and naming (``<tech>-<corner>``).  Extended
+    corners (``"SS@-40C,4.5V"`` or a :class:`CornerSpec`) additionally
+    re-derive the models at the junction temperature and scale both
+    supply rails to the requested rail-to-rail span.
+    """
+    spec = parse_corner(corner)
+    n_speed, p_speed = spec.speed[0], spec.speed[1]
+    shifted = replace(
         tech,
-        name=f"{tech.name}-{corner}",
+        name=f"{tech.name}-{spec.speed}",
         nmos=_shift_model(tech.nmos, n_speed),
         pmos=_shift_model(tech.pmos, p_speed),
     )
+    if spec.temp_c is not None:
+        shifted = at_temperature(shifted, spec.temp_c)
+    if spec.supply_v is not None:
+        nominal_span = tech.vdd - tech.vss
+        scale = spec.supply_v / nominal_span
+        shifted = replace(
+            shifted,
+            name=f"{shifted.name},{spec.supply_v:g}V",
+            vdd=tech.vdd * scale,
+            vss=tech.vss * scale,
+        )
+    return shifted
 
 
 def corner_sweep(
     tech: Technology,
     evaluate: Callable[[Technology], dict[str, float]],
-    corners: tuple[str, ...] = CORNER_NAMES,
+    corners: "tuple[str | CornerSpec, ...]" = CORNER_NAMES,
 ) -> dict[str, dict[str, float]]:
     """Run ``evaluate`` at each corner; returns metrics keyed by corner.
 
     ``evaluate`` typically re-sizes (or re-simulates) a design at the
-    shifted technology and returns the figures of interest.
+    shifted technology and returns the figures of interest.  Keys are
+    the canonical corner names (``"ss"``, ``"ss@-40C,4.5V"``, ...).
     """
-    return {corner: evaluate(derive_corner(tech, corner)) for corner in corners}
+    out: dict[str, dict[str, float]] = {}
+    for corner in corners:
+        spec = parse_corner(corner)
+        out[spec.canonical] = evaluate(derive_corner(tech, spec))
+    return out

@@ -22,10 +22,32 @@ from ..spice import Circuit, Mosfet
 __all__ = [
     "MismatchModel",
     "MonteCarloResult",
+    "derive_sample_seed",
     "perturbed_circuit",
     "monte_carlo",
     "opamp_offset_spread",
 ]
+
+#: Weyl increment (golden-ratio based), the same stride
+#: :func:`repro.parallel.derive_chain_seed` uses per chain: consecutive
+#: sample indices land far apart in seed space and sample 0 keeps the
+#: master seed itself.
+_SEED_STRIDE = 0x9E3779B97F4A7C15
+
+
+def derive_sample_seed(master_seed: int, sample_index: int) -> int:
+    """Deterministic per-sample seed; sample 0 is the master seed.
+
+    Sample ``i``'s mismatch realization depends only on
+    ``(master_seed, i)`` — never on how many samples ran before it, in
+    which process, or in what order.  That makes chains x samples
+    compose reproducibly: a Monte Carlo sample evaluated inside any
+    annealing chain (or replayed from a run journal) perturbs the
+    circuit identically everywhere.
+    """
+    if sample_index == 0:
+        return master_seed
+    return (master_seed + _SEED_STRIDE * sample_index) % 2**63
 
 
 @dataclass(frozen=True)
@@ -114,14 +136,20 @@ def monte_carlo(
     """Run ``measure`` over ``n`` mismatch samples of ``circuit``.
 
     Samples whose measurement raises a simulation error count as
-    ``failures`` (they matter for yield).
+    ``failures`` (they matter for yield).  Sample ``i`` draws from a
+    dedicated :class:`random.Random` seeded
+    ``derive_sample_seed(seed, i)``, so each realization is a pure
+    function of ``(seed, i)`` — not of the preceding samples — and the
+    same sample evaluated from different workers or resumed runs is
+    bit-for-bit identical.
     """
     if n < 1:
         raise ApeError("need at least one Monte Carlo sample")
-    rng = random.Random(seed)
     result = MonteCarloResult()
-    for _ in range(n):
-        sample = perturbed_circuit(circuit, rng, mismatch)
+    for index in range(n):
+        sample = perturbed_circuit(
+            circuit, random.Random(derive_sample_seed(seed, index)), mismatch
+        )
         try:
             result.samples.append(measure(sample))
         except (ApeError, SimulationError):
@@ -147,12 +175,12 @@ def opamp_offset_spread(
 
     if mismatch is None:
         mismatch = MismatchModel()
-    rng = random.Random(seed)
     result = MonteCarloResult()
-    for _ in range(n):
+    for index in range(n):
         # One mismatch realization, shared by all bench rebuilds inside
-        # the balancing search.
-        sample_seed = rng.getrandbits(32)
+        # the balancing search; derived per-sample so realization i is
+        # the same no matter how many samples ran before it.
+        sample_seed = derive_sample_seed(seed, index)
 
         def build(v_diff: float) -> Circuit:
             bench = open_loop_bench(opamp, v_diff=v_diff)

@@ -1,0 +1,193 @@
+"""Typed benchmark report schema: round-trip, validation, regression."""
+
+import json
+
+import pytest
+
+from repro.benchmark import (
+    SCHEMA,
+    BenchMeasure,
+    BenchReport,
+    BenchTarget,
+    check_regression,
+    load_report,
+    validate_report,
+    write_report,
+)
+from repro.errors import ApeError
+
+
+def _report(**overrides):
+    fields = dict(
+        suite="engine",
+        generated_at="2026-08-08T00:00:00+0000",
+        quick=False,
+        baseline="naive assembly",
+        measures={
+            "ac_sweep": BenchMeasure(
+                name="ac_sweep", value=300.0, baseline=50.0, ratio=6.0,
+                unit="ops/s", detail={"reps": 12},
+            ),
+        },
+        targets=(BenchTarget("ac_sweep", "floor", 3.0),),
+        context={"min_time_per_measurement_s": 0.75},
+    )
+    fields.update(overrides)
+    return BenchReport(**fields)
+
+
+class TestRoundTrip:
+    def test_jsonable_round_trips_exactly(self):
+        report = _report()
+        payload = json.loads(json.dumps(report.to_jsonable()))
+        rebuilt = validate_report(payload)
+        assert rebuilt == report
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        write_report(_report(), path)
+        assert load_report(path) == _report()
+
+    def test_target_results(self):
+        report = _report()
+        assert report.target_results() == {"ac_sweep": True}
+        assert report.all_targets_met()
+        missed = _report(targets=(BenchTarget("ac_sweep", "floor", 10.0),))
+        assert missed.missed_targets() == ["ac_sweep"]
+
+    def test_ceiling_target(self):
+        target = BenchTarget("overhead", "ceiling", 0.05)
+        assert target.met(0.03)
+        assert not target.met(0.10)
+
+
+class TestValidation:
+    def test_wrong_schema_rejected(self):
+        payload = _report().to_jsonable()
+        payload["schema"] = "repro-bench-engine/1"
+        with pytest.raises(ApeError, match="schema"):
+            validate_report(payload)
+
+    def test_missing_fields_all_reported(self):
+        payload = _report().to_jsonable()
+        del payload["suite"]
+        del payload["baseline"]
+        with pytest.raises(ApeError) as err:
+            validate_report(payload)
+        assert "suite" in str(err.value)
+        assert "baseline" in str(err.value)
+
+    def test_non_numeric_measure_rejected(self):
+        payload = _report().to_jsonable()
+        payload["measures"]["ac_sweep"]["ratio"] = "fast"
+        with pytest.raises(ApeError, match="ratio"):
+            validate_report(payload)
+
+    def test_empty_measures_rejected(self):
+        payload = _report().to_jsonable()
+        payload["measures"] = {}
+        with pytest.raises(ApeError, match="measures"):
+            validate_report(payload)
+
+    def test_target_must_reference_a_measure(self):
+        payload = _report().to_jsonable()
+        payload["targets"].append(
+            {"measure": "ghost", "kind": "floor", "value": 1.0}
+        )
+        with pytest.raises(ApeError, match="ghost"):
+            validate_report(payload)
+
+    def test_bad_target_kind_rejected(self):
+        payload = _report().to_jsonable()
+        payload["targets"][0]["kind"] = "roof"
+        with pytest.raises(ApeError, match="floor"):
+            validate_report(payload)
+
+    def test_inconsistent_targets_met_rejected(self):
+        # A hand-edited report claiming success it did not earn.
+        payload = _report().to_jsonable()
+        payload["targets"][0]["value"] = 100.0
+        payload["targets_met"] = {"ac_sweep": True}
+        with pytest.raises(ApeError, match="targets_met"):
+            validate_report(payload)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ApeError):
+            validate_report([1, 2, 3])
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ApeError):
+            load_report(str(tmp_path / "nope.json"))
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{not json")
+        with pytest.raises(ApeError):
+            load_report(str(path))
+
+
+class TestRegression:
+    def _with_ratio(self, ratio, **overrides):
+        return _report(
+            measures={
+                "ac_sweep": BenchMeasure(
+                    name="ac_sweep", value=ratio * 50.0, baseline=50.0,
+                    ratio=ratio, unit="ops/s",
+                ),
+            },
+            **overrides,
+        )
+
+    def test_within_tolerance_is_quiet(self):
+        assert check_regression(self._with_ratio(5.5), self._with_ratio(6.0)) == []
+
+    def test_floor_regression_detected(self):
+        found = check_regression(
+            self._with_ratio(4.0), self._with_ratio(6.0)
+        )
+        assert len(found) == 1
+        assert "ac_sweep" in found[0]
+
+    def test_improvement_never_flags(self):
+        assert check_regression(self._with_ratio(9.0), self._with_ratio(6.0)) == []
+
+    def test_quick_vs_full_is_skipped(self):
+        assert check_regression(
+            self._with_ratio(1.0, quick=True), self._with_ratio(6.0)
+        ) == []
+
+    def test_different_suites_are_skipped(self):
+        assert check_regression(
+            self._with_ratio(1.0, suite="parallel"), self._with_ratio(6.0)
+        ) == []
+
+    def test_ceiling_regression_detected(self):
+        def overhead(ratio):
+            return _report(
+                measures={
+                    "overhead": BenchMeasure(
+                        name="overhead", value=1.0 + ratio, baseline=1.0,
+                        ratio=ratio, unit="s",
+                    ),
+                },
+                targets=(BenchTarget("overhead", "ceiling", 0.5),),
+            )
+
+        assert check_regression(overhead(0.4), overhead(0.1))
+        assert check_regression(overhead(0.1), overhead(0.4)) == []
+
+
+class TestCommittedReports:
+    @pytest.mark.parametrize(
+        "name",
+        ["BENCH_engine.json", "BENCH_parallel.json", "BENCH_robust.json"],
+    )
+    def test_committed_report_validates(self, name):
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), "..", name)
+        if not os.path.exists(path):
+            pytest.skip(f"{name} not present")
+        report = load_report(path)
+        assert report.to_jsonable()["schema"] == SCHEMA
+        assert report.all_targets_met()

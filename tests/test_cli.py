@@ -73,6 +73,55 @@ class TestCommands:
         assert "meets spec" in out
         assert code in (0, 1)
 
+    def test_synthesize_robust_corners(self, capsys):
+        code = main(
+            ["synthesize", "--gain", "120", "--ugf", "2Meg",
+             "--budget", "10", "--seed", "3",
+             "--corners", "TT,SS", "--mc-samples", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "robust:" in out
+        assert "corner evals:" in out
+        assert "worst case:" in out
+
+    def test_synthesize_robust_sidecar_restores_corners(self, capsys, tmp_path):
+        run_dir = str(tmp_path / "run")
+        code = main(
+            ["synthesize", "--gain", "120", "--ugf", "2Meg",
+             "--budget", "8", "--seed", "3",
+             "--corners", "TT,SS", "--run-dir", run_dir]
+        )
+        assert code in (0, 1)
+        capsys.readouterr()
+        code = main(["synthesize", "--resume", run_dir])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "robust:" in out  # corners came back from cli.json
+
+    def test_bench_validate_rejects_bad_report(self, capsys, tmp_path):
+        good = tmp_path / "BENCH_ok.json"
+        bad = tmp_path / "BENCH_bad.json"
+        import json
+
+        from repro.benchmark import (
+            BenchMeasure, BenchReport, BenchTarget, write_report,
+        )
+
+        write_report(
+            BenchReport(
+                suite="engine", generated_at="t", quick=True, baseline="b",
+                measures={"m": BenchMeasure("m", 2.0, 1.0, 2.0)},
+                targets=(BenchTarget("m", "floor", 1.0),),
+            ),
+            str(good),
+        )
+        bad.write_text(json.dumps({"schema": "nope"}))
+        assert main(["bench", "--validate", str(good)]) == 0
+        assert main(["bench", "--validate", str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+
     def test_simulate_deck(self, capsys, tmp_path):
         deck = tmp_path / "div.cir"
         deck.write_text("divider\nVIN in 0 10\nR1 in out 1k\nR2 out 0 3k\n")

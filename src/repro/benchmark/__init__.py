@@ -1,10 +1,11 @@
 """Benchmark suites plus the typed report schema they emit.
 
-Three suites — the engine hot path (:func:`run_engine_benchmark`), the
-parallel multi-chain executor (:func:`run_parallel_benchmark`) and
-corner-robust synthesis (:func:`run_robust_benchmark`) — all return a
-:class:`~repro.benchmark.report.BenchReport`, the single validated
-schema behind every committed ``BENCH_*.json``.
+Four suites — the engine hot path (:func:`run_engine_benchmark`), the
+parallel multi-chain executor (:func:`run_parallel_benchmark`),
+corner-robust synthesis (:func:`run_robust_benchmark`) and the
+sparse/batched linear-solve core (:func:`run_sparse_benchmark`) — all
+return a :class:`~repro.benchmark.report.BenchReport`, the single
+validated schema behind every committed ``BENCH_*.json``.
 """
 
 from .report import (
@@ -19,6 +20,12 @@ from .report import (
     write_report,
 )
 from .robust import ROBUST_TARGETS, render_robust_report, run_robust_benchmark
+from .sparse import (
+    SPARSE_TARGETS,
+    SPARSE_TARGETS_QUICK,
+    render_sparse_report,
+    run_sparse_benchmark,
+)
 from .suites import (
     PARALLEL_SPEEDUP_TARGETS,
     SPEEDUP_TARGETS,
@@ -47,12 +54,16 @@ __all__ = [
     "run_engine_benchmark",
     "run_parallel_benchmark",
     "run_robust_benchmark",
+    "run_sparse_benchmark",
     "render_report",
     "render_parallel_report",
     "render_robust_report",
+    "render_sparse_report",
     "SPEEDUP_TARGETS",
     "PARALLEL_SPEEDUP_TARGETS",
     "SUPERVISED_OVERHEAD_TARGET",
     "SUPERVISED_OVERHEAD_TARGET_QUICK",
     "ROBUST_TARGETS",
+    "SPARSE_TARGETS",
+    "SPARSE_TARGETS_QUICK",
 ]

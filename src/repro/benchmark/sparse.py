@@ -1,0 +1,219 @@
+"""Sparse-backend and batched-candidate benchmark (node-scaling curve).
+
+Two A/B comparisons, both run in one process on the same fixtures:
+
+* ``ac_ladder_<n>`` — an AC sweep over an RC ladder with ``n`` MNA
+  unknowns, solved once with the backend forced dense and once forced
+  sparse (:func:`repro.spice.linalg.solver_override`).  The ladder
+  sizes trace the scaling curve the ``auto`` mode's size threshold is
+  calibrated against: at op-amp size dense LAPACK wins (recorded as an
+  informational ``ac_opamp`` measure with no target), while at the
+  largest ladder SuperLU must win by the committed floor.
+* ``anneal_eval_batched`` — the annealer's candidate-evaluation hot
+  loop: K candidates evaluated by the scalar ``evaluate`` loop versus
+  one :meth:`~repro.synthesis.problems.OpAmpSizingProblem.evaluate_batch`
+  call, which runs the candidates' Newton iterations and balancing
+  bisections as ``(K, n, n)`` stacks with one batched LAPACK solve per
+  round.  Both sides produce bit-identical metrics, so the ratio is
+  pure solver/bookkeeping throughput.
+
+The entry point :func:`run_sparse_benchmark` returns a validated
+:class:`~repro.benchmark.report.BenchReport` serialized as
+``BENCH_sparse.json`` by the ``repro bench --suite sparse`` CLI.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .report import BenchMeasure, BenchReport, BenchTarget
+from .suites import _ops_per_sec
+
+__all__ = [
+    "run_sparse_benchmark",
+    "render_sparse_report",
+    "SPARSE_TARGETS",
+    "SPARSE_TARGETS_QUICK",
+]
+
+#: Acceptance floors (full mode): SuperLU must beat dense LAPACK by at
+#: least 3x on the largest ladder, and the batched candidate evaluator
+#: must beat the scalar loop by at least 1.5x.
+SPARSE_TARGETS = {"ac_ladder_1000": 3.0, "anneal_eval_batched": 1.5}
+
+#: Quick (CI smoke) floors: the big ladder is skipped — its dense
+#: baseline alone would dominate the smoke budget — so the mid-size
+#: ladder carries a looser floor, and batching must merely not lose.
+SPARSE_TARGETS_QUICK = {"ac_ladder_200": 2.0, "anneal_eval_batched": 1.0}
+
+#: Ladder sizes (total MNA unknowns) per mode.
+LADDER_SIZES = (50, 200, 1000)
+LADDER_SIZES_QUICK = (50, 200)
+
+
+def _ladder_fixture(n_unknowns: int):
+    """An RC ladder circuit with exactly ``n_unknowns`` MNA unknowns.
+
+    A driven chain of series resistors with shunt capacitors — the
+    near-banded structure interconnect/module netlists exhibit, which
+    is where sparse factorization pays off.  One voltage source adds
+    one node and one branch unknown, so the ladder gets
+    ``n_unknowns - 2`` internal nodes.
+    """
+    from ..spice import Circuit, System, dc_operating_point
+
+    sections = n_unknowns - 2
+    ckt = Circuit(f"rc-ladder-{n_unknowns}")
+    ckt.v("in", "0", dc=1.0, ac=1.0)
+    prev = "in"
+    for k in range(1, sections + 1):
+        node = f"m{k}"
+        ckt.r(prev, node, 100.0)
+        ckt.c(node, "0", 1e-12)
+        prev = node
+    system = System(ckt)
+    op = dc_operating_point(ckt, system=system)
+    assert system.size == n_unknowns
+    return ckt, op
+
+
+def _batched_anneal_fixture(k_candidates: int = 8):
+    """Scalar vs batched sizing problems plus K perturbed candidates."""
+    from ..opamp import OpAmpSpec, coarse_design_opamp
+    from ..synthesis.problems import OpAmpSizingProblem, ape_ranges
+    from ..technology import generic_05um
+
+    tech = generic_05um()
+    template, _ = coarse_design_opamp(
+        tech, OpAmpSpec(gain=200.0, ugf=2e6, ibias=2e-6, cl=10e-12)
+    )
+    scalar = OpAmpSizingProblem(template, ape_ranges(template))
+    batched = OpAmpSizingProblem(template, ape_ranges(template))
+    base = template.initial_point()
+    # Upscale only: the coarse design pins the tail mirror's input W at
+    # the technology minimum, so any downscaled candidate would be
+    # lint-rejected before a single solve.
+    scales = [1.0 + 0.02 * k for k in range(k_candidates)]
+    params_list = [
+        {key: value * scale for key, value in base.items()}
+        for scale in scales
+    ]
+    return scalar, batched, params_list
+
+
+def run_sparse_benchmark(
+    *, quick: bool = False, min_time: float | None = None
+) -> BenchReport:
+    """A/B benchmark: sparse vs dense solves, batched vs scalar eval."""
+    from ..spice import solver_override
+    from ..spice.ac import ac_analysis, log_frequencies
+    from .suites import _opamp_fixture
+
+    if min_time is None:
+        min_time = 0.2 if quick else 0.75
+
+    freqs = log_frequencies(1e3, 1e9, 5)  # 31 points over 6 decades
+    sizes = LADDER_SIZES_QUICK if quick else LADDER_SIZES
+    targets = SPARSE_TARGETS_QUICK if quick else SPARSE_TARGETS
+    measures: dict[str, BenchMeasure] = {}
+
+    def ab_sweep(name: str, ckt, op, detail: dict) -> None:
+        def run_ac():
+            return ac_analysis(ckt, op=op, frequencies=freqs)
+
+        with solver_override("dense"):
+            dense_rate, dense_reps = _ops_per_sec(run_ac, min_time=min_time)
+        with solver_override("sparse"):
+            sparse_rate, sparse_reps = _ops_per_sec(run_ac, min_time=min_time)
+        detail = dict(detail)
+        detail["reps"] = {"dense": dense_reps, "sparse": sparse_reps}
+        measures[name] = BenchMeasure(
+            name=name,
+            value=sparse_rate,
+            baseline=dense_rate,
+            ratio=sparse_rate / dense_rate,
+            unit="sweeps/s",
+            detail=detail,
+        )
+
+    for n_unknowns in sizes:
+        ckt, op = _ladder_fixture(n_unknowns)
+        ab_sweep(
+            f"ac_ladder_{n_unknowns}", ckt, op,
+            {"unknowns": n_unknowns, "frequencies": len(freqs)},
+        )
+    # Informational (no target): the op-amp bench sits far below the
+    # auto threshold, where dense LAPACK is expected to win — this row
+    # documents *why* the auto mode keeps small systems dense.
+    bench, system, op = _opamp_fixture()
+    ab_sweep(
+        "ac_opamp", bench, op,
+        {"unknowns": system.size, "frequencies": len(freqs)},
+    )
+
+    scalar_problem, batched_problem, params_list = _batched_anneal_fixture()
+
+    def run_scalar():
+        return [scalar_problem.evaluate(p) for p in params_list]
+
+    def run_batched():
+        return batched_problem.evaluate_batch(params_list)
+
+    scalar_rate, scalar_reps = _ops_per_sec(run_scalar, min_time=min_time)
+    batched_rate, batched_reps = _ops_per_sec(run_batched, min_time=min_time)
+    measures["anneal_eval_batched"] = BenchMeasure(
+        name="anneal_eval_batched",
+        value=batched_rate,
+        baseline=scalar_rate,
+        ratio=batched_rate / scalar_rate,
+        unit="batches/s",
+        detail={
+            "candidates_per_batch": len(params_list),
+            "reps": {"batched": batched_reps, "scalar": scalar_reps},
+        },
+    )
+
+    return BenchReport(
+        suite="sparse",
+        generated_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        quick=quick,
+        baseline=(
+            "dense LAPACK solves via solver_override('dense') for the "
+            "ladder/op-amp AC sweeps; scalar per-candidate evaluate() "
+            "loop for anneal_eval_batched"
+        ),
+        measures=measures,
+        targets=tuple(
+            BenchTarget(name, "floor", floor)
+            for name, floor in targets.items()
+        ),
+        context={
+            "min_time_per_measurement_s": min_time,
+            "ladder_unknowns": list(sizes),
+        },
+    )
+
+
+def render_sparse_report(report: BenchReport) -> str:
+    """Human-readable table for a :func:`run_sparse_benchmark` report."""
+    lines = [
+        f"sparse/batched solve benchmark "
+        f"({'quick' if report.quick else 'full'})",
+        f"{'measure':<20} {'contender/s':>12} {'baseline/s':>12} "
+        f"{'speedup':>9}",
+    ]
+    targets = {t.measure: t.value for t in report.targets}
+    for name, row in report.measures.items():
+        target = targets.get(name)
+        mark = ""
+        if target is not None:
+            mark = (
+                f"  (target {target:.1f}x: "
+                f"{'ok' if row.ratio >= target else 'MISSED'})"
+            )
+        lines.append(
+            f"{name:<20} {row.value:>12.2f} "
+            f"{row.baseline:>12.2f} "
+            f"{row.ratio:>8.2f}x{mark}"
+        )
+    return "\n".join(lines)

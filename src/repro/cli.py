@@ -75,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--tech", default="generic-0.5um",
         help="technology preset name (default: generic-0.5um)",
     )
+    parser.add_argument(
+        "--solver", default=None, choices=["dense", "sparse", "auto"],
+        help="linear-solve backend selection: dense LAPACK, SuperLU, or "
+             "auto by matrix size (default: REPRO_SOLVER env or auto)",
+    )
     tolerance = parser.add_mutually_exclusive_group()
     tolerance.add_argument(
         "--tolerant", dest="tolerant", action="store_true", default=True,
@@ -183,15 +188,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="benchmark the engine, the parallel synthesis executor "
-             "and corner-robust synthesis",
+        help="benchmark the engine, the parallel synthesis executor, "
+             "corner-robust synthesis and the sparse/batched solve core",
     )
     p.add_argument("--suite", default="engine",
-                   choices=["engine", "parallel", "robust", "all"],
+                   choices=["engine", "parallel", "robust", "sparse", "all"],
                    help="engine: compiled vs naive assembly; parallel: "
                         "multi-chain executor vs serial legs; robust: "
-                        "corner-aware vs nominal-only synthesis "
-                        "(default: engine)")
+                        "corner-aware vs nominal-only synthesis; sparse: "
+                        "sparse vs dense solves and batched vs scalar "
+                        "candidate evaluation (default: engine)")
     p.add_argument("--quick", action="store_true",
                    help="short per-measurement floor (CI smoke mode)")
     p.add_argument("--min-time", default=None,
@@ -202,8 +208,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: 4)")
     p.add_argument("--out", default=None,
                    help="report path (default: BENCH_engine.json / "
-                        "BENCH_parallel.json / BENCH_robust.json per "
-                        "suite)")
+                        "BENCH_parallel.json / BENCH_robust.json / "
+                        "BENCH_sparse.json per suite)")
     p.add_argument("--check", action="store_true",
                    help="exit non-zero when a target is missed or a "
                         "measure regressed beyond tolerance against the "
@@ -491,9 +497,11 @@ def _cmd_bench(args, tech) -> int:
         render_parallel_report,
         render_report,
         render_robust_report,
+        render_sparse_report,
         run_engine_benchmark,
         run_parallel_benchmark,
         run_robust_benchmark,
+        run_sparse_benchmark,
         write_report,
     )
 
@@ -560,6 +568,14 @@ def _cmd_bench(args, tech) -> int:
         out = (
             args.out if args.suite == "robust" and args.out
             else "BENCH_robust.json"
+        )
+        ok = finish(report, out) and ok
+    if args.suite in ("sparse", "all"):
+        report = run_sparse_benchmark(quick=args.quick, min_time=min_time)
+        print(render_sparse_report(report))
+        out = (
+            args.out if args.suite == "sparse" and args.out
+            else "BENCH_sparse.json"
         )
         ok = finish(report, out) and ok
     if args.check and not ok:
@@ -692,6 +708,10 @@ def main(argv: list[str] | None = None) -> int:
         # Arm the deterministic fault-injection harness when requested
         # (REPRO_FAULTS="seed=7,spice.dc=0.2,..."); no-op otherwise.
         injector = _faults.arm_from_env()
+        if args.solver is not None:
+            from .spice import set_solver_mode
+
+            set_solver_mode(args.solver)
         tech = technology_by_name(args.tech)
         handler = {
             "estimate-opamp": _cmd_estimate_opamp,

@@ -19,7 +19,14 @@ both from scratch:
 """
 
 from .engine import compiled_enabled, naive_assembly, set_compiled
-from .mna import System
+from .linalg import (
+    SPARSE_AUTO_THRESHOLD,
+    set_solver_mode,
+    solver_mode,
+    solver_override,
+    use_sparse,
+)
+from .mna import System, system_for_op
 from .netlist import (
     Capacitor,
     Circuit,
@@ -56,9 +63,15 @@ from .analysis import (
 
 __all__ = [
     "System",
+    "system_for_op",
     "set_compiled",
     "compiled_enabled",
     "naive_assembly",
+    "SPARSE_AUTO_THRESHOLD",
+    "solver_mode",
+    "set_solver_mode",
+    "solver_override",
+    "use_sparse",
     "Circuit",
     "Resistor",
     "Capacitor",

@@ -17,9 +17,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SimulationError
+from . import linalg
 from .dc import OperatingPointResult, dc_operating_point
-from .engine import assemble_ac, compiled_enabled, linearize_ac
-from .mna import System
+from .engine import (
+    assemble_ac,
+    compiled_enabled,
+    linearize_ac,
+    sparse_pattern_for,
+)
+from .mna import System, system_for_op
 from .netlist import Circuit
 
 __all__ = ["ACResult", "ac_analysis", "transfer_function", "log_frequencies"]
@@ -89,18 +95,30 @@ def ac_analysis(
     freqs = np.asarray(frequencies, dtype=float)
     if np.any(freqs <= 0):
         raise SimulationError("AC frequencies must be positive")
-    system = op.system
-    if system.circuit is not circuit:
-        system = System(circuit)
-        if system.size != op.system.size:
-            raise SimulationError(
-                "operating point belongs to a different circuit"
-            )
+    system = system_for_op(circuit, op.system)
     solutions = np.zeros((len(freqs), system.size), dtype=complex)
     if compiled_enabled():
         # Sweep-level cache: linearize once at the operating point, then
         # each frequency point is one scale-and-add plus one solve.
         g, c, b = linearize_ac(system, op.x)
+        if linalg.use_sparse(system.size):
+            # The symbolic structure (one CSC pattern from the compiled
+            # scatter positions) is shared by every frequency point;
+            # per point only the numeric values move.
+            pattern = sparse_pattern_for(system)
+            g_data = pattern.gather(g)
+            c_data = pattern.gather(c)
+            for k, freq in enumerate(freqs):
+                data = g_data + (2j * np.pi * freq) * c_data
+                try:
+                    solutions[k] = linalg.sparse_solve(pattern.csc(data), b)
+                except np.linalg.LinAlgError as exc:
+                    raise SimulationError(
+                        f"{circuit.title}: singular AC system at {freq:g} Hz"
+                    ) from exc
+            return ACResult(
+                system=system, frequencies=freqs, solutions=solutions
+            )
         for k, freq in enumerate(freqs):
             y = g + (2j * np.pi * freq) * c
             try:

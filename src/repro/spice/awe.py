@@ -20,12 +20,13 @@ from dataclasses import dataclass
 from functools import cached_property
 
 import numpy as np
-import scipy.linalg
 
 from ..errors import SimulationError
 from ..runtime import faults
+from . import linalg
 from .dc import OperatingPointResult, dc_operating_point
 from .engine import linearize_ac
+from .mna import system_for_op
 from .netlist import Circuit
 
 __all__ = ["AweApproximant", "awe_moments", "awe_poles", "awe_transfer"]
@@ -46,11 +47,18 @@ class AweApproximant:
 
     @property
     def dominant_pole_hz(self) -> float:
-        """|Re| of the slowest stable pole, in Hz."""
+        """|Re| of the slowest stable pole, in Hz.
+
+        For real poles this is the smallest pole magnitude; for a
+        complex-conjugate pair the bandwidth-setting quantity is the
+        decay rate |Re(p)|, not |p| — a high-Q pair has |p| near the
+        resonance frequency while its response corner is set by the
+        (much smaller) real part.
+        """
         stable = self.poles[np.real(self.poles) < 0]
         if len(stable) == 0:
             raise SimulationError("AWE model has no stable poles")
-        return float(np.min(np.abs(stable)) / (2.0 * np.pi))
+        return float(np.min(np.abs(np.real(stable))) / (2.0 * np.pi))
 
     def evaluate(self, frequencies: np.ndarray | list[float]) -> np.ndarray:
         """Complex H(j 2 pi f) over a frequency grid [Hz]."""
@@ -119,19 +127,26 @@ def awe_moments(
     """The first ``n_moments`` moments of the output-node voltage."""
     if op is None:
         op = dc_operating_point(circuit)
-    system = op.system
+    system = system_for_op(circuit, op.system)
     # One linearization gives G, C and the AC source vector together.
     g_matrix, cmat, b = linearize_ac(system, op.x)
     b = np.real(b)
     out = system.index(output_node)
     if out < 0:
         raise SimulationError(f"unknown output node {output_node!r}")
-    lu, piv = scipy.linalg.lu_factor(g_matrix)
+    # One factorization serves all moment recursions; the backend
+    # (dense LAPACK LU vs SuperLU) follows the solver mode and size.
+    try:
+        factor = linalg.factorize(g_matrix)
+    except np.linalg.LinAlgError as exc:
+        raise SimulationError(
+            f"{circuit.title}: singular conductance matrix in AWE"
+        ) from exc
     moments = np.zeros(n_moments)
-    vec = scipy.linalg.lu_solve((lu, piv), b)
+    vec = factor.solve(b)
     moments[0] = vec[out]
     for k in range(1, n_moments):
-        vec = scipy.linalg.lu_solve((lu, piv), -cmat @ vec)
+        vec = factor.solve(-cmat @ vec)
         moments[k] = vec[out]
     return moments
 

@@ -1,0 +1,317 @@
+"""Batched DC Newton solves for same-topology candidate circuits.
+
+The synthesis inner loop evaluates K independent sizing candidates of
+one op-amp template per annealer step.  Each candidate's MNA system has
+the same structure (same nodes, same element order) but different
+element values, so their Newton iterations can run in lockstep: the K
+Jacobians are stacked into a ``(K, n, n)`` array, the MOSFETs of all
+candidates are linearized by *one* vectorized sweep (a single
+:class:`~repro.spice.engine._MosVectors` whose terminal indices are
+offset by ``k * n`` per candidate) and the K linear systems are solved
+by one batched LAPACK call (:func:`repro.spice.linalg.batched_solve`).
+
+Bit-compatibility with the scalar path is the design constraint, not an
+afterthought: every per-candidate quantity — assembly order, damping,
+convergence gates, even the ``float()`` narrowing of the tolerances —
+replicates :func:`repro.spice.dc._newton` exactly, and the batched
+LAPACK ``gesv`` loops the same per-matrix kernel the scalar solve uses.
+A candidate whose lockstep Newton fails is reported as ``None`` so the
+caller can rerun the scalar ladder (gmin/source stepping) for exactly
+the answer the scalar path would have produced.
+
+:meth:`CandidateBatch.retarget` moves one member onto a circuit that
+differs only in independent-source DC values (the output-balancing
+bisection of :func:`repro.spice.analysis.balance_differential` drives
+the differential-pair sources).  It rebuilds the compiled source
+vectors in element order — bit-identical to a fresh compile — without
+re-walking the rest of the netlist, which is where the scalar loop
+spends most of its per-bisection time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from . import linalg
+from .dc import (
+    MAX_STEP,
+    RESIDUAL_TOL,
+    VOLTAGE_TOL,
+    OperatingPointResult,
+    _initial_guess,
+)
+from .engine import _MosVectors, compiled_enabled, stamps_for
+from .mna import System
+from .netlist import Circuit, CurrentSource, VoltageSource
+
+__all__ = ["CandidateBatch", "operating_point_result"]
+
+
+def operating_point_result(
+    system: System, x: np.ndarray, iterations: int, gmin_used: float
+) -> OperatingPointResult:
+    """Package a solved bias vector exactly like ``dc_operating_point``."""
+    result = OperatingPointResult(
+        system=system, x=x, iterations=iterations, gmin_used=gmin_used
+    )
+    result.voltages = {
+        n: float(x[i]) for n, i in system.node_index.items()
+    }
+    result.branch_currents = {
+        name: float(x[i]) for name, i in system.branch_index.items()
+    }
+    return result
+
+
+class CandidateBatch:
+    """K structurally identical systems solved in Newton lockstep."""
+
+    def __init__(self, systems, stamps, mos_vec) -> None:
+        self.systems = systems
+        self.stamps = stamps
+        self.mos_vec = mos_vec
+        self.size = len(systems)
+        self.n = systems[0].size
+        self.n_nodes = systems[0].n_nodes
+        self._bases: dict[float, np.ndarray] = {}
+
+    @classmethod
+    def create(cls, systems) -> "CandidateBatch | None":
+        """Build a batch, or ``None`` when lockstep cannot be exact.
+
+        Requirements: at least one system, the compiled-stamp fast path
+        enabled, matching structure and unknown count, a dense-sized
+        matrix (the stack technique is a dense-LAPACK one; sparse-sized
+        systems keep the scalar path and its SuperLU backend) and — when
+        MOSFETs are present — uniform ``has_theta`` / ``has_vel`` model
+        flags, because those select arithmetic *paths* in the shared
+        vectorized linearization rather than per-lane values.
+        """
+        if not systems or not compiled_enabled():
+            return None
+        first = systems[0]
+        n = first.size
+        if linalg.use_sparse(n):
+            return None
+        stamps = []
+        for system in systems:
+            if system.size != n or not first.structure_matches(
+                system.circuit
+            ):
+                return None
+            stamps.append(stamps_for(system))
+        flags = {
+            (st.mos_vec.has_theta, st.mos_vec.has_vel)
+            for st in stamps
+            if st.mos_vec is not None
+        }
+        if len(flags) > 1:
+            return None
+        combined = []
+        for k, st in enumerate(stamps):
+            offset = k * n
+            for mos, device, i_d, i_g, i_s, i_b in st.mosfets:
+                combined.append(
+                    (
+                        mos,
+                        device,
+                        i_d + offset if i_d >= 0 else -1,
+                        i_g + offset if i_g >= 0 else -1,
+                        i_s + offset if i_s >= 0 else -1,
+                        i_b + offset if i_b >= 0 else -1,
+                    )
+                )
+        mos_vec = _MosVectors(combined) if combined else None
+        return cls(list(systems), stamps, mos_vec)
+
+    def retarget(self, k: int, circuit: Circuit) -> bool:
+        """Move member ``k`` onto a source-value-only circuit variant.
+
+        Accepts only edits where every changed element is an
+        independent source differing in its ``dc`` field alone, then
+        rebuilds the compiled source vectors the same way (and in the
+        same element order) as a full recompile would.  Returns False
+        when the edit is anything else; the caller must then fall back
+        to the scalar path for this member.
+        """
+        system = self.systems[k]
+        st = self.stamps[k]
+        old = system.circuit
+        if circuit is old:
+            return True
+        old_elems = st._elements_snapshot
+        new_elems = circuit.elements
+        if len(old_elems) != len(new_elems):
+            return False
+        for a, b in zip(old_elems, new_elems):
+            if a is b or a == b:
+                continue
+            if type(a) is not type(b) or not isinstance(
+                b, (VoltageSource, CurrentSource)
+            ):
+                return False
+            if replace(b, dc=a.dc) != a:
+                return False
+        n = self.n
+        src = np.zeros(n)
+        ac_b = np.zeros(n, dtype=complex)
+        tran_src = np.zeros(n)
+        wave_v: list = []
+        wave_i: list = []
+        idx = system.index
+        branch = system.branch_index
+        for element in circuit:
+            if isinstance(element, VoltageSource):
+                br = branch[element.name]
+                src[br] -= element.dc
+                if element.ac:
+                    ac_b[br] += element.ac
+                if element.wave is None:
+                    tran_src[br] -= element.dc
+                else:
+                    wave_v.append((br, element))
+            elif isinstance(element, CurrentSource):
+                a, b = idx(element.np), idx(element.nn)
+                if a >= 0:
+                    src[a] += element.dc
+                if b >= 0:
+                    src[b] -= element.dc
+                if element.ac:
+                    if a >= 0:
+                        ac_b[a] -= element.ac
+                    if b >= 0:
+                        ac_b[b] += element.ac
+                if element.wave is None:
+                    if a >= 0:
+                        tran_src[a] += element.dc
+                    if b >= 0:
+                        tran_src[b] -= element.dc
+                else:
+                    wave_i.append((a, b, element))
+        st.src_dc = src
+        st.has_src = bool(src.any())
+        st.ac_b = ac_b
+        st.tran_src = tran_src
+        st.wave_v = wave_v
+        st.wave_i = wave_i
+        st._step_ctx = None
+        st.revision = circuit.revision
+        st._elements_snapshot = new_elems
+        system.circuit = circuit
+        system._devices = {m.name: m.device for m in circuit.mosfets()}
+        system._topo_revision = circuit.topology_revision
+        return True
+
+    def _base(self, gmin: float) -> np.ndarray:
+        """``(K, n, n)`` stack of ``g_lin + gmin``-diagonal matrices."""
+        base = self._bases.get(gmin)
+        if base is None:
+            base = np.stack([st.g_lin for st in self.stamps])
+            diag = np.arange(self.n_nodes)
+            base[:, diag, diag] += gmin
+            if len(self._bases) >= 4:
+                self._bases.clear()
+            self._bases[gmin] = base
+        return base
+
+    def newton(
+        self,
+        requests: dict[int, np.ndarray | None],
+        *,
+        gmin: float = 1e-12,
+        max_iter: int = 150,
+    ) -> dict[int, tuple[np.ndarray, int] | None]:
+        """Plain Newton for the requested members, in lockstep.
+
+        ``requests`` maps member index to a starting vector (``None``
+        selects the member's own ``_initial_guess``, computed from the
+        *current* — possibly retargeted — circuit).  Returns, per
+        requested member, ``(x, iterations)`` exactly as the scalar
+        ``_newton`` would, or ``None`` when plain Newton fails for that
+        member (singular Jacobian, non-finite update or iteration
+        budget); the caller falls back to the scalar gmin/source-
+        stepping ladder there.
+        """
+        k_all = self.size
+        n = self.n
+        n_nodes = self.n_nodes
+        x2 = np.zeros((k_all, n))
+        active: list[int] = []
+        for k, x0 in requests.items():
+            x2[k] = (
+                _initial_guess(self.systems[k]) if x0 is None else x0
+            )
+            active.append(k)
+        out: dict[int, tuple[np.ndarray, int] | None] = {
+            k: None for k in active
+        }
+        base = self._base(gmin)
+        jac3 = np.empty_like(base)
+        res2 = np.empty((k_all, n))
+        eye = np.eye(n)
+        x_flat = x2.reshape(-1)
+        for iteration in range(1, max_iter + 1):
+            jac3[...] = base
+            for k in range(k_all):
+                res2[k] = jac3[k] @ x2[k]
+                st = self.stamps[k]
+                if st.has_src:
+                    res2[k] += st.src_dc
+            if self.mos_vec is not None:
+                self.mos_vec.stamp_batched(x_flat, res2, jac3)
+            active_set = set(active)
+            for k in range(k_all):
+                if k not in active_set:
+                    # Frozen member (converged, failed or not requested):
+                    # identity system keeps the batched solve regular
+                    # and its update at exactly zero.
+                    jac3[k] = eye
+                    res2[k] = 0.0
+            singular: list[int] = []
+            try:
+                dx2 = linalg.batched_solve(jac3, -res2)
+            except np.linalg.LinAlgError:
+                dx2 = np.zeros((k_all, n))
+                for k in list(active):
+                    try:
+                        dx2[k] = np.linalg.solve(jac3[k], -res2[k])
+                    except np.linalg.LinAlgError:
+                        singular.append(k)
+            for k in singular:
+                active.remove(k)
+                x2[k] = 0.0
+            for k in list(active):
+                dx = dx2[k]
+                if not np.all(np.isfinite(dx)):
+                    active.remove(k)
+                    x2[k] = 0.0
+                    continue
+                max_dx = float(np.max(np.abs(dx[:n_nodes]), initial=0.0))
+                if max_dx > MAX_STEP:
+                    dx *= MAX_STEP / max_dx
+                x2[k] += dx
+                # The gates below replicate ``dc._newton`` term for
+                # term, float narrowing included.
+                v_scale = float(
+                    np.max(np.abs(x2[k, :n_nodes]), initial=0.0)
+                )
+                if max_dx < VOLTAGE_TOL * (1.0 + v_scale):
+                    res_norm = float(np.max(np.abs(res2[k])))
+                    i_scale = float(
+                        np.max(np.abs(jac3[k]) @ np.abs(x2[k]), initial=0.0)
+                    )
+                    if res_norm < RESIDUAL_TOL * (1.0 + i_scale):
+                        out[k] = (x2[k].copy(), iteration)
+                        active.remove(k)
+                        continue
+                    x_scale = float(np.max(np.abs(x2[k]), initial=0.0))
+                    if res_norm < 1e-6 and float(
+                        np.max(np.abs(dx))
+                    ) < VOLTAGE_TOL * (1.0 + x_scale):
+                        out[k] = (x2[k].copy(), iteration)
+                        active.remove(k)
+            if not active:
+                break
+        return out

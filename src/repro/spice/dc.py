@@ -20,7 +20,7 @@ import numpy as np
 from ..errors import ConvergenceError
 from ..runtime import faults
 from ..runtime.retry import RetryPolicy
-from .engine import assemble_dc
+from .engine import assemble_dc, solve_assembled
 from .mna import System, evaluate_mosfet
 from .netlist import Circuit, Mosfet, VoltageSource
 
@@ -105,7 +105,7 @@ def _newton(
     for iteration in range(1, max_iter + 1):
         res, jac = assemble_dc(system, x, gmin=gmin, source_scale=source_scale)
         try:
-            dx = np.linalg.solve(jac, -res)
+            dx = solve_assembled(system, jac, -res, kind="dc", key=(gmin,))
         except np.linalg.LinAlgError:
             return None
         if not np.all(np.isfinite(dx)):

@@ -36,6 +36,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from . import linalg
 from .mna import (
     System,
     assemble_ac_naive,
@@ -64,6 +65,8 @@ __all__ = [
     "capacitance_matrix",
     "linearize_ac",
     "ac_rhs",
+    "solve_assembled",
+    "sparse_pattern_for",
     "set_compiled",
     "compiled_enabled",
     "naive_assembly",
@@ -263,6 +266,10 @@ class _MosVectors:
         self._cap_live_a0 = a0 >= 0
         self._cap_live_b0 = b0 >= 0
         self._cap_live_ab0 = self._cap_live_a0 & self._cap_live_b0
+        # Lazily built flat scatter index for stamp_batched (block size
+        # is only known at the first batched call).
+        self._j0_flat: np.ndarray | None = None
+        self._j0_flat_n = -1
 
     def linearize(self, x: np.ndarray):
         """Per-device stamp arrays at bias ``x``.
@@ -407,6 +414,76 @@ class _MosVectors:
         half[1] = half[0]
         live = (rows >= 0) & (cols >= 0)
         np.add.at(jac, (rows[live], cols[live]), vals[live])
+
+    def stamp_batched(
+        self, x: np.ndarray, res2: np.ndarray, jac3: np.ndarray
+    ) -> None:
+        """Conduction stamps for a candidate *batch* sharing this vector.
+
+        Built for instances whose device terminal indices were offset
+        by ``k * n`` per candidate (see ``repro.spice.batch``): ``x``
+        is the flattened ``(K * n,)`` bias stack, ``res2`` the ``(K,
+        n)`` residual stack and ``jac3`` the ``(K, n, n)`` Jacobian
+        stack.  Every device's terminals live inside one candidate's
+        block, so a combined-space entry ``(k*n + r, k*n + c)`` lands
+        at flat offset ``k*n² + r*n + c`` of ``jac3`` — the same
+        values, in the same ``np.add.at`` accumulation order, as K
+        separate per-candidate :meth:`stamp` calls.
+        """
+        dp, sp, i_dp, g_dd, g_dg, g_ds, g_db, no_swap = self.linearize(x)
+        n = jac3.shape[-1]
+        jac_flat = jac3.reshape(-1)
+        res_flat = res2.reshape(-1)
+        m = self.count
+        vals = self._vals
+        vhalf = vals.reshape(2, 4, m)
+        vhalf[0, 0] = g_dd
+        vhalf[0, 1] = g_dg
+        vhalf[0, 2] = g_ds
+        vhalf[0, 3] = g_db
+        np.negative(vhalf[0], out=vhalf[1])
+        if no_swap:
+            d_live = self._res_d_live
+            np.add.at(
+                res_flat, self._res_d_idx,
+                i_dp if d_live is None else i_dp[d_live],
+            )
+            s_live = self._res_s_live
+            np.add.at(
+                res_flat, self._res_s_idx,
+                -i_dp if s_live is None else -i_dp[s_live],
+            )
+            if self._j0_flat is None or self._j0_flat_n != n:
+                self._j0_flat = (
+                    self._j0_rows * n
+                    + self._j0_cols
+                    - (self._j0_rows // n) * n
+                )
+                self._j0_flat_n = n
+            j_live = self._j0_live
+            np.add.at(
+                jac_flat, self._j0_flat,
+                vals if j_live is None else vals[j_live],
+            )
+            return
+        live = dp >= 0
+        np.add.at(res_flat, dp[live], i_dp[live])
+        live = sp >= 0
+        np.add.at(res_flat, sp[live], -i_dp[live])
+        rows = self._rows
+        cols = self._cols
+        rows.reshape(8, m)[:4] = dp
+        rows.reshape(8, m)[4:] = sp
+        half = cols.reshape(2, 4, m)
+        half[0, 0] = dp
+        half[0, 1] = self.raw_g
+        half[0, 2] = sp
+        half[0, 3] = self.raw_b
+        half[1] = half[0]
+        live = (rows >= 0) & (cols >= 0)
+        fr = rows[live]
+        fc = cols[live]
+        np.add.at(jac_flat, fr * n + fc - (fr // n) * n, vals[live])
 
     def stamp_caps(self, x: np.ndarray, cmat: np.ndarray) -> None:
         """Add every device's Meyer + junction capacitance stamp.
@@ -678,9 +755,12 @@ class CompiledStamps:
         self._g_scatter = g
         self._cap_scatter = cap
         self._tran_g_scatter = tran_g
+        self._tran_ih_scatter = tran_ih
         self._l_diag = l_diag
         self._value_slots = value_slots
         self._elements_snapshot = circuit.elements
+        self._sparse_pattern: linalg.SparsePattern | None = None
+        self._sparse_factors: dict[tuple, linalg.SparseFactor] = {}
 
     def refresh(self, system: System) -> bool:
         """Value-only update for a mutated but structurally identical circuit.
@@ -760,9 +840,84 @@ class CompiledStamps:
         if g_dirty or cap_dirty:
             self._tran_lin_cache.clear()
         self._step_ctx = None
+        # Values moved, positions did not: keep the sparsity pattern,
+        # drop any numeric factorizations built on the old values.
+        self._sparse_factors.clear()
         self.revision = circuit.revision
         self._elements_snapshot = new_elems
         return True
+
+    # -- sparse backend ------------------------------------------------
+
+    def sparse_pattern(self) -> linalg.SparsePattern:
+        """Union sparsity structure of every matrix this circuit builds.
+
+        Collected once per compiled revision from the scatter positions
+        the compiler already recorded, plus the node diagonal (gmin),
+        the inductor branch diagonal (AC ``c_lin``) and the MOSFET
+        conduction/capacitance blocks.  MOSFET positions are
+        swap-invariant — both operating orientations stay inside the
+        raw-terminal rows and columns — so one structure covers the
+        DC, AC, noise and transient matrices at every bias.
+        """
+        pattern = self._sparse_pattern
+        if pattern is None:
+            rows: list[int] = list(self._g_scatter.rows)
+            cols: list[int] = list(self._g_scatter.cols)
+            for scatter in (
+                self._cap_scatter,
+                self._tran_g_scatter,
+                self._tran_ih_scatter,
+            ):
+                rows += scatter.rows
+                cols += scatter.cols
+            for br, _value in self._l_diag:
+                rows.append(br)
+                cols.append(br)
+            diag = list(range(self.node_diag.shape[0]))
+            rows += diag
+            cols += diag
+            for _mos, _dev, i_d, i_g, i_s, i_b in self.mosfets:
+                live = [i for i in (i_d, i_g, i_s, i_b) if i >= 0]
+                for a in live:
+                    for b in live:
+                        rows.append(a)
+                        cols.append(b)
+            pattern = linalg.SparsePattern(rows, cols, self.n)
+            self._sparse_pattern = pattern
+        return pattern
+
+    def sparse_solve(
+        self,
+        jac: np.ndarray,
+        rhs: np.ndarray,
+        *,
+        factor_key: tuple | None = None,
+    ) -> np.ndarray:
+        """SuperLU solve of an assembled system through the shared pattern.
+
+        ``factor_key`` opts into numeric-factorization reuse and must
+        only be passed when ``jac`` is a constant for that key — true
+        for MOSFET-free circuits, whose DC Jacobian depends only on
+        gmin and whose transient Jacobian only on ``(h, gmin)``.
+        """
+        if factor_key is not None:
+            factor = self._sparse_factors.get(factor_key)
+            if factor is None:
+                pattern = self.sparse_pattern()
+                factor = linalg.SparseFactor(
+                    pattern.csc(pattern.gather(jac))
+                )
+                # Mirrors the transient-cache bound: step halving and
+                # gmin stepping visit few distinct keys.
+                if len(self._sparse_factors) >= 16:
+                    self._sparse_factors.clear()
+                self._sparse_factors[factor_key] = factor
+            return factor.solve(rhs)
+        pattern = self.sparse_pattern()
+        return linalg.sparse_solve(
+            pattern.csc(pattern.gather(jac)), rhs
+        )
 
     # -- per-call assembly pieces --------------------------------------
 
@@ -868,6 +1023,36 @@ def stamps_for(system: System) -> CompiledStamps:
 
 
 # -- dispatching entry points ------------------------------------------
+
+
+def solve_assembled(
+    system: System,
+    jac: np.ndarray,
+    rhs: np.ndarray,
+    *,
+    kind: str = "dc",
+    key: tuple = (),
+) -> np.ndarray:
+    """Backend-dispatched linear solve for an assembled Newton system.
+
+    Dense mode (and the naive-assembly fallback, which has no scatter
+    patterns to reuse) is exactly ``np.linalg.solve``; sparse mode
+    routes through the compiled stamps' shared CSC pattern.  ``kind``
+    and ``key`` name the matrix for numeric-factorization reuse on
+    linear circuits — e.g. ``("dc", gmin)`` or ``("tran", h, gmin)``;
+    nonlinear circuits re-factor every call (the Jacobian moves with
+    the bias) but still skip the symbolic work.
+    """
+    if not (_COMPILED and linalg.use_sparse(jac.shape[0])):
+        return np.linalg.solve(jac, rhs)
+    st = stamps_for(system)
+    factor_key = (kind, *key) if not st.mosfets else None
+    return st.sparse_solve(jac, rhs, factor_key=factor_key)
+
+
+def sparse_pattern_for(system: System) -> linalg.SparsePattern:
+    """The shared sparsity pattern of ``system``'s compiled stamps."""
+    return stamps_for(system).sparse_pattern()
 
 
 def assemble_dc(

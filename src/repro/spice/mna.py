@@ -45,6 +45,7 @@ __all__ = [
     "System",
     "MosEval",
     "evaluate_mosfet",
+    "system_for_op",
     "assemble_dc",
     "assemble_ac",
     "capacitance_matrix",
@@ -161,6 +162,38 @@ class System:
         self._compiled = None
         self._topo_revision = circuit.topology_revision
         return self
+
+
+def system_for_op(circuit: Circuit, op_system: System) -> System:
+    """The system a small-signal analysis should assemble ``circuit`` with.
+
+    When the operating point was solved on this very circuit object,
+    the solver's system (with its compiled-stamp caches) is reused.
+    Otherwise the bias vector is only meaningful if ``circuit`` is
+    structurally identical — same element classes, names and wiring —
+    to the circuit it was solved on; a matching unknown-vector *size*
+    alone proves nothing, and assembling a different same-size topology
+    at a foreign bias silently produces wrong sweeps.  Raises
+    :class:`~repro.errors.SimulationError` on a structure mismatch.
+
+    The returned system is always freshly built in the mismatching-
+    object case (never ``rebind``), so the caller's operating point
+    keeps its own system untouched.
+    """
+    if op_system.circuit is circuit:
+        return op_system
+    if not op_system.structure_matches(circuit):
+        raise SimulationError(
+            f"{circuit.title}: operating point was solved on a "
+            f"structurally different circuit "
+            f"({op_system.circuit.title}); re-solve the DC point for "
+            "this circuit",
+            context={
+                "circuit": circuit.title,
+                "op_circuit": op_system.circuit.title,
+            },
+        )
+    return System(circuit)
 
 
 @dataclass(frozen=True)

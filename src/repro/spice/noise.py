@@ -24,9 +24,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import SimulationError
+from . import linalg
 from .dc import OperatingPointResult, dc_operating_point
-from .engine import linearize_ac
-from .mna import System, evaluate_mosfet
+from .engine import compiled_enabled, linearize_ac, sparse_pattern_for
+from .mna import System, evaluate_mosfet, system_for_op
 from .netlist import Circuit, Mosfet, Resistor, VoltageSource
 
 __all__ = ["NoiseResult", "noise_analysis", "BOLTZMANN", "TEMPERATURE"]
@@ -137,7 +138,7 @@ def noise_analysis(
     """
     if op is None:
         op = dc_operating_point(circuit)
-    system = op.system
+    system = system_for_op(circuit, op.system)
     freqs = np.asarray(frequencies, dtype=float)
     if np.any(freqs <= 0):
         raise SimulationError("noise frequencies must be positive")
@@ -187,11 +188,26 @@ def noise_analysis(
                     system.index(element.ns),
                 )
             )
+    sparse = compiled_enabled() and linalg.use_sparse(system.size)
+    pattern = sparse_pattern_for(system) if sparse else None
+    if sparse:
+        g_data = pattern.gather(g_mat)
+        c_data = pattern.gather(c_mat)
+        e_out_c = e_out.astype(complex)
     for k, freq in enumerate(freqs):
-        y = g_mat + (2j * math.pi * freq) * c_mat
         # Adjoint solve: z[a] is the output voltage produced by a unit
         # current injected into node a.
-        z = np.linalg.solve(y.T, e_out)
+        try:
+            if sparse:
+                data = g_data + (2j * math.pi * freq) * c_data
+                z = linalg.SparseFactor(pattern.csc(data)).solve_t(e_out_c)
+            else:
+                y = g_mat + (2j * math.pi * freq) * c_mat
+                z = np.linalg.solve(y.T, e_out)
+        except np.linalg.LinAlgError as exc:
+            raise SimulationError(
+                f"{circuit.title}: singular noise system at {freq:g} Hz"
+            ) from exc
         for name, psd_const, flicker_coeff, a, b in noisy:
             psd_i = psd_const
             if flicker_coeff:

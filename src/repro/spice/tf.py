@@ -82,10 +82,16 @@ class RationalTransfer:
         return num / den
 
     def dominant_pole_hz(self) -> float:
+        """|Re| of the slowest stable pole, in Hz.
+
+        Same semantics as ``AweApproximant.dominant_pole_hz``: for a
+        complex-conjugate pair the corner is set by the decay rate
+        |Re(p)|, not the pole magnitude.
+        """
         stable = [p for p in self.poles() if p.real < 0]
         if not stable:
             raise SimulationError("no stable poles")
-        return float(min(abs(p) for p in stable) / (2.0 * math.pi))
+        return float(min(abs(p.real) for p in stable) / (2.0 * math.pi))
 
     def is_stable(self) -> bool:
         return bool(np.all(np.real(self.poles()) < 1e-6))

@@ -15,9 +15,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConvergenceError, SimulationError
-from .dc import MAX_STEP, OperatingPointResult, dc_operating_point
-from .engine import assemble_tran
-from .mna import System
+from .dc import (
+    MAX_STEP,
+    RESIDUAL_TOL,
+    VOLTAGE_TOL,
+    OperatingPointResult,
+    dc_operating_point,
+)
+from .engine import assemble_tran, solve_assembled
+from .mna import System, system_for_op
 from .netlist import Capacitor, Circuit
 
 __all__ = ["TransientResult", "transient_analysis"]
@@ -59,18 +65,34 @@ def _newton_tran(
     for _ in range(max_iter):
         res, jac = assemble_tran(system, x, x_prev, cap_currents, t, h, gmin)
         try:
-            dx = np.linalg.solve(jac, -res)
+            dx = solve_assembled(system, jac, -res, kind="tran", key=(h, gmin))
         except np.linalg.LinAlgError:
             return None
         if not np.all(np.isfinite(dx)):
             return None
-        max_dx = float(np.max(np.abs(dx), initial=0.0))
+        max_dx = float(np.max(np.abs(dx[: system.n_nodes]), initial=0.0))
         if max_dx > MAX_STEP:
             dx *= MAX_STEP / max_dx
-            max_dx = MAX_STEP
         x += dx
-        if max_dx < 1e-9:
-            return x
+        # Same SPICE-style reltol·|v| + abstol step gate as DC
+        # ``_newton``: an ill-conditioned Jacobian turns the
+        # floating-point residual floor into a dx noise floor that
+        # scales with the solution, so the old absolute ``1e-9`` gate
+        # stalled high-voltage steps that had in fact converged.
+        v_scale = float(np.max(np.abs(x[: system.n_nodes]), initial=0.0))
+        if max_dx < VOLTAGE_TOL * (1.0 + v_scale):
+            res_norm = float(np.max(np.abs(res)))
+            # Scaled residual check against the circuit's own current
+            # scale, with the absolute RESIDUAL_TOL floor kept for
+            # small-signal circuits.
+            i_scale = float(np.max(np.abs(jac) @ np.abs(x), initial=0.0))
+            if res_norm < RESIDUAL_TOL * (1.0 + i_scale):
+                return x
+            x_scale = float(np.max(np.abs(x), initial=0.0))
+            if res_norm < 1e-6 and float(
+                np.max(np.abs(dx))
+            ) < VOLTAGE_TOL * (1.0 + x_scale):
+                return x
     return None
 
 
@@ -93,7 +115,7 @@ def transient_analysis(
         raise SimulationError(f"bad transient range t_stop={t_stop}, dt={dt}")
     if op is None:
         op = dc_operating_point(circuit, gmin=gmin)
-    system = op.system
+    system = system_for_op(circuit, op.system)
     times = [0.0]
     solutions = [op.x.copy()]
     cap_currents: dict[str, float] = {

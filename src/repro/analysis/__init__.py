@@ -1,0 +1,63 @@
+"""Spec feasibility analyzer: interval abstract interpretation over APE.
+
+The package sits between the estimator (:mod:`repro.opamp`) and the
+synthesis engine (:mod:`repro.synthesis`): it propagates interval
+bounds through the same square-law performance equations the estimator
+evaluates — technology card, parameter box, level-1 device sizing,
+level-2 components, level-3 op-amp composition — and proves, without a
+single Newton solve, whether any point of the annealer's search box can
+satisfy a specification.  On top of the interval engine it ships a
+rule catalog with stable F/C/W codes (see ``docs/LINTING.md``) and a
+sound box contraction that shrinks each parameter range to the
+sub-interval that can possibly meet the spec.
+"""
+
+from .contract import GE_SLACK, LE_SLACK, contract_box
+from .core import REPORT_SCHEMA, AnalysisReport, analyze_opamp, analyze_problem
+from .interval import Interval, IntervalDomainError, Num, iexp, ilog, imax, imin, isqrt
+from .model import BOUNDED_METRICS, MetricModel, UnsupportedTopologyError
+from .rules import (
+    SEVERITIES,
+    AnalysisContext,
+    Finding,
+    Rule,
+    get_rule,
+    register_rule,
+    registered_rules,
+    run_rules,
+    structural_gain_limit,
+)
+from .screen import TopologyVerdict, default_topology_choices, screen_topologies
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "BOUNDED_METRICS",
+    "Finding",
+    "GE_SLACK",
+    "Interval",
+    "IntervalDomainError",
+    "LE_SLACK",
+    "MetricModel",
+    "Num",
+    "REPORT_SCHEMA",
+    "Rule",
+    "SEVERITIES",
+    "TopologyVerdict",
+    "UnsupportedTopologyError",
+    "analyze_opamp",
+    "analyze_problem",
+    "contract_box",
+    "default_topology_choices",
+    "get_rule",
+    "iexp",
+    "ilog",
+    "imax",
+    "imin",
+    "isqrt",
+    "register_rule",
+    "registered_rules",
+    "run_rules",
+    "screen_topologies",
+    "structural_gain_limit",
+]

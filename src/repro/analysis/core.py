@@ -1,0 +1,291 @@
+"""Analysis entry points: spec feasibility over a template or problem.
+
+Two levels of entry:
+
+* :func:`analyze_opamp` — the synthesis engine's hook: given a sized
+  template, the annealer's variable box, and the synthesis spec, run
+  the interval model, the rule catalog, and (optionally) the box
+  contraction, returning an :class:`AnalysisReport`.
+* :func:`analyze_problem` — the CLI's hook: given only (technology,
+  Table-1 spec, topology), build the template the way ``repro
+  synthesize`` would (APE sizing with the coarse fallback ladder) and
+  delegate; when even the coarse sizing fails, the spec-only rules
+  (empty windows, structural gain ceiling) still run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from .contract import contract_box
+from .interval import Interval, IntervalDomainError
+from .model import MetricModel, UnsupportedTopologyError
+from .rules import SEVERITIES, AnalysisContext, Finding, run_rules
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..opamp.estimator import OpAmp
+    from ..opamp.topology import OpAmpSpec, OpAmpTopology
+    from ..synthesis.problems import Variable
+    from ..synthesis.specs import SynthesisSpec
+    from ..technology import Technology
+
+__all__ = ["AnalysisReport", "analyze_opamp", "analyze_problem", "REPORT_SCHEMA"]
+
+#: Schema tag stamped into :meth:`AnalysisReport.to_dict`.
+REPORT_SCHEMA = "repro-analysis/1"
+
+#: Box modes :func:`analyze_problem` accepts (mirrors ``repro synthesize``).
+BOX_MODES = ("ape", "standalone")
+
+
+def _json_num(value: float) -> float | str:
+    """JSON-safe endpoint: infinities become strings, finite stay float."""
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _json_range(pair: tuple[float, float]) -> list[float | str]:
+    return [_json_num(pair[0]), _json_num(pair[1])]
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Everything the feasibility analysis proved about one problem."""
+
+    #: Problem/template name the analysis ran against.
+    name: str
+    #: Box mode: ``"template"`` (caller-supplied variables), ``"ape"``,
+    #: ``"standalone"``, or ``"spec-only"`` (no template available).
+    mode: str
+    #: False when the topology is outside the closed-form interval
+    #: model — only spec-level rules were checked.
+    topology_supported: bool
+    findings: tuple[Finding, ...]
+    #: Guaranteed metric intervals over the box (empty without a model).
+    bounds: Mapping[str, Interval]
+    #: The analyzed parameter box (variable name → (lo, hi)).
+    box: Mapping[str, tuple[float, float]]
+    #: The spec-consistent sub-box, or ``None`` when contraction was
+    #: disabled, unavailable, or the whole box is provably infeasible.
+    contracted: Mapping[str, tuple[float, float]] | None
+
+    @property
+    def feasible(self) -> bool:
+        """True when no rule *proved* the spec unsatisfiable."""
+        return not any(f.severity == "error" for f in self.findings)
+
+    @property
+    def error_codes(self) -> tuple[str, ...]:
+        return tuple(
+            sorted({f.code for f in self.findings if f.severity == "error"})
+        )
+
+    def counts(self) -> dict[str, int]:
+        out = {severity: 0 for severity in SEVERITIES}
+        for f in self.findings:
+            out[f.severity] += 1
+        return out
+
+    def contraction_summary(self) -> list[tuple[str, tuple[float, float], tuple[float, float]]]:
+        """Variables whose range actually shrank: (name, before, after)."""
+        if self.contracted is None:
+            return []
+        out = []
+        for name in sorted(self.box):
+            before = self.box[name]
+            after = self.contracted.get(name, before)
+            if after != before:
+                out.append((name, before, after))
+        return out
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "name": self.name,
+            "mode": self.mode,
+            "feasible": self.feasible,
+            "topology_supported": self.topology_supported,
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.findings],
+            "bounds": {
+                metric: _json_range((iv.lo, iv.hi))
+                for metric, iv in sorted(self.bounds.items())
+            },
+            "box": {
+                name: _json_range(pair) for name, pair in sorted(self.box.items())
+            },
+            "contracted": None
+            if self.contracted is None
+            else {
+                name: _json_range(pair)
+                for name, pair in sorted(self.contracted.items())
+            },
+        }
+
+    def render_text(self) -> str:
+        lines = [f"feasibility analysis: {self.name} [{self.mode}]"]
+        counts = self.counts()
+        verdict = "FEASIBLE" if self.feasible else "INFEASIBLE"
+        if not self.topology_supported:
+            verdict += " (spec-level checks only; topology not modeled)"
+        lines.append(
+            f"  verdict: {verdict} "
+            f"({counts['error']} errors, {counts['warning']} warnings, "
+            f"{counts['info']} notes)"
+        )
+        if self.bounds:
+            lines.append("  proven metric bounds over the box:")
+            for metric in sorted(self.bounds):
+                iv = self.bounds[metric]
+                lines.append(f"    {metric:>10}: [{iv.lo:.4g}, {iv.hi:.4g}]")
+        for f in self.findings:
+            lines.append(f"  {f.render()}")
+        shrunk = self.contraction_summary()
+        if shrunk:
+            lines.append("  contracted ranges:")
+            for name, (b_lo, b_hi), (a_lo, a_hi) in shrunk:
+                lines.append(
+                    f"    {name}: [{b_lo:.4g}, {b_hi:.4g}] -> "
+                    f"[{a_lo:.4g}, {a_hi:.4g}]"
+                )
+        elif self.contracted is not None:
+            lines.append("  contraction: no range could be shrunk")
+        return "\n".join(lines)
+
+
+def _unsupported_finding(reason: str) -> Finding:
+    return Finding(
+        code="W604",
+        severity="warning",
+        message=reason,
+        fix_hint=(
+            "only spec-level rules were checked; interval bounds are "
+            "unavailable for this topology"
+        ),
+        rule_name="unsupported-topology",
+    )
+
+
+def analyze_opamp(
+    template: "OpAmp",
+    variables: Sequence["Variable"],
+    synthesis_spec: "SynthesisSpec",
+    *,
+    contract: bool = True,
+    mode: str = "template",
+) -> AnalysisReport:
+    """Feasibility analysis of a sized template over a variable box."""
+    box = {v.name: (v.lo, v.hi) for v in variables}
+    model: MetricModel | None
+    bounds: dict[str, Interval]
+    unsupported: Finding | None = None
+    try:
+        model = MetricModel(template)
+        bounds = model.bounds(box)
+    except (UnsupportedTopologyError, IntervalDomainError) as exc:
+        model = None
+        bounds = {}
+        unsupported = _unsupported_finding(str(exc))
+
+    context = AnalysisContext(
+        spec=synthesis_spec,
+        tech=template.tech,
+        model=model,
+        box=box,
+        bounds=bounds,
+    )
+    findings = run_rules(context)
+    if unsupported is not None:
+        findings.append(unsupported)
+
+    contracted: dict[str, tuple[float, float]] | None = None
+    if contract and model is not None:
+        contracted = contract_box(model, box, synthesis_spec.constraints)
+
+    return AnalysisReport(
+        name=template.name,
+        mode=mode,
+        topology_supported=model is not None,
+        findings=tuple(findings),
+        bounds=bounds,
+        box=box,
+        contracted=contracted,
+    )
+
+
+def _spec_only_report(
+    name: str,
+    tech: "Technology",
+    synthesis_spec: "SynthesisSpec",
+    reason: str,
+) -> AnalysisReport:
+    context = AnalysisContext(
+        spec=synthesis_spec, tech=tech, model=None, box={}, bounds={}
+    )
+    findings = run_rules(context)
+    findings.append(_unsupported_finding(reason))
+    return AnalysisReport(
+        name=name,
+        mode="spec-only",
+        topology_supported=False,
+        findings=tuple(findings),
+        bounds={},
+        box={},
+        contracted=None,
+    )
+
+
+def analyze_problem(
+    tech: "Technology",
+    spec: "OpAmpSpec",
+    topology: "OpAmpTopology | None" = None,
+    synthesis_spec: "SynthesisSpec | None" = None,
+    *,
+    mode: str = "ape",
+    range_factor: float = 0.2,
+    contract: bool = True,
+    name: str = "opamp",
+) -> AnalysisReport:
+    """Feasibility analysis from raw (technology, spec, topology).
+
+    Builds the same template ``repro synthesize`` would — exact APE
+    sizing first, then the coarse relaxation ladder — and analyzes the
+    resulting parameter box against the synthesis spec.  When even the
+    coarse sizing fails, the spec-only rules still run (an inconsistent
+    or structurally impossible spec should be reported, not crash).
+    """
+    from ..errors import EstimationError
+    from ..opamp.estimator import coarse_design_opamp, design_opamp
+    from ..synthesis.problems import ape_ranges, standalone_ranges
+    from ..synthesis.specs import opamp_synthesis_spec
+
+    if mode not in BOX_MODES:
+        raise ValueError(f"mode must be one of {BOX_MODES}, got {mode!r}")
+    synth = synthesis_spec if synthesis_spec is not None else opamp_synthesis_spec(spec)
+
+    template: "OpAmp | None" = None
+    try:
+        template = design_opamp(tech, spec, topology, name)
+    except EstimationError:
+        try:
+            template, _diags = coarse_design_opamp(tech, spec, topology, name)
+        except EstimationError as exc:
+            return _spec_only_report(
+                name,
+                tech,
+                synth,
+                f"{name}: no template available — APE sizing failed even "
+                f"after relaxation ({exc})",
+            )
+
+    variables = (
+        ape_ranges(template, range_factor)
+        if mode == "ape"
+        else standalone_ranges(template)
+    )
+    return analyze_opamp(
+        template, variables, synth, contract=contract, mode=mode
+    )

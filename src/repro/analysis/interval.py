@@ -1,0 +1,235 @@
+"""Sound interval arithmetic for the spec feasibility analyzer.
+
+The abstract domain is the closed real interval ``[lo, hi]`` (endpoints
+may be infinite).  Every operation returns an interval that contains
+the exact real-arithmetic image of its operands, and — because the
+concrete estimator evaluates the *same* expressions in IEEE floats —
+every result is additionally inflated outward by a few ulps so that
+float rounding on either side can never break containment.
+
+Domain conventions (exercised by the property tests):
+
+* division by an interval straddling zero widens to the half-line(s)
+  reachable from the numerator, up to the full extended real line;
+* ``log`` over an interval that crosses zero is evaluated over the
+  intersection with the domain ``(0, inf)`` (lower bound ``-inf``);
+* ``sqrt`` clips its argument to ``[0, inf)`` the same way.
+
+Both clips are sound for the analyzer's use: the concrete model only
+ever feeds these functions non-negative values, and an interval that
+merely *reaches* below zero still has its in-domain image contained.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["Interval", "IntervalDomainError", "Num", "isqrt", "ilog", "iexp", "imin", "imax"]
+
+#: Ulps of outward inflation applied to every inexact operation.  Two
+#: cover a correctly rounded primitive on each side; four leave margin
+#: for libm functions that are only faithfully rounded.
+_ULPS = 4
+
+Num = Union[float, "Interval"]
+
+
+class IntervalDomainError(ValueError):
+    """An interval lies entirely outside a function's domain."""
+
+
+def _widen(lo: float, hi: float) -> tuple[float, float]:
+    """Inflate ``[lo, hi]`` outward by :data:`_ULPS` ulps per side."""
+    for _ in range(_ULPS):
+        lo = math.nextafter(lo, -math.inf)
+        hi = math.nextafter(hi, math.inf)
+    return lo, hi
+
+
+def _mul_ep(x: float, y: float) -> float:
+    """Endpoint product with the IEEE ``0 * inf -> nan`` case pinned to 0."""
+    if x == 0.0 or y == 0.0:
+        return 0.0
+    return x * y
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` over the extended reals."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError("interval endpoints must not be NaN")
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval: lo={self.lo} > hi={self.hi}")
+
+    # -- constructors / predicates ------------------------------------
+
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        return cls(value, value)
+
+    @classmethod
+    def coerce(cls, value: "Num") -> "Interval":
+        if isinstance(value, Interval):
+            return value
+        return cls(float(value), float(value))
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        return Interval(lo, hi) if lo <= hi else None
+
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __repr__(self) -> str:
+        return f"Interval({self.lo!r}, {self.hi!r})"
+
+    # -- arithmetic ----------------------------------------------------
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)  # exact
+
+    def __add__(self, other: "Num") -> "Interval":
+        o = Interval.coerce(other)
+        return Interval(*_widen(self.lo + o.lo, self.hi + o.hi))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Num") -> "Interval":
+        o = Interval.coerce(other)
+        return Interval(*_widen(self.lo - o.hi, self.hi - o.lo))
+
+    def __rsub__(self, other: "Num") -> "Interval":
+        return Interval.coerce(other) - self
+
+    def __mul__(self, other: "Num") -> "Interval":
+        o = Interval.coerce(other)
+        products = (
+            _mul_ep(self.lo, o.lo),
+            _mul_ep(self.lo, o.hi),
+            _mul_ep(self.hi, o.lo),
+            _mul_ep(self.hi, o.hi),
+        )
+        return Interval(*_widen(min(products), max(products)))
+
+    __rmul__ = __mul__
+
+    def reciprocal(self) -> "Interval":
+        """``1 / self`` with zero-crossing semantics.
+
+        A divisor straddling zero (strictly, or the degenerate ``[0,
+        0]``) yields the full extended line; a divisor touching zero at
+        one endpoint yields the corresponding half-line.
+        """
+        lo, hi = self.lo, self.hi
+        if lo < 0.0 < hi or (lo == 0.0 and hi == 0.0):
+            return Interval(-math.inf, math.inf)
+        if lo == 0.0:  # [0, hi], hi > 0
+            return Interval(*_widen(1.0 / hi, math.inf))
+        if hi == 0.0:  # [lo, 0], lo < 0
+            return Interval(*_widen(-math.inf, 1.0 / lo))
+        inv_lo = 0.0 if math.isinf(hi) else 1.0 / hi
+        inv_hi = 0.0 if math.isinf(lo) else 1.0 / lo
+        return Interval(*_widen(inv_lo, inv_hi))
+
+    def __truediv__(self, other: "Num") -> "Interval":
+        return self * Interval.coerce(other).reciprocal()
+
+    def __rtruediv__(self, other: "Num") -> "Interval":
+        return Interval.coerce(other) * self.reciprocal()
+
+    def __pow__(self, exponent: int) -> "Interval":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise ValueError(
+                f"interval power supports non-negative integers, got {exponent!r}"
+            )
+        if exponent == 0:
+            return Interval.point(1.0)
+        candidates = [self.lo**exponent, self.hi**exponent]
+        if exponent % 2 == 0 and self.lo < 0.0 < self.hi:
+            candidates.append(0.0)
+        return Interval(*_widen(min(candidates), max(candidates)))
+
+    def __abs__(self) -> "Interval":
+        if self.lo >= 0.0:
+            return self
+        if self.hi <= 0.0:
+            return -self
+        return Interval(0.0, max(-self.lo, self.hi))  # exact
+
+
+# -- generic numeric helpers (float or Interval) ------------------------
+#
+# The metric model is written once over these; with floats it IS the
+# concrete estimator, with intervals it is the abstract interpreter, so
+# containment holds by construction.
+
+
+def isqrt(value: Num) -> Num:
+    """Square root; interval arguments are clipped to ``[0, inf)``."""
+    if isinstance(value, Interval):
+        if value.hi < 0.0:
+            raise IntervalDomainError(f"sqrt of all-negative interval {value}")
+        lo = math.sqrt(max(value.lo, 0.0))
+        hi = math.inf if math.isinf(value.hi) else math.sqrt(value.hi)
+        lo, hi = _widen(lo, hi)
+        return Interval(max(lo, 0.0), hi)
+    return math.sqrt(value)
+
+
+def ilog(value: Num) -> Num:
+    """Natural log; interval arguments are clipped to ``(0, inf)``."""
+    if isinstance(value, Interval):
+        if value.hi <= 0.0:
+            raise IntervalDomainError(f"log of non-positive interval {value}")
+        lo = -math.inf if value.lo <= 0.0 else math.log(value.lo)
+        hi = math.inf if math.isinf(value.hi) else math.log(value.hi)
+        return Interval(*_widen(lo, hi))
+    return math.log(value)
+
+
+def iexp(value: Num) -> Num:
+    if isinstance(value, Interval):
+        try:
+            lo = math.exp(value.lo)
+        except OverflowError:
+            lo = math.inf
+        try:
+            hi = math.exp(value.hi)
+        except OverflowError:
+            hi = math.inf
+        lo, hi = _widen(lo, hi)
+        return Interval(max(lo, 0.0), hi)
+    return math.exp(value)
+
+
+def imin(a: Num, b: Num) -> Num:
+    if isinstance(a, Interval) or isinstance(b, Interval):
+        ia, ib = Interval.coerce(a), Interval.coerce(b)
+        return Interval(min(ia.lo, ib.lo), min(ia.hi, ib.hi))  # exact
+    return min(a, b)
+
+
+def imax(a: Num, b: Num) -> Num:
+    if isinstance(a, Interval) or isinstance(b, Interval):
+        ia, ib = Interval.coerce(a), Interval.coerce(b)
+        return Interval(max(ia.lo, ib.lo), max(ia.hi, ib.hi))  # exact
+    return max(a, b)

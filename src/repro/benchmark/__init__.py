@@ -1,13 +1,19 @@
 """Benchmark suites plus the typed report schema they emit.
 
-Four suites — the engine hot path (:func:`run_engine_benchmark`), the
+Five suites — the engine hot path (:func:`run_engine_benchmark`), the
 parallel multi-chain executor (:func:`run_parallel_benchmark`),
-corner-robust synthesis (:func:`run_robust_benchmark`) and the
-sparse/batched linear-solve core (:func:`run_sparse_benchmark`) — all
+corner-robust synthesis (:func:`run_robust_benchmark`), the
+sparse/batched linear-solve core (:func:`run_sparse_benchmark`) and
+the static feasibility gate (:func:`run_analysis_benchmark`) — all
 return a :class:`~repro.benchmark.report.BenchReport`, the single
 validated schema behind every committed ``BENCH_*.json``.
 """
 
+from .analysis import (
+    ANALYSIS_TARGETS,
+    render_analysis_report,
+    run_analysis_benchmark,
+)
 from .report import (
     REGRESSION_TOLERANCE,
     SCHEMA,
@@ -51,14 +57,17 @@ __all__ = [
     "load_report",
     "write_report",
     "check_regression",
+    "run_analysis_benchmark",
     "run_engine_benchmark",
     "run_parallel_benchmark",
     "run_robust_benchmark",
     "run_sparse_benchmark",
+    "render_analysis_report",
     "render_report",
     "render_parallel_report",
     "render_robust_report",
     "render_sparse_report",
+    "ANALYSIS_TARGETS",
     "SPEEDUP_TARGETS",
     "PARALLEL_SPEEDUP_TARGETS",
     "SUPERVISED_OVERHEAD_TARGET",

@@ -1,0 +1,284 @@
+"""Static-analysis benchmark: the feasibility gate vs the annealer.
+
+Two A/B legs justify wiring interval analysis in front of synthesis:
+
+* **Rejection speed** — a provably infeasible spec (gain beyond the
+  structural two-stage limit) is handed once to the classic budgeted
+  flow, which burns its whole evaluation budget failing, and once to
+  ``feasibility="reject"``, which proves infeasibility from interval
+  bounds alone and returns with **zero** Newton solves.  The measure is
+  how many times cheaper the static verdict is.
+* **Box contraction** — the Table-3 OpAmp1 leg in ``standalone`` mode
+  (the paper's wide parameter ranges) run twice from the same seed and
+  budget: once on the raw box, once with ``feasibility="contract"``
+  shrinking each range to the sub-interval that can still meet the
+  spec.  The measure is evaluations-to-target: how many annealer
+  evaluations each leg needs before its running best cost reaches the
+  worse of the two final costs.  The contracted leg must also end at a
+  final cost no worse than the raw one.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from .report import BenchMeasure, BenchReport, BenchTarget
+
+__all__ = [
+    "ANALYSIS_TARGETS",
+    "render_analysis_report",
+    "run_analysis_benchmark",
+]
+
+#: Rejecting an infeasible spec statically must be at least 100x
+#: cheaper than discovering the failure with a budgeted annealer run;
+#: the contracted box must reach the common cost target in no more
+#: evaluations than the raw box (ratio >= 1), at a final cost no worse
+#: (ratio >= 1, equality allowed).
+ANALYSIS_TARGETS = {
+    "infeasible_reject_speedup": 100.0,
+    "contract_evals_to_target": 1.0,
+    "contract_final_cost": 1.0,
+}
+
+
+def _evals_to_target(history: list[float], target: float) -> int:
+    """Evaluations until the running best cost first reaches ``target``."""
+    best = math.inf
+    for index, cost in enumerate(history):
+        best = min(best, cost)
+        if best <= target:
+            return index + 1
+    return len(history)
+
+
+def run_analysis_benchmark(
+    *,
+    quick: bool = False,
+    seed: int = 1,
+    max_evaluations: int | None = None,
+    reject_repeats: int = 5,
+) -> BenchReport:
+    """A/B the static feasibility gate against budgeted synthesis."""
+    from ..opamp import OpAmpSpec
+    from ..runtime.diagnostics import DiagnosticLog
+    from ..synthesis import synthesize_opamp
+
+    if max_evaluations is None:
+        max_evaluations = 40 if quick else 120
+
+    from ..technology import generic_05um
+
+    tech = generic_05um()
+
+    # ---- leg 1: provably infeasible spec (gain beyond the structural
+    # two-stage limit), classic flow vs static rejection -------------
+    bad_spec = OpAmpSpec(gain=1e6, ugf=1.3e6, ibias=1e-6, cl=10e-12)
+    common = dict(
+        mode="ape", max_evaluations=max_evaluations, seed=seed,
+        name="infeasible", tolerant=True,
+        diagnostics=DiagnosticLog(mirror=False),
+    )
+
+    # Warm imports/caches so the timed legs compare algorithms, not
+    # first-touch module loading.
+    synthesize_opamp(tech, bad_spec, feasibility="reject", **common)
+
+    start = time.perf_counter()
+    budgeted = synthesize_opamp(tech, bad_spec, feasibility="off", **common)
+    budgeted_seconds = time.perf_counter() - start
+
+    reject_seconds = math.inf
+    reject = None
+    for _ in range(reject_repeats):
+        start = time.perf_counter()
+        reject = synthesize_opamp(
+            tech, bad_spec, feasibility="reject", **common
+        )
+        reject_seconds = min(reject_seconds, time.perf_counter() - start)
+    assert reject is not None
+    reject_codes = (
+        list(reject.feasibility.error_codes)
+        if reject.feasibility is not None else []
+    )
+    speedup = (
+        budgeted_seconds / reject_seconds if reject_seconds > 0
+        else float("inf")
+    )
+
+    # ---- leg 2: area-budgeted OpAmp1 on the wide standalone box, raw
+    # vs contracted.  The finite gate-area cap is what gives the
+    # contractor leverage: it proves the top decades of every device
+    # width dead before the annealer wastes evaluations there.  Three
+    # seeds are aggregated so one lucky (or unlucky) random walk does
+    # not decide the verdict. -----------------------------------------
+    spec = OpAmpSpec(
+        gain=206.0, ugf=1.3e6, ibias=1e-6, cl=10e-12, area=3e-11
+    )
+    seeds = tuple(range(seed, seed + 3))
+    raw_evals = 0
+    con_evals = 0
+    raw_costs: list[float] = []
+    con_costs: list[float] = []
+    per_seed: list[dict] = []
+    raw_seconds = 0.0
+    contracted_seconds = 0.0
+    cuts: dict[str, list[float]] = {}
+    for leg_seed in seeds:
+        common = dict(
+            mode="standalone", max_evaluations=max_evaluations,
+            seed=leg_seed, name="OpAmp1", tolerant=True,
+            diagnostics=DiagnosticLog(mirror=False),
+        )
+        start = time.perf_counter()
+        raw = synthesize_opamp(tech, spec, feasibility="off", **common)
+        raw_seconds += time.perf_counter() - start
+
+        start = time.perf_counter()
+        contracted = synthesize_opamp(
+            tech, spec, feasibility="contract", **common
+        )
+        contracted_seconds += time.perf_counter() - start
+
+        raw_history = (
+            raw.chains[0].history if raw.chains else [raw.best_cost]
+        )
+        con_history = (
+            contracted.chains[0].history if contracted.chains
+            else [contracted.best_cost]
+        )
+        target_cost = max(raw.best_cost, contracted.best_cost)
+        seed_raw = _evals_to_target(raw_history, target_cost)
+        seed_con = _evals_to_target(con_history, target_cost)
+        raw_evals += seed_raw
+        con_evals += seed_con
+        raw_costs.append(raw.best_cost)
+        con_costs.append(contracted.best_cost)
+        per_seed.append({
+            "seed": leg_seed,
+            "target_cost": target_cost,
+            "raw_evals_to_target": seed_raw,
+            "contracted_evals_to_target": seed_con,
+            "raw_best_cost": raw.best_cost,
+            "contracted_best_cost": contracted.best_cost,
+        })
+        if not cuts and contracted.feasibility is not None:
+            cuts = {
+                name: [after[0], after[1]]
+                for name, _before, after
+                in contracted.feasibility.contraction_summary()
+            }
+    raw_mean_cost = sum(raw_costs) / len(raw_costs)
+    con_mean_cost = sum(con_costs) / len(con_costs)
+
+    measures = {
+        "infeasible_reject_speedup": BenchMeasure(
+            name="infeasible_reject_speedup",
+            value=reject_seconds,
+            baseline=budgeted_seconds,
+            ratio=speedup,
+            unit="s",
+            detail={
+                "budgeted_seconds": budgeted_seconds,
+                "reject_seconds": reject_seconds,
+                "budgeted_evaluations": budgeted.evaluations,
+                "reject_evaluations": reject.evaluations,
+                "reject_codes": reject_codes,
+                "budgeted_meets_spec": budgeted.meets_spec,
+            },
+        ),
+        "contract_evals_to_target": BenchMeasure(
+            name="contract_evals_to_target",
+            value=float(con_evals),
+            baseline=float(raw_evals),
+            ratio=(raw_evals / con_evals) if con_evals else float("inf"),
+            unit="evaluations",
+            detail={
+                "seeds": list(seeds),
+                "per_seed": per_seed,
+                "raw_evals_to_target": raw_evals,
+                "contracted_evals_to_target": con_evals,
+                "raw_seconds": raw_seconds,
+                "contracted_seconds": contracted_seconds,
+                "contracted_ranges": cuts,
+            },
+        ),
+        "contract_final_cost": BenchMeasure(
+            name="contract_final_cost",
+            value=con_mean_cost,
+            baseline=raw_mean_cost,
+            ratio=(
+                raw_mean_cost / con_mean_cost
+                if con_mean_cost > 0 else float("inf")
+            ),
+            unit="cost",
+            detail={
+                "raw_best_costs": raw_costs,
+                "contracted_best_costs": con_costs,
+                "raw_mean_cost": raw_mean_cost,
+                "contracted_mean_cost": con_mean_cost,
+            },
+        ),
+    }
+    return BenchReport(
+        suite="analysis",
+        generated_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        quick=quick,
+        baseline=(
+            "classic synthesize_opamp legs with feasibility='off' "
+            "(same seed, budget, topology and box)"
+        ),
+        measures=measures,
+        targets=tuple(
+            BenchTarget(name, "floor", floor)
+            for name, floor in ANALYSIS_TARGETS.items()
+        ),
+        context={
+            "workload": {
+                "name": "feasibility_gate",
+                "description": (
+                    "leg 1: gain=1e6 infeasible spec, budgeted APE-mode "
+                    "failure vs static reject; leg 2: area-budgeted "
+                    "OpAmp1 standalone-mode legs, raw vs contracted box "
+                    f"({max_evaluations} evaluations, "
+                    f"seeds {seeds[0]}-{seeds[-1]})"
+                ),
+                "max_evaluations_per_chain": max_evaluations,
+                "seeds": list(seeds),
+                "reject_repeats": reject_repeats,
+            },
+        },
+    )
+
+
+def render_analysis_report(report: BenchReport) -> str:
+    """Human-readable summary of a :func:`run_analysis_benchmark` report."""
+    met = report.target_results()
+    targets = {t.measure: t for t in report.targets}
+    rej = report.measures["infeasible_reject_speedup"]
+    evals = report.measures["contract_evals_to_target"]
+    cost = report.measures["contract_final_cost"]
+    codes = ",".join(rej.detail["reject_codes"]) or "-"
+    lines = [
+        f"analysis benchmark ({'quick' if report.quick else 'full'})",
+        f"workload: {report.context['workload']['description']}",
+        f"infeasible spec: budgeted failure {rej.baseline:.3f} s "
+        f"({rej.detail['budgeted_evaluations']} evals) vs static reject "
+        f"{rej.value * 1e3:.2f} ms ({codes}, 0 evals)",
+        f"  speedup {rej.ratio:.0f}x  (target "
+        f"{targets['infeasible_reject_speedup'].value:.0f}x: "
+        f"{'ok' if met['infeasible_reject_speedup'] else 'MISSED'})",
+        f"contracted box: {evals.detail['contracted_evals_to_target']} "
+        f"evals to target vs {evals.detail['raw_evals_to_target']} raw "
+        f"({evals.ratio:.2f}x, target >= "
+        f"{targets['contract_evals_to_target'].value:.1f}x: "
+        f"{'ok' if met['contract_evals_to_target'] else 'MISSED'})",
+        f"final cost: contracted {cost.value:.6g} vs raw "
+        f"{cost.baseline:.6g} "
+        f"({'ok' if met['contract_final_cost'] else 'MISSED'})",
+    ]
+    contracted = evals.detail.get("contracted_ranges") or {}
+    for name, (lo, hi) in sorted(contracted.items()):
+        lines.append(f"  contracted {name}: [{lo:.4g}, {hi:.4g}]")
+    return "\n".join(lines)

@@ -7,6 +7,9 @@ Commands mirror the library's main entry points:
 * ``estimate-component`` / ``estimate-module`` — size any level-2/4
   library entry from ``key=value`` arguments,
 * ``synthesize`` — run one APE(+/-)annealer synthesis leg,
+* ``analyze`` — static spec feasibility analysis: interval bounds over
+  the APE estimator hierarchy, no Newton solves (exit 1 when the spec
+  is provably infeasible),
 * ``simulate`` — DC/AC/transient analysis of a SPICE deck file,
 * ``lint`` — electrical rule check of SPICE deck files (text or JSON
   findings; exit 1 on error-severity findings),
@@ -185,6 +188,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--yield-target", default=None,
                    help="target yield fraction for --robust-cost yield "
                         "(default: 1.0)")
+    p.add_argument("--feasibility", default=None,
+                   choices=["off", "reject", "contract"],
+                   help="pre-solve interval feasibility gate: reject "
+                        "provably infeasible specs before any evaluation, "
+                        "or additionally contract the search box "
+                        "(default: off)")
+
+    p = sub.add_parser(
+        "analyze",
+        help="static spec feasibility analysis: interval bounds over the "
+             "APE estimator, no Newton solves (exit 1 when provably "
+             "infeasible)",
+    )
+    p.add_argument("--spec-file", default=None, metavar="PATH",
+                   help="JSON spec fixture (see examples/specs/); "
+                        "command-line flags override its entries")
+    p.add_argument("--gain", default=None,
+                   help="required unless --spec-file provides it")
+    p.add_argument("--ugf", default=None,
+                   help="required unless --spec-file provides it")
+    p.add_argument("--ibias", default=None, help="(default: 1u)")
+    p.add_argument("--cl", default=None, help="(default: 10p)")
+    p.add_argument("--area", default=None, help="(default: inf)")
+    p.add_argument("--slew-rate", default=None, help="(default: 0 = off)")
+    p.add_argument("--max-power", default=None,
+                   help="extra dc_power <= BOUND constraint [W]")
+    p.add_argument("--current-source", default=None,
+                   choices=["mirror", "wilson", "cascode"])
+    p.add_argument("--diff-pair", default=None, choices=["cmos", "nmos"])
+    p.add_argument("--buffer", action="store_true", default=None)
+    p.add_argument("--z-load", default=None)
+    p.add_argument("--mode", default=None, choices=["ape", "standalone"],
+                   help="parameter box to analyze: +/-20%% around the APE "
+                        "template, or the paper's wide standalone ranges "
+                        "(default: ape)")
+    p.add_argument("--no-contract", action="store_true",
+                   help="skip the sound box contraction pass")
+    p.add_argument("--screen", action="store_true",
+                   help="rank the structural topology catalog by static "
+                        "feasibility instead of analyzing one candidate")
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="report format (default: text)")
 
     p = sub.add_parser(
         "bench",
@@ -192,12 +237,15 @@ def build_parser() -> argparse.ArgumentParser:
              "corner-robust synthesis and the sparse/batched solve core",
     )
     p.add_argument("--suite", default="engine",
-                   choices=["engine", "parallel", "robust", "sparse", "all"],
+                   choices=["engine", "parallel", "robust", "sparse",
+                            "analysis", "all"],
                    help="engine: compiled vs naive assembly; parallel: "
                         "multi-chain executor vs serial legs; robust: "
                         "corner-aware vs nominal-only synthesis; sparse: "
                         "sparse vs dense solves and batched vs scalar "
-                        "candidate evaluation (default: engine)")
+                        "candidate evaluation; analysis: static "
+                        "feasibility gate vs budgeted synthesis "
+                        "(default: engine)")
     p.add_argument("--quick", action="store_true",
                    help="short per-measurement floor (CI smoke mode)")
     p.add_argument("--min-time", default=None,
@@ -209,7 +257,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="report path (default: BENCH_engine.json / "
                         "BENCH_parallel.json / BENCH_robust.json / "
-                        "BENCH_sparse.json per suite)")
+                        "BENCH_sparse.json / BENCH_analysis.json "
+                        "per suite)")
     p.add_argument("--check", action="store_true",
                    help="exit non-zero when a target is missed or a "
                         "measure regressed beyond tolerance against the "
@@ -328,6 +377,7 @@ _SYNTH_SIDECAR_ARGS = (
     "gain", "ugf", "ibias", "cl", "area", "mode", "budget", "seed",
     "restarts", "retries", "deadline", "max_failures",
     "corners", "mc_samples", "robust_cost", "yield_target",
+    "feasibility",
 )
 
 
@@ -354,6 +404,7 @@ def _cmd_synthesize(args, tech) -> int:
     for key, fallback in (
         ("ibias", "1u"), ("cl", "10p"), ("area", "inf"), ("mode", "ape"),
         ("budget", 150), ("seed", 1), ("retries", 0), ("restarts", 1),
+        ("feasibility", "off"),
     ):
         if getattr(args, key, None) is None:
             setattr(args, key, fallback)
@@ -437,10 +488,16 @@ def _cmd_synthesize(args, tech) -> int:
         restarts=args.restarts, workers=args.workers,
         oversubscribe=args.oversubscribe,
         run_dir=run_dir, resume=resume, supervisor=supervisor,
-        robust=robust,
+        robust=robust, feasibility=args.feasibility,
     )
     print(f"mode:       {result.mode}")
     print(f"meets spec: {result.meets_spec} ({result.comment})")
+    if result.feasibility is not None:
+        verdict = "feasible" if result.feasibility.feasible else "INFEASIBLE"
+        codes = ",".join(
+            f.code for f in result.feasibility.findings
+        ) or "clean"
+        print(f"feasibility: {verdict} ({codes})")
     if result.degraded:
         print("degraded:   True")
     if result.metrics:
@@ -488,16 +545,119 @@ def _cmd_synthesize(args, tech) -> int:
     return 0 if result.meets_spec else 1
 
 
+def _qty(value) -> float:
+    """Coerce a CLI flag or JSON fixture value to a float quantity."""
+    if isinstance(value, str):
+        return math.inf if value == "inf" else parse_quantity(value)
+    return float(value)
+
+
+def _cmd_analyze(args, tech) -> int:
+    import json
+
+    from .analysis import analyze_problem, screen_topologies
+    from .opamp import OpAmpSpec
+    from .synthesis import opamp_synthesis_spec
+
+    fixture: dict = {}
+    if args.spec_file is not None:
+        with open(args.spec_file, "r", encoding="utf-8") as handle:
+            fixture = json.load(handle)
+        if not isinstance(fixture, dict):
+            raise ApeError(f"{args.spec_file}: expected a JSON object")
+
+    spec_in = dict(fixture.get("spec", {}))
+    # Command-line flags override fixture entries.
+    for key, flag in (
+        ("gain", args.gain), ("ugf", args.ugf), ("ibias", args.ibias),
+        ("cl", args.cl), ("area", args.area), ("slew_rate", args.slew_rate),
+    ):
+        if flag is not None:
+            spec_in[key] = flag
+    if spec_in.get("gain") is None or spec_in.get("ugf") is None:
+        raise ApeError(
+            "analyze requires --gain and --ugf (or a --spec-file "
+            "providing them)"
+        )
+    spec = OpAmpSpec(
+        gain=_qty(spec_in["gain"]),
+        ugf=_qty(spec_in["ugf"]),
+        ibias=_qty(spec_in.get("ibias", "1u")),
+        cl=_qty(spec_in.get("cl", "10p")),
+        area=_qty(spec_in.get("area", "inf")),
+        slew_rate=_qty(spec_in.get("slew_rate", 0.0)),
+    )
+
+    topo_in = dict(fixture.get("topology", {}))
+    if args.current_source is not None:
+        topo_in["current_source"] = args.current_source
+    if args.diff_pair is not None:
+        topo_in["diff_pair"] = args.diff_pair
+    if args.buffer:
+        topo_in["output_buffer"] = True
+    if args.z_load is not None:
+        topo_in["z_load"] = args.z_load
+    topology = None
+    if topo_in:
+        from .opamp.topology import OpAmpTopology
+
+        topology = OpAmpTopology(
+            current_source=topo_in.get("current_source", "mirror"),
+            diff_pair=topo_in.get("diff_pair", "cmos"),
+            gain_stage=topo_in.get("gain_stage"),
+            output_buffer=bool(topo_in.get("output_buffer", False)),
+            z_load=_qty(topo_in.get("z_load", "inf")),
+        )
+
+    synth = opamp_synthesis_spec(spec)
+    for entry in fixture.get("constraints", ()):
+        synth.require(
+            str(entry["metric"]), str(entry["kind"]), _qty(entry["bound"]),
+            weight=float(entry.get("weight", 1.0)),
+        )
+    if args.max_power is not None:
+        synth.require("dc_power", "le", _qty(args.max_power))
+
+    mode = args.mode or fixture.get("mode") or "ape"
+    name = fixture.get("name") or "opamp"
+
+    if args.screen:
+        verdicts = screen_topologies(
+            tech, spec, synthesis_spec=synth, mode=mode, name=name
+        )
+        if args.format == "json":
+            print(json.dumps([v.to_dict() for v in verdicts], indent=2))
+        else:
+            for rank, verdict in enumerate(verdicts, start=1):
+                codes = ",".join(verdict.report.error_codes) or "-"
+                print(f"{rank}. {verdict.label:24s} "
+                      f"{'feasible' if verdict.feasible else 'INFEASIBLE':10s} "
+                      f"errors: {codes}")
+        return 0 if any(v.feasible for v in verdicts) else 1
+
+    report = analyze_problem(
+        tech, spec, topology, synth,
+        mode=mode, contract=not args.no_contract, name=name,
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.feasible else 1
+
+
 def _cmd_bench(args, tech) -> int:
     import os
 
     from .benchmark import (
         check_regression,
         load_report,
+        render_analysis_report,
         render_parallel_report,
         render_report,
         render_robust_report,
         render_sparse_report,
+        run_analysis_benchmark,
         run_engine_benchmark,
         run_parallel_benchmark,
         run_robust_benchmark,
@@ -576,6 +736,14 @@ def _cmd_bench(args, tech) -> int:
         out = (
             args.out if args.suite == "sparse" and args.out
             else "BENCH_sparse.json"
+        )
+        ok = finish(report, out) and ok
+    if args.suite in ("analysis", "all"):
+        report = run_analysis_benchmark(quick=args.quick)
+        print(render_analysis_report(report))
+        out = (
+            args.out if args.suite == "analysis" and args.out
+            else "BENCH_analysis.json"
         )
         ok = finish(report, out) and ok
     if args.check and not ok:
@@ -718,6 +886,7 @@ def main(argv: list[str] | None = None) -> int:
             "estimate-component": _cmd_estimate_component,
             "estimate-module": _cmd_estimate_module,
             "synthesize": _cmd_synthesize,
+            "analyze": _cmd_analyze,
             "lint": _cmd_lint,
             "simulate": _cmd_simulate,
             "bench": _cmd_bench,

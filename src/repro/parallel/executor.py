@@ -157,6 +157,11 @@ class ChainTask:
     #: every candidate is evaluated across its corners/Monte Carlo
     #: samples and the chain anneals on the aggregated robust cost.
     robust: object | None = None
+    #: Contracted search box from the feasibility gate, as a sorted
+    #: ``((name, (lo, hi)), ...)`` tuple (``None`` = the mode's default
+    #: ranges).  Part of the problem identity: chains with different
+    #: boxes anneal different problems.
+    box_override: tuple | None = None
 
     def problem_key(self) -> bytes:
         """Signature of the sizing problem this task needs.
@@ -180,6 +185,7 @@ class ChainTask:
                 self.warm_start,
                 self.reuse_bench,
                 self.robust,
+                self.box_override,
             )
         )
 
@@ -245,7 +251,7 @@ def _heartbeat(chain_index: int) -> None:
     """Stamp this chain's liveness slot (no-op outside supervision)."""
     beats = _HEARTBEATS
     if beats is not None and 0 <= chain_index < len(beats):
-        beats[chain_index] = time.monotonic()
+        beats[chain_index] = time.monotonic()  # deterministic-ok: supervisor heartbeat
 
 
 def _check_worker_faults(chain_index: int) -> None:
@@ -332,6 +338,17 @@ def _bundle_for(task: ChainTask):
         ape_seconds = time.perf_counter() - t0
         if task.mode == "ape":
             variables = ape_ranges(template, factor=task.range_factor)
+        else:
+            variables = standalone_ranges(template)
+        if task.box_override is not None:
+            from ..synthesis.problems import Variable
+
+            override = dict(task.box_override)
+            variables = [
+                Variable(v.name, *override.get(v.name, (v.lo, v.hi)))
+                for v in variables
+            ]
+        if task.mode == "ape":
             x0 = {
                 v.name: min(
                     max(template.initial_point().get(v.name, v.lo), v.lo),
@@ -340,7 +357,6 @@ def _bundle_for(task: ChainTask):
                 for v in variables
             }
         else:
-            variables = standalone_ranges(template)
             x0 = None
         synthesis_spec = task.synthesis_spec
         if synthesis_spec is None:
@@ -509,7 +525,7 @@ def run_chain(task: ChainTask, shared_memo: EvalMemo | None = None) -> ChainOutc
         ):
             deadline = None
             if task.deadline_epoch is not None:
-                deadline = max(task.deadline_epoch - time.time(), 1e-3)
+                deadline = max(task.deadline_epoch - time.time(), 1e-3)  # deterministic-ok: budget deadline
             budget = EvalBudget(
                 deadline_seconds=deadline,
                 max_failures=task.max_failures,
@@ -717,7 +733,7 @@ def _run_pooled(
     heartbeats = context.Array(
         "d", max(task.chain_index for task in tasks) + 1, lock=False
     )
-    clock = time.monotonic
+    clock = time.monotonic  # deterministic-ok: supervisor hang detection
 
     def factory():
         return concurrent.futures.ProcessPoolExecutor(

@@ -199,6 +199,7 @@ class CandidateBatch:
         st._step_ctx = None
         st.revision = circuit.revision
         st._elements_snapshot = new_elems
+        st._circuit_ref = circuit
         system.circuit = circuit
         system._devices = {m.name: m.device for m in circuit.mosfets()}
         system._topo_revision = circuit.topology_revision

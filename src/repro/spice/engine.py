@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 from contextlib import contextmanager
+from dataclasses import replace
 
 import numpy as np
 
@@ -759,6 +760,12 @@ class CompiledStamps:
         self._l_diag = l_diag
         self._value_slots = value_slots
         self._elements_snapshot = circuit.elements
+        #: The circuit object these stamps were compiled from.  Each
+        #: Circuit counts revisions from zero, so a revision match
+        #: proves freshness only together with an identity match —
+        #: System.rebind swaps in sibling circuits whose counters can
+        #: coincide.
+        self._circuit_ref = circuit
         self._sparse_pattern: linalg.SparsePattern | None = None
         self._sparse_factors: dict[tuple, linalg.SparseFactor] = {}
 
@@ -772,9 +779,11 @@ class CompiledStamps:
         class, same wiring), this rewrites the recorded scatter slots
         and re-densifies only the touched matrices — bit-identical to a
         fresh compile, since the same values land in the same positions
-        in the same order.  Returns False when any edit is structural
-        (or of an element kind without a value fast path), in which
-        case the caller must rebuild.
+        in the same order.  Independent-source ``dc`` retargets rebuild
+        only the compiled source vectors and keep every matrix (and its
+        sparse factorizations) untouched.  Returns False when any edit
+        is structural (or of an element kind without a value fast
+        path), in which case the caller must rebuild.
         """
         circuit = system.circuit
         old_elems = self._elements_snapshot
@@ -783,6 +792,7 @@ class CompiledStamps:
             return False
         g_dirty = False
         cap_dirty = False
+        src_changes = False
         r_changes: list = []
         c_changes: list = []
         mos_changes: list = []
@@ -805,9 +815,18 @@ class CompiledStamps:
             elif isinstance(new, Mosfet):
                 if new != old:
                     mos_changes.append(new)
+            elif isinstance(new, (VoltageSource, CurrentSource)):
+                # Bias retargeting: only the ``dc`` field may move (the
+                # same restriction as CandidateBatch.retarget); an AC
+                # magnitude or waveform edit changes which compiled
+                # vectors an element lands in, so it rebuilds.
+                if replace(new, dc=old.dc) != old:
+                    return False
+                if new.dc != old.dc:
+                    src_changes = True
             elif new != old:
-                # Sources, controlled sources and inductors spread into
-                # ``src``/waveform state; rebuild rather than track it.
+                # Controlled sources and inductors spread into matrix
+                # and companion state; rebuild rather than track it.
                 return False
         for elem in r_changes:
             _, slots = self._value_slots[elem.name]
@@ -829,6 +848,8 @@ class CompiledStamps:
             )
         if mos_changes:
             self.mos_vec = _MosVectors(self.mosfets)
+        if src_changes:
+            self._refresh_sources(system)
         if g_dirty:
             self.g_lin = self._g_scatter.dense()
             self.tran_g = self._tran_g_scatter.dense()
@@ -840,12 +861,66 @@ class CompiledStamps:
         if g_dirty or cap_dirty:
             self._tran_lin_cache.clear()
         self._step_ctx = None
-        # Values moved, positions did not: keep the sparsity pattern,
-        # drop any numeric factorizations built on the old values.
-        self._sparse_factors.clear()
+        if g_dirty or cap_dirty or mos_changes:
+            # Values moved, positions did not: keep the sparsity
+            # pattern, drop numeric factorizations built on the old
+            # values.  A source-only retarget touches no matrix, so its
+            # factorizations stay valid.
+            self._sparse_factors.clear()
         self.revision = circuit.revision
         self._elements_snapshot = new_elems
+        self._circuit_ref = circuit
         return True
+
+    def _refresh_sources(self, system: System) -> None:
+        """Rebuild the compiled source vectors from the current circuit.
+
+        Walks the elements in compile order, so every value lands in
+        the same position via the same float operations as a fresh
+        :class:`CompiledStamps` — bit-identical by construction.
+        """
+        n = self.n
+        src = np.zeros(n)
+        ac_b = np.zeros(n, dtype=complex)
+        tran_src = np.zeros(n)
+        wave_v: list[tuple[int, VoltageSource]] = []
+        wave_i: list[tuple[int, int, CurrentSource]] = []
+        idx = system.index
+        branch = system.branch_index
+        for element in system.circuit:
+            if isinstance(element, VoltageSource):
+                br = branch[element.name]
+                src[br] -= element.dc
+                if element.ac:
+                    ac_b[br] += element.ac
+                if element.wave is None:
+                    tran_src[br] -= element.dc
+                else:
+                    wave_v.append((br, element))
+            elif isinstance(element, CurrentSource):
+                a, b = idx(element.np), idx(element.nn)
+                if a >= 0:
+                    src[a] += element.dc
+                if b >= 0:
+                    src[b] -= element.dc
+                if element.ac:
+                    if a >= 0:
+                        ac_b[a] -= element.ac
+                    if b >= 0:
+                        ac_b[b] += element.ac
+                if element.wave is None:
+                    if a >= 0:
+                        tran_src[a] += element.dc
+                    if b >= 0:
+                        tran_src[b] -= element.dc
+                else:
+                    wave_i.append((a, b, element))
+        self.src_dc = src
+        self.has_src = bool(src.any())
+        self.ac_b = ac_b
+        self.tran_src = tran_src
+        self.wave_v = wave_v
+        self.wave_i = wave_i
 
     # -- sparse backend ------------------------------------------------
 
@@ -1014,8 +1089,10 @@ def stamps_for(system: System) -> CompiledStamps:
     """
     system._sync_devices()
     st = system._compiled
+    circuit = system.circuit
     if st is None or (
-        st.revision != system.circuit.revision and not st.refresh(system)
+        (st._circuit_ref is not circuit or st.revision != circuit.revision)
+        and not st.refresh(system)
     ):
         st = CompiledStamps(system)
         system._compiled = st

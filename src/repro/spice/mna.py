@@ -147,11 +147,16 @@ class System:
     def rebind(self, circuit: Circuit) -> "System":
         """Reuse this system for a structurally identical circuit.
 
-        Returns ``self`` (devices refreshed, compiled stamps dropped)
-        when the structure matches, else a freshly built
-        :class:`System`.  This is the optimizer fast path: candidate
-        circuits in a sizing loop share one topology, so validation and
-        node indexing happen once instead of per evaluation.
+        Returns ``self`` (devices refreshed) when the structure
+        matches, else a freshly built :class:`System`.  This is the
+        optimizer fast path: candidate circuits in a sizing loop share
+        one topology, so validation and node indexing happen once
+        instead of per evaluation.  Compiled stamps are kept — the next
+        ``stamps_for`` call routes value-only edits (R/C values, MOSFET
+        geometry, source ``dc`` retargets) through
+        :meth:`~repro.spice.engine.CompiledStamps.refresh`, which falls
+        back to a full recompile for anything it cannot prove
+        bit-identical.
         """
         if circuit is self.circuit:
             return self
@@ -159,7 +164,6 @@ class System:
             return System(circuit)
         self.circuit = circuit
         self._devices = {m.name: m.device for m in circuit.mosfets()}
-        self._compiled = None
         self._topo_revision = circuit.topology_revision
         return self
 

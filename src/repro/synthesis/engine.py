@@ -36,11 +36,19 @@ from ..runtime.retry import RetryPolicy
 from ..technology import Technology
 from .annealing import Annealer, AnnealingSchedule, AnnealResult
 from .cost import CostFunction, FAILURE_COST, RobustCost
-from .problems import OpAmpSizingProblem, ape_ranges, standalone_ranges
+from .problems import OpAmpSizingProblem, Variable, ape_ranges, standalone_ranges
 from .robust import RobustEvaluator, RobustSpec
 from .specs import SynthesisSpec, opamp_synthesis_spec
 
-__all__ = ["SynthesisResult", "synthesize_opamp"]
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis import AnalysisReport
+
+__all__ = ["SynthesisResult", "synthesize_opamp", "FEASIBILITY_MODES"]
+
+#: Accepted values of ``synthesize_opamp(feasibility=...)``.
+FEASIBILITY_MODES = ("off", "reject", "contract")
 
 
 @dataclass
@@ -109,6 +117,10 @@ class SynthesisResult:
     corner_metrics: dict[str, dict[str, float] | None] = field(
         default_factory=dict
     )
+    #: Static feasibility report when the pre-solve gate ran
+    #: (``feasibility != "off"``); ``None`` otherwise.  A rejected spec
+    #: returns with ``evaluations == 0`` and this report's F/C findings.
+    feasibility: "AnalysisReport | None" = None
 
     def metric(self, key: str, default: float = float("nan")) -> float:
         if self.metrics is None:
@@ -141,6 +153,7 @@ def synthesize_opamp(
     resume: bool = False,
     supervisor: "SupervisorConfig | None" = None,
     robust: RobustSpec | None = None,
+    feasibility: str = "off",
 ) -> SynthesisResult:
     """Run one APE(+/-)ASTRX/OBLX synthesis leg for an op-amp spec.
 
@@ -195,6 +208,16 @@ def synthesize_opamp(
     ``corner_metrics``).  All determinism/resume guarantees above hold
     unchanged — variant evaluations are canonical and memo-tagged per
     corner/sample.
+
+    ``feasibility`` arms the static pre-solve gate (:mod:`repro.analysis`):
+    ``"reject"`` runs the interval feasibility analysis first and, when
+    an F/C rule *proves* the spec unsatisfiable over the search box,
+    returns immediately (``meets_spec=False``, ``evaluations == 0``,
+    the report on ``SynthesisResult.feasibility``) without spending a
+    single solve; ``"contract"`` additionally shrinks each variable's
+    range to the spec-consistent sub-interval before annealing.  The
+    default ``"off"`` skips the gate entirely and is bit-for-bit the
+    pre-gate behaviour (including ``--resume`` journals).
     """
     if mode not in ("standalone", "ape"):
         raise SpecificationError(
@@ -206,6 +229,11 @@ def synthesize_opamp(
             f"restarts must be >= 1, got {restarts}",
             context={"parameter": "restarts", "value": restarts},
         )
+    if feasibility not in FEASIBILITY_MODES:
+        raise SpecificationError(
+            f"unknown feasibility mode {feasibility!r}",
+            context={"feasibility": feasibility, "known": FEASIBILITY_MODES},
+        )
     if synthesis_spec is None:
         synthesis_spec = opamp_synthesis_spec(spec)
     cost_fn = CostFunction(synthesis_spec)
@@ -215,6 +243,49 @@ def synthesize_opamp(
     records_before = len(log.records)
     retries_before = retry.total_retries if retry is not None else 0
     memo_obj = _resolve_memo(memo, restarts, journaled=run_dir is not None)
+
+    feasibility_report = None
+    box_override: dict[str, tuple[float, float]] | None = None
+    if feasibility != "off":
+        gate_start = time.perf_counter()
+        feasibility_report = _feasibility_gate(
+            tech,
+            spec,
+            topology,
+            synthesis_spec,
+            mode=mode,
+            range_factor=range_factor,
+            contract=feasibility == "contract",
+            name=name,
+            log=log,
+        )
+        gate_seconds = time.perf_counter() - gate_start
+        if feasibility_report is not None and not feasibility_report.feasible:
+            codes = ", ".join(feasibility_report.error_codes)
+            return SynthesisResult(
+                name=name,
+                mode=mode,
+                meets_spec=False,
+                comment=f"spec provably infeasible before solve ({codes})",
+                metrics=None,
+                best_cost=FAILURE_COST,
+                evaluations=0,
+                cpu_seconds=0.0,
+                ape_seconds=gate_seconds,
+                diagnostics=list(log.records[records_before:]),
+                restarts=restarts,
+                workers=0,
+                robust_mode=robust.mode if robust is not None else None,
+                feasibility=feasibility_report,
+            )
+        if (
+            feasibility == "contract"
+            and feasibility_report is not None
+            and feasibility_report.contracted is not None
+        ):
+            contracted = dict(feasibility_report.contracted)
+            if contracted != dict(feasibility_report.box):
+                box_override = contracted
 
     if restarts > 1 or run_dir is not None:
         return _synthesize_parallel(
@@ -243,6 +314,9 @@ def synthesize_opamp(
             resume=resume,
             supervisor=supervisor,
             robust=robust,
+            feasibility=feasibility,
+            feasibility_report=feasibility_report,
+            box_override=box_override,
         )
 
     # APE always provides the *structure* (ASTRX/OBLX also receives the
@@ -265,12 +339,21 @@ def synthesize_opamp(
 
     if mode == "ape":
         variables = ape_ranges(template, factor=range_factor)
+    else:
+        variables = standalone_ranges(template)
+    if box_override is not None:
+        # The feasibility gate's contracted box: same variables, same
+        # order, each range replaced by its spec-consistent sub-interval.
+        variables = [
+            Variable(v.name, *box_override.get(v.name, (v.lo, v.hi)))
+            for v in variables
+        ]
+    if mode == "ape":
         x0 = {
             v.name: min(max(template.initial_point().get(v.name, v.lo), v.lo), v.hi)
             for v in variables
         }
     else:
-        variables = standalone_ranges(template)
         x0 = None  # random start inside the wide box
 
     problem = OpAmpSizingProblem(
@@ -432,7 +515,67 @@ def synthesize_opamp(
         worst_corner=worst_corner,
         estimated_yield=estimated_yield,
         corner_metrics=robust_detail if robust_detail is not None else {},
+        feasibility=feasibility_report,
     )
+
+
+def _feasibility_gate(
+    tech,
+    spec,
+    topology,
+    synthesis_spec,
+    *,
+    mode,
+    range_factor,
+    contract,
+    name,
+    log,
+):
+    """Run the static analysis pre-gate; never raises, never blocks.
+
+    Analysis failures (unsupported topology, even a crash in the
+    analyzer) degrade to "no verdict": synthesis proceeds exactly as if
+    the gate had passed, with a diagnostic recording why.
+    """
+    from ..analysis import analyze_problem
+
+    try:
+        report = analyze_problem(
+            tech,
+            spec,
+            topology,
+            synthesis_spec,
+            mode=mode,
+            range_factor=range_factor,
+            contract=contract,
+            name=name,
+        )
+    except ApeError as exc:
+        log.record_exception(
+            "synthesis.feasibility",
+            exc,
+            severity="warning",
+            suggested_fix="feasibility gate skipped; synthesis proceeds ungated",
+        )
+        return None
+    if not report.feasible:
+        for finding in report.findings:
+            if finding.severity != "error":
+                continue
+            log.record(
+                Diagnostic(
+                    subsystem="synthesis.feasibility",
+                    severity="error",
+                    message=f"{name}: {finding.render()}",
+                    suggested_fix=finding.fix_hint,
+                    context={
+                        "name": name,
+                        "code": finding.code,
+                        "metric": finding.metric,
+                    },
+                )
+            )
+    return report
 
 
 def _resolve_memo(memo, restarts: int, *, journaled: bool = False):
@@ -450,6 +593,13 @@ def _resolve_memo(memo, restarts: int, *, journaled: bool = False):
     if memo is True or (memo is None and (restarts > 1 or journaled)):
         return EvalMemo()
     return None
+
+
+def _box_key(box_override):
+    """Hashable, pickle-stable form of a contracted box (or ``None``)."""
+    if box_override is None:
+        return None
+    return tuple(sorted(box_override.items()))
 
 
 def _run_fingerprint(**parts):
@@ -521,6 +671,9 @@ def _synthesize_parallel(
     resume=False,
     supervisor=None,
     robust=None,
+    feasibility="off",
+    feasibility_report=None,
+    box_override=None,
 ):
     """Fan ``restarts`` chains across the pool and merge the outcomes.
 
@@ -545,7 +698,7 @@ def _synthesize_parallel(
         budget.start()
         if budget.deadline_seconds is not None:
             remaining = budget.deadline_seconds - budget.elapsed()
-            deadline_epoch = time.time() + max(remaining, 0.0)
+            deadline_epoch = time.time() + max(remaining, 0.0)  # deterministic-ok: budget deadline, not result-affecting
     injector = faults.active()
     fault_specs = (
         tuple(injector.specs.values()) if injector is not None else None
@@ -578,6 +731,12 @@ def _synthesize_parallel(
             # Only robust runs carry the extra part, so journals written
             # before (or without) corner-aware synthesis keep resuming.
             fingerprint_parts["robust"] = repr(robust)
+        if feasibility != "off":
+            # Same back-compat rule: ungated runs (and every journal
+            # written before the gate existed) keep their fingerprint.
+            fingerprint_parts["feasibility"] = repr(
+                (feasibility, _box_key(box_override))
+            )
         fingerprint = _run_fingerprint(**fingerprint_parts)
         if resume:
             manifest = journal.load_manifest()
@@ -641,6 +800,7 @@ def _synthesize_parallel(
             fault_seed=fault_seed,
             memo_quantum=memo.quantum if memo is not None else None,
             robust=robust,
+            box_override=_box_key(box_override),
         )
         for index in range(restarts)
         if index not in journaled_outcomes
@@ -724,6 +884,7 @@ def _synthesize_parallel(
             interrupted=report.interrupted,
             run_dir=run_dir,
             robust_mode=robust.mode if robust is not None else None,
+            feasibility=feasibility_report,
         )
 
     for outcome in outcomes:
@@ -773,6 +934,7 @@ def _synthesize_parallel(
                 lint=lint,
                 memo_quantum=memo.quantum if memo is not None else None,
                 robust=robust,
+                box_override=_box_key(box_override),
             )
             robust_detail = _robust_verify(
                 verify_task,
@@ -911,4 +1073,5 @@ def _synthesize_parallel(
         worst_corner=worst_corner,
         estimated_yield=estimated_yield,
         corner_metrics=robust_detail if robust_detail is not None else {},
+        feasibility=feasibility_report,
     )

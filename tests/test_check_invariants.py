@@ -123,3 +123,142 @@ class TestMutableDefaults:
     def test_lambda_default_flagged(self, tmp_path):
         problems = _check_source(tmp_path, "g = lambda x=[]: x\n")
         assert len(problems) == 1
+
+
+class TestDeterminism:
+    """The nondeterminism check fires only in chain-pure packages."""
+
+    def _check_pure(self, tmp_path, source):
+        pure = tmp_path / "repro" / "synthesis"
+        pure.mkdir(parents=True, exist_ok=True)
+        path = pure / "sample.py"
+        path.write_text(textwrap.dedent(source))
+        return check_invariants.check_file(path)
+
+    def test_global_rng_flagged(self, tmp_path):
+        problems = self._check_pure(
+            tmp_path,
+            """
+            import random
+
+            def jitter():
+                return random.uniform(0.0, 1.0)
+            """,
+        )
+        assert len(problems) == 1
+        assert "global-RNG" in str(problems[0])
+
+    def test_np_random_flagged(self, tmp_path):
+        problems = self._check_pure(
+            tmp_path,
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+            """,
+        )
+        assert len(problems) == 1
+
+    def test_seeded_rng_allowed(self, tmp_path):
+        problems = self._check_pure(
+            tmp_path,
+            """
+            import random
+
+            def jitter(seed):
+                rng = random.Random(seed)
+                return rng.uniform(0.0, 1.0)
+            """,
+        )
+        assert problems == []
+
+    def test_wall_clock_flagged(self, tmp_path):
+        problems = self._check_pure(
+            tmp_path,
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert len(problems) == 1
+        assert "wall-clock" in str(problems[0])
+
+    def test_bare_clock_reference_flagged(self, tmp_path):
+        problems = self._check_pure(
+            tmp_path,
+            """
+            import time
+
+            clock = time.monotonic
+            """,
+        )
+        assert len(problems) == 1
+
+    def test_perf_counter_exempt(self, tmp_path):
+        problems = self._check_pure(
+            tmp_path,
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+        )
+        assert problems == []
+
+    def test_suppression_comment_waives(self, tmp_path):
+        problems = self._check_pure(
+            tmp_path,
+            """
+            import time
+
+            def deadline(remaining):
+                return time.time() + remaining  # deterministic-ok: budget deadline
+            """,
+        )
+        assert problems == []
+
+    def test_set_iteration_flagged(self, tmp_path):
+        problems = self._check_pure(
+            tmp_path,
+            """
+            def visit(items):
+                for item in set(items):
+                    print(item)
+            """,
+        )
+        assert len(problems) == 1
+        assert "unordered" in str(problems[0])
+
+    def test_set_comprehension_source_flagged(self, tmp_path):
+        problems = self._check_pure(
+            tmp_path,
+            """
+            def visit(items):
+                return [x for x in {1, 2, 3}]
+            """,
+        )
+        assert len(problems) == 1
+
+    def test_sorted_set_allowed(self, tmp_path):
+        problems = self._check_pure(
+            tmp_path,
+            """
+            def visit(items):
+                for item in sorted(set(items)):
+                    print(item)
+            """,
+        )
+        assert problems == []
+
+    def test_non_chain_pure_module_exempt(self, tmp_path):
+        # Outside repro.{synthesis,parallel,analysis} the determinism
+        # rules do not apply (the CLI may read the clock freely).
+        path = tmp_path / "repro" / "cli_helpers"
+        path.mkdir(parents=True)
+        f = path / "sample.py"
+        f.write_text("import time\n\ndef stamp():\n    return time.time()\n")
+        assert check_invariants.check_file(f) == []

@@ -536,14 +536,45 @@ class TestCompiledStampsRefresh:
             assert stamps_for(system) is st
             self._assert_matches_fresh(system, ckt)
 
-    def test_source_value_change_forces_rebuild(self):
+    def test_source_dc_retarget_stays_exact(self):
+        # Independent-source dc edits ride the in-place fast path and
+        # must reproduce a fresh compile bit for bit.
         ckt = _mos_amp()
         system, st = self._compiled(ckt)
         elem = ckt.element("V2")
         ckt.replace(dataclasses.replace(elem, dc=0.9))
         from repro.spice.engine import stamps_for
 
-        assert stamps_for(system) is not st  # no fast path for sources
+        assert stamps_for(system) is st  # served in place
+        self._assert_matches_fresh(system, ckt)
+
+    def test_rebind_keeps_compiled_stamps(self):
+        # System.rebind used to drop compiled stamps; now the next
+        # stamps_for call refreshes them in place for value-only
+        # sibling circuits — including ones whose per-instance revision
+        # counter happens to equal the compiled revision (the identity
+        # check, not the counter, decides freshness).
+        ckt = _mos_amp()
+        system, st = self._compiled(ckt)
+        variant = ckt.copy()
+        elem = variant.element("V2")
+        variant.replace(dataclasses.replace(elem, dc=0.8))
+        assert system.rebind(variant) is system
+        from repro.spice.engine import stamps_for
+
+        assert stamps_for(system) is st  # refreshed, not rebuilt
+        self._assert_matches_fresh(system, variant)
+
+    def test_source_ac_change_forces_rebuild(self):
+        # Only the dc field has a fast path: an AC magnitude edit moves
+        # the element between compiled vectors, so it must recompile.
+        ckt = _mos_amp()
+        system, st = self._compiled(ckt)
+        elem = ckt.element("V2")
+        ckt.replace(dataclasses.replace(elem, ac=elem.ac + 0.5))
+        from repro.spice.engine import stamps_for
+
+        assert stamps_for(system) is not st
         self._assert_matches_fresh(system, ckt)
 
     def test_structural_edit_forces_rebuild(self):

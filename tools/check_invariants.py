@@ -14,6 +14,24 @@ Stdlib-only AST lint (no third-party dependencies) over ``src/``:
 * **mutable-default** — function parameters must not default to
   mutable literals (``[]``, ``{}``, ``set()``, ...): the default is
   created once and shared across calls.
+* **nondeterminism** (chain-pure modules only: ``repro.synthesis``,
+  ``repro.parallel``, ``repro.analysis``) — synthesis results must be
+  bit-reproducible from ``(problem, seed)``, including across
+  ``--resume``, so these modules must not read ambient entropy:
+
+  - module-level RNG calls (``random.uniform(...)``,
+    ``np.random.rand(...)``) share unseeded global state — construct a
+    ``random.Random(seed)`` instead;
+  - wall-clock reads (``time.time``, ``time.monotonic``,
+    ``datetime.now``/``utcnow``, ``date.today``) leak real time into
+    results; ``time.perf_counter`` is exempt (used only for *reported*
+    timings, never for decisions);
+  - iterating a set literal / ``set(...)`` / ``frozenset(...)`` in a
+    ``for`` visits elements in hash order — wrap it in ``sorted()``.
+
+  The budget/supervisor layers legitimately read the clock (deadlines,
+  heartbeats); those sites carry a ``# deterministic-ok: <reason>``
+  trailing comment, which suppresses the finding on that line.
 
 Usage::
 
@@ -40,6 +58,42 @@ DIAGNOSTIC_MARKERS = (
 )
 #: Mutable literal/constructor default values.
 MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+#: Package sub-directories whose modules must be chain-pure: a chain's
+#: result may depend only on ``(problem, seed)``, never ambient state.
+DETERMINISM_DIRS = {"synthesis", "parallel", "analysis"}
+#: Functions of the ``random`` module that draw from the *global*
+#: (unseeded) generator.  ``random.Random(...)`` is the fix, not a hit.
+GLOBAL_RNG_FUNCS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "expovariate",
+    "betavariate",
+    "getrandbits",
+    "seed",
+}
+#: ``module.attr`` wall-clock reads.  ``time.perf_counter`` is exempt:
+#: it feeds *reported* timings, never result-affecting decisions.
+WALL_CLOCK_ATTRS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("date", "today"),
+}
+#: Trailing comment that waives the nondeterminism check for one line.
+SUPPRESS_MARKER = "# deterministic-ok:"
 
 
 def _is_broad(handler: ast.ExceptHandler) -> bool:
@@ -82,12 +136,111 @@ def _mutable_default(node: ast.expr) -> bool:
     return False
 
 
+def _is_chain_pure(path: Path) -> bool:
+    """True for modules under the determinism-audited sub-packages."""
+    parts = path.parts
+    return "repro" in parts and bool(DETERMINISM_DIRS.intersection(parts))
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]`` (empty when not a pure chain)."""
+    out: list[str] = []
+    while isinstance(node, ast.Attribute):
+        out.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        out.append(node.id)
+        out.reverse()
+        return out
+    return []
+
+
+def _is_global_rng(chain: list[str]) -> bool:
+    if len(chain) == 2 and chain[0] == "random":
+        return chain[1] in GLOBAL_RNG_FUNCS
+    # np.random.rand / numpy.random.default_rng-less draws
+    if len(chain) == 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+        return chain[2] != "default_rng"
+    return False
+
+
+def _is_wall_clock(chain: list[str]) -> bool:
+    if len(chain) < 2:
+        return False
+    return tuple(chain[-2:]) in WALL_CLOCK_ATTRS
+
+
+def _unordered_iter(node: ast.expr) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _determinism_problems(
+    path: Path, tree: ast.AST, lines: list[str]
+) -> list[str]:
+    def suppressed(lineno: int) -> bool:
+        if 1 <= lineno <= len(lines):
+            return SUPPRESS_MARKER in lines[lineno - 1]
+        return False
+
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            # Every ``time.time()`` call contains a ``time.time``
+            # attribute node, and bare references (``clock =
+            # time.monotonic``) leak the clock just as surely as
+            # calls, so checking attributes covers both exactly once.
+            chain = _attr_chain(node)
+            if _is_global_rng(chain) and not suppressed(node.lineno):
+                problems.append(
+                    f"{path}:{node.lineno}: global-RNG call "
+                    f"'{'.'.join(chain)}' in a chain-pure module — "
+                    "draw from an explicitly seeded random.Random "
+                    "instead"
+                )
+            elif _is_wall_clock(chain) and not suppressed(node.lineno):
+                problems.append(
+                    f"{path}:{node.lineno}: wall-clock read "
+                    f"'{'.'.join(chain)}' in a chain-pure module — "
+                    "results must be reproducible from (problem, "
+                    "seed); use time.perf_counter for reported "
+                    "timings, or annotate a budget/supervisor site "
+                    f"with '{SUPPRESS_MARKER} <reason>'"
+                )
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if _unordered_iter(node.iter) and not suppressed(node.lineno):
+                problems.append(
+                    f"{path}:{node.lineno}: iteration over an unordered "
+                    "set in a chain-pure module — wrap it in sorted() "
+                    "for a reproducible visit order"
+                )
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                if _unordered_iter(gen.iter) and not suppressed(node.lineno):
+                    problems.append(
+                        f"{path}:{node.lineno}: comprehension over an "
+                        "unordered set in a chain-pure module — wrap "
+                        "it in sorted() for a reproducible visit order"
+                    )
+    return problems
+
+
 def check_file(path: Path) -> list[str]:
     try:
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
         return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
     problems: list[str] = []
+    if _is_chain_pure(path):
+        problems.extend(
+            _determinism_problems(path, tree, source.splitlines())
+        )
     for node in ast.walk(tree):
         if isinstance(node, ast.ExceptHandler):
             if _is_broad(node) and not _handler_is_compliant(node):

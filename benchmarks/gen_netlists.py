@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Generate parametric benchmark netlists as SPICE deck files.
+
+Wraps the :mod:`repro.benchmark.netlists` generators — the RC ladder
+behind the committed ``ac_ladder_<n>`` measures and the gain-module
+chain — in a CLI so the same 100-2000-unknown fixtures can be fed to
+external simulators or regenerated at any size:
+
+    python benchmarks/gen_netlists.py --family ladder --sizes 100,500,2000
+    python benchmarks/gen_netlists.py --family chain --sizes 500 --out-dir /tmp
+
+Sizes are total MNA unknowns (matrix dimension), hit exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.benchmark.netlists import (  # noqa: E402
+    ladder_circuit,
+    module_chain_circuit,
+)
+from repro.spice import System, write_deck_file  # noqa: E402
+
+FAMILIES = {
+    "ladder": ladder_circuit,
+    "chain": module_chain_circuit,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="generate parametric benchmark netlists (SPICE decks)"
+    )
+    parser.add_argument(
+        "--family", default="ladder", choices=sorted(FAMILIES),
+        help="netlist family: RC ladder (tridiagonal) or gain-module "
+             "chain (block-bidiagonal) (default: ladder)",
+    )
+    parser.add_argument(
+        "--sizes", default="100,500,1000,2000", metavar="LIST",
+        help="comma-separated MNA unknown counts (default: "
+             "100,500,1000,2000)",
+    )
+    parser.add_argument(
+        "--out-dir", default=".", metavar="DIR",
+        help="directory for the generated .cir files (default: .)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    except ValueError:
+        parser.error(f"--sizes must be a comma-separated int list, "
+                     f"got {args.sizes!r}")
+    if not sizes:
+        parser.error("--sizes is empty")
+
+    generate = FAMILIES[args.family]
+    os.makedirs(args.out_dir, exist_ok=True)
+    for size in sizes:
+        circuit = generate(size)
+        actual = System(circuit).size
+        if actual != size:
+            raise AssertionError(
+                f"{args.family}({size}) produced {actual} unknowns"
+            )
+        path = os.path.join(
+            args.out_dir, f"{args.family}_{size}.cir"
+        )
+        write_deck_file(circuit, path)
+        print(f"{path}: {size} unknowns")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,12 +1,14 @@
 """Benchmark suites plus the typed report schema they emit.
 
-Five suites — the engine hot path (:func:`run_engine_benchmark`), the
+Six suites — the engine hot path (:func:`run_engine_benchmark`), the
 parallel multi-chain executor (:func:`run_parallel_benchmark`),
 corner-robust synthesis (:func:`run_robust_benchmark`), the
-sparse/batched linear-solve core (:func:`run_sparse_benchmark`) and
-the static feasibility gate (:func:`run_analysis_benchmark`) — all
-return a :class:`~repro.benchmark.report.BenchReport`, the single
-validated schema behind every committed ``BENCH_*.json``.
+sparse/batched linear-solve core (:func:`run_sparse_benchmark`), the
+static feasibility gate (:func:`run_analysis_benchmark`) and the
+persistent evaluation store with surrogate screening
+(:func:`run_store_benchmark`) — all return a
+:class:`~repro.benchmark.report.BenchReport`, the single validated
+schema behind every committed ``BENCH_*.json``.
 """
 
 from .analysis import (
@@ -31,6 +33,12 @@ from .sparse import (
     SPARSE_TARGETS_QUICK,
     render_sparse_report,
     run_sparse_benchmark,
+)
+from .store import (
+    STORE_TARGETS,
+    STORE_TARGETS_QUICK,
+    render_store_report,
+    run_store_benchmark,
 )
 from .suites import (
     PARALLEL_SPEEDUP_TARGETS,
@@ -62,11 +70,13 @@ __all__ = [
     "run_parallel_benchmark",
     "run_robust_benchmark",
     "run_sparse_benchmark",
+    "run_store_benchmark",
     "render_analysis_report",
     "render_report",
     "render_parallel_report",
     "render_robust_report",
     "render_sparse_report",
+    "render_store_report",
     "ANALYSIS_TARGETS",
     "SPEEDUP_TARGETS",
     "PARALLEL_SPEEDUP_TARGETS",
@@ -75,4 +85,6 @@ __all__ = [
     "ROBUST_TARGETS",
     "SPARSE_TARGETS",
     "SPARSE_TARGETS_QUICK",
+    "STORE_TARGETS",
+    "STORE_TARGETS_QUICK",
 ]

@@ -194,6 +194,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "provably infeasible specs before any evaluation, "
                         "or additionally contract the search box "
                         "(default: off)")
+    p.add_argument("--store-dir", default=None, metavar="DIR",
+                   help="persistent evaluation store: cache every "
+                        "candidate's cost/metrics in DIR (SQLite) and "
+                        "reuse them across runs that share the same "
+                        "problem fingerprint")
+    p.add_argument("--surrogate", default=None, choices=["off", "rank"],
+                   help="surrogate-guided annealing: rank each move "
+                        "batch with a ridge model fitted to past "
+                        "evaluations and only evaluate the best-ranked "
+                        "candidate (default: off)")
 
     p = sub.add_parser(
         "analyze",
@@ -238,13 +248,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--suite", default="engine",
                    choices=["engine", "parallel", "robust", "sparse",
-                            "analysis", "all"],
+                            "analysis", "store", "all"],
                    help="engine: compiled vs naive assembly; parallel: "
                         "multi-chain executor vs serial legs; robust: "
                         "corner-aware vs nominal-only synthesis; sparse: "
                         "sparse vs dense solves and batched vs scalar "
                         "candidate evaluation; analysis: static "
-                        "feasibility gate vs budgeted synthesis "
+                        "feasibility gate vs budgeted synthesis; store: "
+                        "warm persistent-store runs and surrogate-ranked "
+                        "annealing vs cold/off baselines "
                         "(default: engine)")
     p.add_argument("--quick", action="store_true",
                    help="short per-measurement floor (CI smoke mode)")
@@ -257,8 +269,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="report path (default: BENCH_engine.json / "
                         "BENCH_parallel.json / BENCH_robust.json / "
-                        "BENCH_sparse.json / BENCH_analysis.json "
-                        "per suite)")
+                        "BENCH_sparse.json / BENCH_analysis.json / "
+                        "BENCH_store.json per suite)")
     p.add_argument("--check", action="store_true",
                    help="exit non-zero when a target is missed or a "
                         "measure regressed beyond tolerance against the "
@@ -276,6 +288,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--clear", action="store_true",
                    help="clear the session log after rendering")
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="report format; json emits the diagnostic "
+                        "records plus every session counter "
+                        "(default: text)")
 
     p = sub.add_parser(
         "lint",
@@ -377,7 +393,7 @@ _SYNTH_SIDECAR_ARGS = (
     "gain", "ugf", "ibias", "cl", "area", "mode", "budget", "seed",
     "restarts", "retries", "deadline", "max_failures",
     "corners", "mc_samples", "robust_cost", "yield_target",
-    "feasibility",
+    "feasibility", "store_dir", "surrogate",
 )
 
 
@@ -404,7 +420,7 @@ def _cmd_synthesize(args, tech) -> int:
     for key, fallback in (
         ("ibias", "1u"), ("cl", "10p"), ("area", "inf"), ("mode", "ape"),
         ("budget", 150), ("seed", 1), ("retries", 0), ("restarts", 1),
-        ("feasibility", "off"),
+        ("feasibility", "off"), ("surrogate", "off"),
     ):
         if getattr(args, key, None) is None:
             setattr(args, key, fallback)
@@ -489,6 +505,7 @@ def _cmd_synthesize(args, tech) -> int:
         oversubscribe=args.oversubscribe,
         run_dir=run_dir, resume=resume, supervisor=supervisor,
         robust=robust, feasibility=args.feasibility,
+        store_dir=args.store_dir, surrogate=args.surrogate,
     )
     print(f"mode:       {result.mode}")
     print(f"meets spec: {result.meets_spec} ({result.comment})")
@@ -541,6 +558,14 @@ def _cmd_synthesize(args, tech) -> int:
     )
     print(f"throughput:  {result.evals_per_second:.1f} evals/s, "
           f"cache {cache}")
+    if result.store_dir is not None:
+        print(f"store:       {result.store_dir} "
+              f"({result.store_hits} hits / "
+              f"{result.store_writes} new rows)")
+    if result.surrogate != "off":
+        print(f"surrogate:   {result.surrogate} "
+              f"({result.surrogate_skips} proposals skipped, "
+              f"{result.surrogate_refits} refits)")
     _render_diagnostics(log)
     return 0 if result.meets_spec else 1
 
@@ -657,11 +682,13 @@ def _cmd_bench(args, tech) -> int:
         render_report,
         render_robust_report,
         render_sparse_report,
+        render_store_report,
         run_analysis_benchmark,
         run_engine_benchmark,
         run_parallel_benchmark,
         run_robust_benchmark,
         run_sparse_benchmark,
+        run_store_benchmark,
         write_report,
     )
 
@@ -746,22 +773,41 @@ def _cmd_bench(args, tech) -> int:
             else "BENCH_analysis.json"
         )
         ok = finish(report, out) and ok
+    if args.suite in ("store", "all"):
+        report = run_store_benchmark(quick=args.quick)
+        print(render_store_report(report))
+        out = (
+            args.out if args.suite == "store" and args.out
+            else "BENCH_store.json"
+        )
+        ok = finish(report, out) and ok
     if args.check and not ok:
         return 1
     return 0
 
 
 def _cmd_diagnostics(args, tech) -> int:
+    import dataclasses
+    import json
+
     from .runtime import global_stats
 
     log = global_log()
-    print(f"{len(log)} diagnostic record(s) this session")
-    if log:
-        print(log.render())
-    print(global_stats().render())
+    stats = global_stats()
+    if getattr(args, "format", "text") == "json":
+        payload = {
+            "diagnostics": [dataclasses.asdict(d) for d in log],
+            "stats": stats.to_dict(),
+        }
+        print(json.dumps(payload, indent=2, default=repr))
+    else:
+        print(f"{len(log)} diagnostic record(s) this session")
+        if log:
+            print(log.render())
+        print(stats.render())
     if args.clear:
         log.clear()
-        global_stats().clear()
+        stats.clear()
     return 0
 
 

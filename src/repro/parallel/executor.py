@@ -162,6 +162,20 @@ class ChainTask:
     #: ranges).  Part of the problem identity: chains with different
     #: boxes anneal different problems.
     box_override: tuple | None = None
+    #: Persistent evaluation store (``None`` = in-memory memo only).
+    #: Workers open the store read-only; new results travel home via
+    #: the memo snapshot and the supervisor flushes them.
+    store_dir: str | None = None
+    #: The problem's content fingerprint in the store namespace.
+    store_fingerprint: str | None = None
+    #: Store watermark (max row id) at run start: the surrogate trains
+    #: only on rows at or below it, so the training corpus — and hence
+    #: the trajectory — is identical across workers and on resume.
+    store_generation: int = 0
+    #: Surrogate screening mode: ``"off"`` (classic loop, bit-identical
+    #: to a store-less run) or ``"rank"`` (batch proposals, evaluate
+    #: only the predicted best).
+    surrogate: str = "off"
 
     def problem_key(self) -> bytes:
         """Signature of the sizing problem this task needs.
@@ -186,6 +200,8 @@ class ChainTask:
                 self.reuse_bench,
                 self.robust,
                 self.box_override,
+                self.store_dir,
+                self.store_fingerprint,
             )
         )
 
@@ -208,6 +224,11 @@ class ChainOutcome:
     #: screen kept away from the corner fan-out.
     corner_evals: int = 0
     screened_candidates: int = 0
+    #: Persistent-store lookups served from disk during this chain.
+    store_hits: int = 0
+    #: Surrogate-screen counters (0 with ``surrogate="off"``).
+    surrogate_skips: int = 0
+    surrogate_refits: int = 0
     diagnostics: list[Diagnostic] = field(default_factory=list)
     #: Worker-side memo snapshot for merging into the caller's cache
     #: (``None`` when the chain already wrote into a shared memo).
@@ -223,6 +244,10 @@ class ChainOutcome:
 _WORKER_BUNDLES: dict[bytes, tuple] = {}
 _WORKER_MEMOS: dict[bytes, EvalMemo] = {}
 _WORKER_ROBUST: dict[bytes, object] = {}
+#: Worker-local persistent-store handles, keyed by store directory.
+#: Connections are opened lazily per process (EvalStore re-opens after
+#: a fork), and pool workers hold them read-only.
+_WORKER_STORES: dict[str, object] = {}
 
 #: Fork-shared heartbeat slots (one double per chain index), set by the
 #: parent just before it builds a pool and inherited by the workers.
@@ -241,10 +266,13 @@ def _mark_worker() -> None:
 
 
 def clear_worker_caches() -> None:
-    """Drop the in-process problem-bundle and memo caches."""
+    """Drop the in-process problem-bundle, memo and store caches."""
     _WORKER_BUNDLES.clear()
     _WORKER_MEMOS.clear()
     _WORKER_ROBUST.clear()
+    for store in _WORKER_STORES.values():
+        store.close()
+    _WORKER_STORES.clear()
 
 
 def _heartbeat(chain_index: int) -> None:
@@ -298,6 +326,19 @@ def _strip_worker_faults(task: ChainTask) -> ChainTask:
     return dc_replace(task, fault_specs=kept)
 
 
+def _worker_store(task: ChainTask):
+    """The worker-local read-only store handle for a store-backed task."""
+    if not task.store_dir or task.store_fingerprint is None:
+        return None
+    store = _WORKER_STORES.get(task.store_dir)
+    if store is None:
+        from ..store import EvalStore
+
+        store = EvalStore(task.store_dir, read_only=True)
+        _WORKER_STORES[task.store_dir] = store
+    return store
+
+
 def _memo_for(task: ChainTask, shared_memo: EvalMemo | None) -> EvalMemo | None:
     """The memo this chain evaluates through (shared, worker-local, none)."""
     if shared_memo is not None:
@@ -308,6 +349,12 @@ def _memo_for(task: ChainTask, shared_memo: EvalMemo | None) -> EvalMemo | None:
     memo = _WORKER_MEMOS.get(key)
     if memo is None:
         memo = EvalMemo(task.memo_quantum)
+        store = _worker_store(task)
+        if store is not None:
+            # Read-only tier: store hits serve lookups; the chain's new
+            # entries ride the memo snapshot back to the supervisor,
+            # which owns the write side.
+            memo.bind_store(store, task.store_fingerprint)
         _WORKER_MEMOS[key] = memo
     return memo
 
@@ -482,6 +529,32 @@ def run_chain(task: ChainTask, shared_memo: EvalMemo | None = None) -> ChainOutc
         lint_before = problem.lint_rejections
         hits_before = memo.hits if memo is not None else 0
         misses_before = memo.misses if memo is not None else 0
+        store_hits_before = memo.store_hits if memo is not None else 0
+
+        screen = None
+        if task.surrogate == "rank":
+            from ..store import SurrogateScreen
+
+            screen = SurrogateScreen(
+                problem.bounds().keys(),
+                task.memo_quantum or DEFAULT_QUANTUM,
+            )
+            if (
+                task.robust is None
+                and task.store_generation > 0
+                and memo is not None
+                and memo.store_bound
+            ):
+                # Prime the model from the persistent corpus — but only
+                # up to the journaled generation, so every worker (and
+                # a bit-exact resume) trains on the identical rows.
+                # Robust chains skip seeding: store rows hold nominal
+                # costs, not the aggregated robust cost being annealed.
+                screen.seed_corpus(
+                    memo.bound_store.corpus(
+                        memo.bound_fingerprint, task.store_generation
+                    )
+                )
 
         def evaluate(params):
             if evaluator is not None:
@@ -537,6 +610,7 @@ def run_chain(task: ChainTask, shared_memo: EvalMemo | None = None) -> ChainOutc
             problem.bounds(),
             schedule=task.schedule,
             seed=derive_chain_seed(task.seed, task.chain_index),
+            screen=screen,
         )
         result = annealer.run(
             x0=x0, max_evaluations=task.max_evaluations, budget=budget
@@ -561,6 +635,12 @@ def run_chain(task: ChainTask, shared_memo: EvalMemo | None = None) -> ChainOutc
                 evaluator.screened_candidates - screened_before
                 if evaluator is not None else 0
             ),
+            store_hits=(
+                (memo.store_hits - store_hits_before)
+                if memo is not None else 0
+            ),
+            surrogate_skips=result.surrogate_skips,
+            surrogate_refits=result.surrogate_refits,
             diagnostics=list(chain_log.records),
             memo_snapshot=(
                 memo.export()
@@ -645,6 +725,12 @@ def run_supervised_chains(
         if memo is not None and outcome.memo_snapshot is not None:
             memo.merge(outcome.memo_snapshot)
             outcome.memo_snapshot = None
+        if memo is not None:
+            # Write-behind flush of this chain's new evaluations into
+            # the persistent store (no-op when no store is bound).
+            # Centralizing writes here keeps chain workers pure and
+            # the on-disk result worker-count independent.
+            memo.flush_store()
         if journal is not None:
             journal.record_outcome(outcome)
             if (

@@ -26,15 +26,34 @@ limit).  Evictions are counted and surfaced through
 The memo is pickle-clean (plain dicts and tuples), so per-worker
 caches can cross the process-pool boundary and be merged back into a
 session-wide cache shared across chains and table rows.
+
+Two-tier operation: :meth:`EvalMemo.bind_store` attaches a persistent
+:class:`~repro.store.EvalStore` behind the LRU.  Lookups read through
+(LRU first, then the store, promoting store hits into the LRU);
+writes go behind (new entries are buffered and flushed in batches via
+:meth:`EvalMemo.flush_store`).  Chain workers bind the store
+*read-only* — their new entries travel home through the existing
+snapshot/merge channel and the supervisor flushes them — so results
+stay worker-count independent.  Losing the store tier (corruption,
+locks) can never change a result, only how fast it arrives: the same
+canonical-evaluation contract that makes LRU eviction safe.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
+import os
 from collections import OrderedDict
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store import EvalStore
 
 __all__ = ["EvalMemo", "memo_key", "DEFAULT_QUANTUM", "DEFAULT_CAPACITY"]
+
+#: Per-process source of memo generation ids (see ``EvalMemo.generation``).
+_GENERATION_COUNTER = itertools.count(1)
 
 #: Quantization step in natural-log space.  1e-9 means two values map
 #: to the same key only when they agree to ~1 part in 1e9 — far below
@@ -121,6 +140,65 @@ class EvalMemo:
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.store_hits = 0
+        self.store_writes = 0
+        #: Identity of this memo instance across the pool boundary.
+        #: Worker memos persist across chains, so their *cumulative*
+        #: counters appear in every chain snapshot; the merge dedupes
+        #: per generation id and adds only the delta (pid-qualified so
+        #: a pool rebuild's fresh workers count as fresh generations).
+        self.generation = f"{os.getpid()}:{next(_GENERATION_COUNTER)}"
+        self._merged_counters: dict[str, dict[str, int]] = {}
+        self._store: "EvalStore | None" = None
+        self._fingerprint: str | None = None
+        self._pending: OrderedDict[MemoKey, MemoValue] = OrderedDict()
+
+    # ---------------------------------------------------------- store tier
+
+    def bind_store(self, store: "EvalStore", fingerprint: str) -> None:
+        """Attach a persistent store tier behind the LRU.
+
+        ``fingerprint`` is the problem's content fingerprint — the
+        store-side namespace this memo reads from and writes to.  A
+        read-only store (chain workers) only serves lookups; new
+        entries are buffered for the supervisor-side flush instead.
+        """
+        self._store = store
+        self._fingerprint = fingerprint
+
+    @property
+    def store_bound(self) -> bool:
+        return self._store is not None
+
+    @property
+    def bound_store(self) -> "EvalStore | None":
+        return self._store
+
+    @property
+    def bound_fingerprint(self) -> str | None:
+        return self._fingerprint
+
+    @property
+    def pending_writes(self) -> int:
+        return len(self._pending)
+
+    def _queue_write(self, key: MemoKey, value: MemoValue) -> None:
+        if self._store is not None and not self._store.read_only:
+            self._pending[key] = value
+
+    def flush_store(self) -> int:
+        """Write-behind flush of buffered entries; returns new rows.
+
+        Safe to call repeatedly (the buffer drains) and cheap when the
+        store has degraded (``put_many`` no-ops after a Diagnostic).
+        """
+        if self._store is None or self._fingerprint is None or not self._pending:
+            return 0
+        entries = list(self._pending.items())
+        self._pending.clear()
+        inserted = self._store.put_many(self._fingerprint, entries)
+        self.store_writes += inserted
+        return inserted
 
     # ------------------------------------------------------------- core API
 
@@ -132,12 +210,26 @@ class EvalMemo:
     def lookup(
         self, params: Mapping[str, float], tag: str | None = None
     ) -> MemoValue | None:
-        """Cached ``(cost, metrics)`` or ``None``; counts the outcome."""
+        """Cached ``(cost, metrics)`` or ``None``; counts the outcome.
+
+        Reads through both tiers: an LRU miss falls back to the bound
+        store (if any), and a store hit is promoted into the LRU so
+        the hot set stays memory-resident under eviction pressure.
+        """
         key = self.key(params, tag)
         found = self._data.get(key)
         if found is None:
-            self.misses += 1
-            return None
+            if self._store is not None and self._fingerprint is not None:
+                found = self._store.get(self._fingerprint, key)
+            if found is None:
+                self.misses += 1
+                return None
+            self.store_hits += 1
+            # Promote without queuing a write-behind: the entry came
+            # *from* the store, so it is already persisted.
+            self._store_key(key, found)
+            cost, metrics = found
+            return cost, (dict(metrics) if metrics is not None else None)
         self.hits += 1
         self._data.move_to_end(key)
         cost, metrics = found
@@ -152,10 +244,10 @@ class EvalMemo:
         metrics: dict[str, float] | None,
         tag: str | None = None,
     ) -> None:
-        self._store_key(
-            self.key(params, tag),
-            (cost, dict(metrics) if metrics is not None else None),
-        )
+        key = self.key(params, tag)
+        value = (cost, dict(metrics) if metrics is not None else None)
+        self._store_key(key, value)
+        self._queue_write(key, value)
         self.stores += 1
 
     def _store_key(self, key: MemoKey, value: MemoValue) -> None:
@@ -202,32 +294,47 @@ class EvalMemo:
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.store_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
         total = self.lookups
-        return self.hits / total if total else 0.0
+        return (self.hits + self.store_hits) / total if total else 0.0
+
+    #: Counter fields carried in snapshots and deduped on merge.
+    _COUNTER_FIELDS = ("hits", "misses", "stores", "evictions", "store_hits")
 
     def export(self) -> dict:
         """Picklable snapshot (entries + counters) for pool merging."""
         return {
             "quantum": self.quantum,
             "capacity": self.capacity,
+            "generation": self.generation,
             "data": dict(self._data),
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "store_hits": self.store_hits,
         }
 
     def merge(self, snapshot: "EvalMemo | dict") -> None:
         """Fold a worker's exported snapshot (or another memo) back in.
 
         Existing entries win: evaluation is canonical, so both sides
-        hold the same value and keeping ours is free.  Counters add,
-        giving session-wide hit/miss totals across the pool.  This
-        memo's own ``capacity`` is enforced after the fold.
+        hold the same value and keeping ours is free.  This memo's own
+        ``capacity`` is enforced after the fold, and entries new to
+        this memo are queued for the write-behind store flush (the
+        store's ``INSERT OR IGNORE`` makes re-queuing an entry the
+        store already holds a no-op).
+
+        Counters are deduped by the source memo's *generation id*:
+        worker memos outlive a single chain, so each chain snapshot
+        carries the worker's cumulative counters, and a pool rebuild
+        can even deliver the same snapshot twice.  Per generation,
+        only the delta beyond the last merged totals is added —
+        merging a snapshot twice adds zero the second time.  Legacy
+        snapshots without a generation (old journals) add plainly.
         """
         if isinstance(snapshot, EvalMemo):
             snapshot = snapshot.export()
@@ -239,7 +346,28 @@ class EvalMemo:
         for key, value in snapshot["data"].items():
             if key not in self._data:
                 self._store_key(key, value)
-        self.hits += snapshot["hits"]
-        self.misses += snapshot["misses"]
-        self.stores += snapshot["stores"]
-        self.evictions += snapshot.get("evictions", 0)
+                self._queue_write(key, value)
+        counters = {
+            name: int(snapshot.get(name, 0)) for name in self._COUNTER_FIELDS
+        }
+        generation = snapshot.get("generation")
+        if generation is None:
+            deltas = counters
+        else:
+            last = self._merged_counters.get(generation, {})
+            deltas = {
+                name: value - last.get(name, 0)
+                for name, value in counters.items()
+            }
+            if any(delta < 0 for delta in deltas.values()):
+                # A counter went backwards: the generation id was
+                # reused by a fresh memo (theoretically possible only
+                # with pid recycling mid-run) — safest is to treat the
+                # snapshot as new.
+                deltas = counters
+            self._merged_counters[generation] = counters
+        self.hits += deltas["hits"]
+        self.misses += deltas["misses"]
+        self.stores += deltas["stores"]
+        self.evictions += deltas["evictions"]
+        self.store_hits += deltas["store_hits"]

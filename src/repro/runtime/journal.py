@@ -113,6 +113,8 @@ def outcome_to_jsonable(outcome: Any) -> dict:
             "stop_reason": anneal.stop_reason,
             "wall_seconds": anneal.wall_seconds,
             "evals_per_second": anneal.evals_per_second,
+            "surrogate_skips": anneal.surrogate_skips,
+            "surrogate_refits": anneal.surrogate_refits,
         },
         "degraded_design": outcome.degraded_design,
         "ape_seconds": outcome.ape_seconds,
@@ -122,6 +124,9 @@ def outcome_to_jsonable(outcome: Any) -> dict:
         "cache_misses": outcome.cache_misses,
         "corner_evals": outcome.corner_evals,
         "screened_candidates": outcome.screened_candidates,
+        "store_hits": outcome.store_hits,
+        "surrogate_skips": outcome.surrogate_skips,
+        "surrogate_refits": outcome.surrogate_refits,
         "diagnostics": [
             _diagnostic_to_jsonable(d) for d in outcome.diagnostics
         ],
@@ -152,6 +157,8 @@ def outcome_from_jsonable(payload: dict) -> Any:
             stop_reason=anneal["stop_reason"],
             wall_seconds=anneal["wall_seconds"],
             evals_per_second=anneal["evals_per_second"],
+            surrogate_skips=anneal.get("surrogate_skips", 0),
+            surrogate_refits=anneal.get("surrogate_refits", 0),
         ),
         degraded_design=payload["degraded_design"],
         ape_seconds=payload["ape_seconds"],
@@ -160,9 +167,13 @@ def outcome_from_jsonable(payload: dict) -> Any:
         cache_hits=payload["cache_hits"],
         cache_misses=payload["cache_misses"],
         # .get(): journals written before corner/yield-aware synthesis
-        # carry no robust counters; default them to zero on replay.
+        # (or before the evaluation store) carry no robust/store
+        # counters; default them to zero on replay.
         corner_evals=payload.get("corner_evals", 0),
         screened_candidates=payload.get("screened_candidates", 0),
+        store_hits=payload.get("store_hits", 0),
+        surrogate_skips=payload.get("surrogate_skips", 0),
+        surrogate_refits=payload.get("surrogate_refits", 0),
         diagnostics=[
             _diagnostic_from_jsonable(d) for d in payload["diagnostics"]
         ],
@@ -278,10 +289,12 @@ class RunJournal:
         payload = {
             "quantum": snapshot["quantum"],
             "capacity": snapshot.get("capacity"),
+            "generation": snapshot.get("generation"),
             "hits": snapshot["hits"],
             "misses": snapshot["misses"],
             "stores": snapshot["stores"],
             "evictions": snapshot.get("evictions", 0),
+            "store_hits": snapshot.get("store_hits", 0),
             "entries": [
                 [[list(pair) for pair in key], cost, metrics]
                 for key, (cost, metrics) in snapshot["data"].items()
@@ -302,10 +315,12 @@ class RunJournal:
         snapshot = {
             "quantum": payload["quantum"],
             "capacity": payload.get("capacity"),
+            "generation": payload.get("generation"),
             "hits": payload["hits"],
             "misses": payload["misses"],
             "stores": payload["stores"],
             "evictions": payload.get("evictions", 0),
+            "store_hits": payload.get("store_hits", 0),
             "data": {
                 tuple((name, q) for name, q in key): (
                     cost,

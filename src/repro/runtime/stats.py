@@ -31,6 +31,14 @@ class SessionStats:
     chains_quarantined: int = 0
     chains_resumed: int = 0
     runs_interrupted: int = 0
+    #: Persistent-store traffic: lookups served from disk and new rows
+    #: flushed back by store-backed runs.
+    store_hits: int = 0
+    store_writes: int = 0
+    #: Surrogate screening: proposals discarded un-evaluated and model
+    #: (re)fits across all chains of all runs.
+    surrogate_skips: int = 0
+    surrogate_refits: int = 0
 
     def record_run(
         self,
@@ -45,6 +53,10 @@ class SessionStats:
         chains_quarantined: int = 0,
         chains_resumed: int = 0,
         interrupted: bool = False,
+        store_hits: int = 0,
+        store_writes: int = 0,
+        surrogate_skips: int = 0,
+        surrogate_refits: int = 0,
     ) -> None:
         self.runs += 1
         self.evaluations += evaluations
@@ -57,6 +69,10 @@ class SessionStats:
         self.chains_quarantined += chains_quarantined
         self.chains_resumed += chains_resumed
         self.runs_interrupted += 1 if interrupted else 0
+        self.store_hits += store_hits
+        self.store_writes += store_writes
+        self.surrogate_skips += surrogate_skips
+        self.surrogate_refits += surrogate_refits
 
     @property
     def evals_per_second(self) -> float:
@@ -81,6 +97,32 @@ class SessionStats:
         self.chains_quarantined = 0
         self.chains_resumed = 0
         self.runs_interrupted = 0
+        self.store_hits = 0
+        self.store_writes = 0
+        self.surrogate_skips = 0
+        self.surrogate_refits = 0
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot of every counter plus derived rates."""
+        return {
+            "runs": self.runs,
+            "evaluations": self.evaluations,
+            "corner_evals": self.corner_evals,
+            "eval_seconds": self.eval_seconds,
+            "evals_per_second": self.evals_per_second,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_hit_rate": self.cache_hit_rate,
+            "worker_restarts": self.worker_restarts,
+            "chains_quarantined": self.chains_quarantined,
+            "chains_resumed": self.chains_resumed,
+            "runs_interrupted": self.runs_interrupted,
+            "store_hits": self.store_hits,
+            "store_writes": self.store_writes,
+            "surrogate_skips": self.surrogate_skips,
+            "surrogate_refits": self.surrogate_refits,
+        }
 
     def render(self) -> str:
         """One-paragraph human-readable summary."""
@@ -105,6 +147,16 @@ class SessionStats:
             lines.append(cache_line)
         else:
             lines.append("evaluation cache: unused")
+        if self.store_hits or self.store_writes:
+            lines.append(
+                f"persistent store: {self.store_hits} hits / "
+                f"{self.store_writes} new rows written"
+            )
+        if self.surrogate_skips or self.surrogate_refits:
+            lines.append(
+                f"surrogate screen: {self.surrogate_skips} proposals "
+                f"skipped, {self.surrogate_refits} model refits"
+            )
         if (
             self.worker_restarts
             or self.chains_quarantined

@@ -1,0 +1,233 @@
+"""Surrogate-guided candidate screening over the evaluation corpus.
+
+The APE paper's economy — spend cheap estimation first, exact
+evaluation only where it matters — stops at the annealer's move loop:
+every proposed candidate pays a full Newton/AWE evaluation.  The
+sample-efficiency literature (EEsizer, AnaFlow in PAPERS.md) shows the
+fix: learn a cheap model of ``parameters -> observed cost`` from the
+evaluations already performed and use it to *pre-rank* candidates, so
+the expensive evaluator only sees the most promising one of each batch.
+
+:class:`RidgeSurrogate` is deliberately modest — ridge regression over
+standardized log-parameter features plus their squares, solved by
+dense normal equations.  It is not trying to *replace* evaluation
+(that would break the determinism contract); it only has to order a
+handful of local perturbations better than chance, and a quadratic
+bowl in log space is exactly the local shape of the cost function the
+annealer walks.  Fitting costs microseconds, so it is refit
+incrementally every ``refit_every`` observations.
+
+:class:`SurrogateScreen` is the annealer-facing policy.  Determinism:
+the screen is a pure function of (training rows in insertion order,
+proposal batch), uses no RNG and no clock, and its training rows are
+the store corpus at the journaled generation plus the chain's own
+observations — both worker-count independent and bit-exact on resume.
+While inactive (fewer than ``min_samples`` rows) the annealer does not
+even draw extra proposals, so the pre-activation trajectory is
+bit-identical to ``surrogate="off"``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..parallel.memo import MemoKey
+
+__all__ = [
+    "RidgeSurrogate",
+    "SurrogateScreen",
+    "DEFAULT_BATCH",
+    "DEFAULT_MIN_SAMPLES",
+    "DEFAULT_REFIT_EVERY",
+]
+
+#: Proposals drawn per annealer move when the screen is active; one is
+#: evaluated, the rest are counted as ``surrogate_skips``.
+DEFAULT_BATCH = 4
+
+#: Observations required before the model activates.  Below this the
+#: quadratic fit is under-determined noise and screening would be a
+#: coin flip that still costs determinism-relevant RNG draws.
+DEFAULT_MIN_SAMPLES = 24
+
+#: Refit cadence (new observations between fits).  The fit is normal
+#: equations over a few dozen features — microseconds — so the cadence
+#: exists to bound bookkeeping, not compute.
+DEFAULT_REFIT_EVERY = 16
+
+
+class RidgeSurrogate:
+    """Ridge regression over standardized log-parameter features.
+
+    Features are ``[1, z, z**2]`` with ``z`` the per-dimension
+    standardized log-parameter vector; the target is
+    ``log1p(clamped cost)`` so failure plateaus (``FAILURE_COST``) do
+    not dominate the least-squares fit.  The model never sees —
+    and never influences — an actual evaluation result.
+    """
+
+    def __init__(self, n_dims: int, l2: float = 1e-3) -> None:
+        self.n_dims = n_dims
+        self.l2 = l2
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._weights is not None
+
+    def _features(self, logvecs: np.ndarray) -> np.ndarray:
+        assert self._mean is not None and self._scale is not None
+        z = (logvecs - self._mean) / self._scale
+        return np.concatenate([np.ones((len(z), 1)), z, z * z], axis=1)
+
+    def fit(self, logvecs: Sequence[Sequence[float]], targets: Sequence[float]) -> bool:
+        """Fit on the full corpus; returns False (keeping any previous
+        weights) if the normal equations are singular."""
+        x = np.asarray(logvecs, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        mean = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale = np.where(scale < 1e-12, 1.0, scale)
+        old = self._mean, self._scale, self._weights
+        self._mean, self._scale = mean, scale
+        f = self._features(x)
+        gram = f.T @ f + self.l2 * np.eye(f.shape[1])
+        try:
+            weights = np.linalg.solve(gram, f.T @ y)
+        except np.linalg.LinAlgError:
+            self._mean, self._scale, self._weights = old
+            return False
+        if not np.all(np.isfinite(weights)):
+            self._mean, self._scale, self._weights = old
+            return False
+        self._weights = weights
+        return True
+
+    def predict(self, logvecs: Sequence[Sequence[float]]) -> np.ndarray:
+        assert self._weights is not None
+        f = self._features(np.asarray(logvecs, dtype=float))
+        return f @ self._weights
+
+
+def _target(cost: float) -> float:
+    """Cost compressed for fitting: non-negative, log-tamed."""
+    return math.log1p(min(max(cost, 0.0), 1e9))
+
+
+class SurrogateScreen:
+    """Per-chain candidate screen: rank a proposal batch, pick one.
+
+    ``names`` fixes the feature order (sorted parameter names — the
+    same order :func:`~repro.parallel.memo.memo_key` sorts by, so
+    store-corpus rows and live observations share one layout).
+    """
+
+    def __init__(
+        self,
+        names: Iterable[str],
+        quantum: float,
+        *,
+        batch: int = DEFAULT_BATCH,
+        min_samples: int = DEFAULT_MIN_SAMPLES,
+        refit_every: int = DEFAULT_REFIT_EVERY,
+        l2: float = 1e-3,
+    ) -> None:
+        self.names = tuple(sorted(names))
+        self.quantum = quantum
+        self.batch = max(2, int(batch))
+        self.min_samples = max(2 * len(self.names) + 2, int(min_samples))
+        self.refit_every = max(1, int(refit_every))
+        self._model = RidgeSurrogate(len(self.names), l2=l2)
+        self._logvecs: list[tuple[float, ...]] = []
+        self._targets: list[float] = []
+        self._since_fit = 0
+        self.skips = 0
+        self.refits = 0
+        self.seeded_rows = 0
+
+    # ----------------------------------------------------------- training
+
+    def seed_corpus(self, rows: Iterable[tuple["MemoKey", float]]) -> int:
+        """Prime the model from store-corpus ``(key, cost)`` rows.
+
+        Quantized keys decode back to log-space coordinates exactly
+        (``log(v) ~= q * quantum`` to one part in 1e9).  Rows carrying
+        an evaluation-context tag (corner/Monte Carlo) or a different
+        parameter set are skipped — they belong to a different cost
+        surface.
+        """
+        added = 0
+        for key, cost in rows:
+            logvec = self._decode(key)
+            if logvec is None:
+                continue
+            self._logvecs.append(logvec)
+            self._targets.append(_target(cost))
+            added += 1
+        self.seeded_rows += added
+        self._since_fit += added
+        return added
+
+    def _decode(self, key: "MemoKey") -> tuple[float, ...] | None:
+        if len(key) != len(self.names):
+            return None
+        logvec = []
+        for (name, quant), expected in zip(key, self.names):
+            if name != expected or not isinstance(quant, int):
+                return None
+            logvec.append(quant * self.quantum)
+        return tuple(logvec)
+
+    def observe(self, params: Mapping[str, float], cost: float) -> None:
+        """Record one exact evaluation the chain just paid for."""
+        try:
+            logvec = tuple(math.log(params[name]) for name in self.names)
+        except (KeyError, ValueError):
+            return
+        self._logvecs.append(logvec)
+        self._targets.append(_target(cost))
+        self._since_fit += 1
+
+    def _maybe_fit(self) -> None:
+        if len(self._logvecs) < self.min_samples:
+            return
+        if self._model.fitted and self._since_fit < self.refit_every:
+            return
+        if self._model.fit(self._logvecs, self._targets):
+            self.refits += 1
+        self._since_fit = 0
+
+    # ---------------------------------------------------------- screening
+
+    @property
+    def active(self) -> bool:
+        """Whether the annealer should draw a batch for this move."""
+        return (
+            self._model.fitted
+            or len(self._logvecs) >= self.min_samples
+        )
+
+    def select(self, proposals: Sequence[Mapping[str, float]]) -> Mapping[str, float]:
+        """Pick the predicted-best proposal; ties break to the lowest
+        index so the choice is bitwise deterministic."""
+        self._maybe_fit()
+        if not self._model.fitted or len(proposals) <= 1:
+            return proposals[0]
+        logvecs = []
+        for params in proposals:
+            try:
+                logvecs.append(
+                    tuple(math.log(params[name]) for name in self.names)
+                )
+            except (KeyError, ValueError):
+                return proposals[0]
+        predictions = self._model.predict(logvecs)
+        choice = int(np.argmin(predictions))
+        self.skips += len(proposals) - 1
+        return proposals[choice]

@@ -45,10 +45,18 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis import AnalysisReport
 
-__all__ = ["SynthesisResult", "synthesize_opamp", "FEASIBILITY_MODES"]
+__all__ = [
+    "SynthesisResult",
+    "synthesize_opamp",
+    "FEASIBILITY_MODES",
+    "SURROGATE_MODES",
+]
 
 #: Accepted values of ``synthesize_opamp(feasibility=...)``.
 FEASIBILITY_MODES = ("off", "reject", "contract")
+
+#: Accepted values of ``synthesize_opamp(surrogate=...)``.
+SURROGATE_MODES = ("off", "rank")
 
 
 @dataclass
@@ -121,6 +129,17 @@ class SynthesisResult:
     #: (``feasibility != "off"``); ``None`` otherwise.  A rejected spec
     #: returns with ``evaluations == 0`` and this report's F/C findings.
     feasibility: "AnalysisReport | None" = None
+    #: Persistent evaluation store this run read/wrote (``None`` when
+    #: the run was memory-only) and its traffic: lookups served from
+    #: disk and new rows flushed back.
+    store_dir: str | None = None
+    store_hits: int = 0
+    store_writes: int = 0
+    #: Surrogate screening mode plus its counters: proposals discarded
+    #: un-evaluated and model (re)fits across all chains.
+    surrogate: str = "off"
+    surrogate_skips: int = 0
+    surrogate_refits: int = 0
 
     def metric(self, key: str, default: float = float("nan")) -> float:
         if self.metrics is None:
@@ -154,6 +173,8 @@ def synthesize_opamp(
     supervisor: "SupervisorConfig | None" = None,
     robust: RobustSpec | None = None,
     feasibility: str = "off",
+    store_dir: str | None = None,
+    surrogate: str = "off",
 ) -> SynthesisResult:
     """Run one APE(+/-)ASTRX/OBLX synthesis leg for an op-amp spec.
 
@@ -209,6 +230,19 @@ def synthesize_opamp(
     unchanged — variant evaluations are canonical and memo-tagged per
     corner/sample.
 
+    ``store_dir`` attaches the persistent cross-run evaluation store
+    (:mod:`repro.store`): every exact evaluation is read through and
+    written behind a shared SQLite database keyed by the problem's
+    content fingerprint, so a repeated (or resumed, or multi-tenant)
+    run starts warm.  ``surrogate="rank"`` additionally screens each
+    annealer move through a cheap ridge model fitted on the accumulated
+    corpus — several proposals are drawn, only the predicted best pays
+    a full evaluation.  ``store_dir=None, surrogate="off"`` (the
+    defaults) are bit-identical to the store-less code path; a
+    store-backed run's *results* are worker-count independent, and a
+    corrupt or locked store degrades to memory-only with a Diagnostic
+    instead of failing the run.
+
     ``feasibility`` arms the static pre-solve gate (:mod:`repro.analysis`):
     ``"reject"`` runs the interval feasibility analysis first and, when
     an F/C rule *proves* the spec unsatisfiable over the search box,
@@ -234,6 +268,11 @@ def synthesize_opamp(
             f"unknown feasibility mode {feasibility!r}",
             context={"feasibility": feasibility, "known": FEASIBILITY_MODES},
         )
+    if surrogate not in SURROGATE_MODES:
+        raise SpecificationError(
+            f"unknown surrogate mode {surrogate!r}",
+            context={"surrogate": surrogate, "known": SURROGATE_MODES},
+        )
     if synthesis_spec is None:
         synthesis_spec = opamp_synthesis_spec(spec)
     cost_fn = CostFunction(synthesis_spec)
@@ -242,7 +281,12 @@ def synthesize_opamp(
     # only this run's contribution.
     records_before = len(log.records)
     retries_before = retry.total_retries if retry is not None else 0
-    memo_obj = _resolve_memo(memo, restarts, journaled=run_dir is not None)
+    memo_obj = _resolve_memo(
+        memo,
+        restarts,
+        journaled=run_dir is not None,
+        stored=store_dir is not None,
+    )
 
     feasibility_report = None
     box_override: dict[str, tuple[float, float]] | None = None
@@ -287,7 +331,16 @@ def synthesize_opamp(
             if contracted != dict(feasibility_report.box):
                 box_override = contracted
 
-    if restarts > 1 or run_dir is not None:
+    if (
+        restarts > 1
+        or run_dir is not None
+        or store_dir is not None
+        or surrogate != "off"
+    ):
+        # Store-backed and surrogate-guided runs route through the
+        # executor path even at restarts=1: it owns the memo/store
+        # two-tier plumbing, and its single-chain trajectory is the
+        # same canonical evaluation sequence as the serial path.
         return _synthesize_parallel(
             tech=tech,
             spec=spec,
@@ -317,6 +370,8 @@ def synthesize_opamp(
             feasibility=feasibility,
             feasibility_report=feasibility_report,
             box_override=box_override,
+            store_dir=store_dir,
+            surrogate=surrogate,
         )
 
     # APE always provides the *structure* (ASTRX/OBLX also receives the
@@ -578,19 +633,24 @@ def _feasibility_gate(
     return report
 
 
-def _resolve_memo(memo, restarts: int, *, journaled: bool = False):
+def _resolve_memo(
+    memo, restarts: int, *, journaled: bool = False, stored: bool = False
+):
     """Normalize the ``memo`` argument to an EvalMemo or ``None``.
 
     ``None`` means "default policy": cache only when the run fans out
-    multiple chains or is journaled (a resumed run wants its warm
-    cache back) — a plain serial run stays exactly the classic code
-    path (and keeps exact-count fault-injection accounting).
+    multiple chains, is journaled (a resumed run wants its warm cache
+    back) or is store-backed (the memo is the store's front tier) — a
+    plain serial run stays exactly the classic code path (and keeps
+    exact-count fault-injection accounting).
     """
     from ..parallel import EvalMemo
 
     if isinstance(memo, EvalMemo):
         return memo
-    if memo is True or (memo is None and (restarts > 1 or journaled)):
+    if memo is True or (
+        memo is None and (restarts > 1 or journaled or stored)
+    ):
         return EvalMemo()
     return None
 
@@ -674,6 +734,8 @@ def _synthesize_parallel(
     feasibility="off",
     feasibility_report=None,
     box_override=None,
+    store_dir=None,
+    surrogate="off",
 ):
     """Fan ``restarts`` chains across the pool and merge the outcomes.
 
@@ -706,6 +768,43 @@ def _synthesize_parallel(
     fault_seed = injector.seed if injector is not None else 0
     config = supervisor if supervisor is not None else SupervisorConfig()
 
+    store = None
+    store_fingerprint = None
+    store_generation = 0
+    if store_dir is not None and memo is not None:
+        from ..store import EvalStore
+
+        store = EvalStore(store_dir, diagnostics=log)
+        # Everything the evaluation function depends on is part of the
+        # store namespace — conservative on purpose: a fingerprint that
+        # is too fine costs warm hits, one that is too coarse would
+        # serve a wrong result.
+        store_fingerprint = _run_fingerprint(
+            kind="eval-store/1",
+            tech=repr(tech),
+            spec=repr(spec),
+            topology=repr(topology),
+            mode=mode,
+            synthesis_spec=repr(synthesis_spec),
+            name=name,
+            range_factor=range_factor,
+            tolerant=tolerant,
+            lint=lint,
+            robust=repr(robust) if robust is not None else None,
+            box=repr(_box_key(box_override)),
+            quantum=memo.quantum,
+        )
+        # First contact opens the database; a corrupt/locked store
+        # degrades the whole run to memory-only here, before any task
+        # ships the store path to a worker.
+        store_generation = store.generation()
+        if store.disabled:
+            store = None
+            store_fingerprint = None
+            store_generation = 0
+        else:
+            memo.bind_store(store, store_fingerprint)
+
     journal = None
     journaled_outcomes: dict[int, object] = {}
     resumed_indices: list[int] = []
@@ -737,6 +836,11 @@ def _synthesize_parallel(
             fingerprint_parts["feasibility"] = repr(
                 (feasibility, _box_key(box_override))
             )
+        if surrogate != "off":
+            # Surrogate screening changes the trajectory, so it is part
+            # of the problem identity; a bare store (surrogate off)
+            # only changes speed and stays out of the fingerprint.
+            fingerprint_parts["surrogate"] = surrogate
         fingerprint = _run_fingerprint(**fingerprint_parts)
         if resume:
             manifest = journal.load_manifest()
@@ -760,20 +864,27 @@ def _synthesize_parallel(
                 warm = journal.load_memo()
                 if warm is not None and warm.quantum == memo.quantum:
                     memo.merge(warm)
+            if store is not None:
+                # Re-run chains must train their surrogate on exactly
+                # the corpus the original run saw — the journaled
+                # watermark, not whatever the store holds by now.
+                store_generation = int(manifest.get("store_generation", 0))
         else:
-            journal.initialize(
-                {
-                    "fingerprint": fingerprint,
-                    "name": name,
-                    "mode": mode,
-                    "seed": seed,
-                    "restarts": restarts,
-                    "chain_seeds": [
-                        derive_chain_seed(seed, index)
-                        for index in range(restarts)
-                    ],
-                }
-            )
+            manifest_payload = {
+                "fingerprint": fingerprint,
+                "name": name,
+                "mode": mode,
+                "seed": seed,
+                "restarts": restarts,
+                "chain_seeds": [
+                    derive_chain_seed(seed, index)
+                    for index in range(restarts)
+                ],
+            }
+            if store is not None:
+                manifest_payload["store_dir"] = str(store_dir)
+                manifest_payload["store_generation"] = store_generation
+            journal.initialize(manifest_payload)
 
     tasks = [
         ChainTask(
@@ -801,6 +912,10 @@ def _synthesize_parallel(
             memo_quantum=memo.quantum if memo is not None else None,
             robust=robust,
             box_override=_box_key(box_override),
+            store_dir=str(store_dir) if store is not None else None,
+            store_fingerprint=store_fingerprint,
+            store_generation=store_generation,
+            surrogate=surrogate,
         )
         for index in range(restarts)
         if index not in journaled_outcomes
@@ -809,6 +924,7 @@ def _synthesize_parallel(
         workers, max(len(tasks), 1), oversubscribe=oversubscribe
     )
     evictions_before = memo.evictions if memo is not None else 0
+    store_writes_before = memo.store_writes if memo is not None else 0
     start = time.perf_counter()
     fresh_outcomes, report = run_supervised_chains(
         tasks,
@@ -819,6 +935,13 @@ def _synthesize_parallel(
         journal=journal,
     )
     cpu = time.perf_counter() - start
+    if memo is not None:
+        # Final write-behind flush (the per-chain flushes already
+        # drained all but any tail merged after the last finish()).
+        memo.flush_store()
+    store_writes = (
+        memo.store_writes - store_writes_before if memo is not None else 0
+    )
 
     report.resumed.extend(resumed_indices)
     for index in resumed_indices:
@@ -856,6 +979,8 @@ def _synthesize_parallel(
         # so callers (and table runs) keep going.
         if journal is not None:
             journal.append("run-finished", completed=0, best_cost=None)
+        if store is not None:
+            store.close()
         global_stats().record_run(
             evaluations=0,
             seconds=cpu,
@@ -863,6 +988,7 @@ def _synthesize_parallel(
             chains_quarantined=len(report.quarantined),
             chains_resumed=len(report.resumed),
             interrupted=report.interrupted,
+            store_writes=store_writes,
         )
         return SynthesisResult(
             name=name,
@@ -885,6 +1011,9 @@ def _synthesize_parallel(
             run_dir=run_dir,
             robust_mode=robust.mode if robust is not None else None,
             feasibility=feasibility_report,
+            store_dir=str(store_dir) if store_dir is not None else None,
+            store_writes=store_writes,
+            surrogate=surrogate,
         )
 
     for outcome in outcomes:
@@ -900,6 +1029,11 @@ def _synthesize_parallel(
     chain_retries = sum(o.retries for o in outcomes)
     cache_hits = sum(o.cache_hits for o in outcomes)
     cache_misses = sum(o.cache_misses for o in outcomes)
+    store_hits = sum(getattr(o, "store_hits", 0) for o in outcomes)
+    surrogate_skips = sum(getattr(o, "surrogate_skips", 0) for o in outcomes)
+    surrogate_refits = sum(
+        getattr(o, "surrogate_refits", 0) for o in outcomes
+    )
     if retry is not None:
         # Chains consume per-chain copies of the policy; fold their
         # retries back so shared policies keep session-wide totals.
@@ -995,6 +1129,14 @@ def _synthesize_parallel(
                 f"{name}: {restarts} chains on {n_workers} worker(s): "
                 f"{evaluations} evaluations ({evals_per_second:.1f}/s), "
                 f"cache {cache_hits} hits / {cache_misses} misses"
+                + (
+                    f", store {store_hits} hits / {store_writes} writes"
+                    if store is not None else ""
+                )
+                + (
+                    f", surrogate {surrogate_skips} skips"
+                    if surrogate != "off" else ""
+                )
             ),
             context={
                 "name": name,
@@ -1002,6 +1144,9 @@ def _synthesize_parallel(
                 "workers": n_workers,
                 "cache_hits": cache_hits,
                 "cache_misses": cache_misses,
+                "store_hits": store_hits,
+                "store_writes": store_writes,
+                "surrogate_skips": surrogate_skips,
             },
         )
     )
@@ -1016,7 +1161,13 @@ def _synthesize_parallel(
         chains_quarantined=len(report.quarantined),
         chains_resumed=len(report.resumed),
         interrupted=report.interrupted,
+        store_hits=store_hits,
+        store_writes=store_writes,
+        surrogate_skips=surrogate_skips,
+        surrogate_refits=surrogate_refits,
     )
+    if store is not None:
+        store.close()
     if journal is not None:
         journal.append(
             "run-finished",
@@ -1074,4 +1225,10 @@ def _synthesize_parallel(
         estimated_yield=estimated_yield,
         corner_metrics=robust_detail if robust_detail is not None else {},
         feasibility=feasibility_report,
+        store_dir=str(store_dir) if store_dir is not None else None,
+        store_hits=store_hits,
+        store_writes=store_writes,
+        surrogate=surrogate,
+        surrogate_skips=surrogate_skips,
+        surrogate_refits=surrogate_refits,
     )

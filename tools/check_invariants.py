@@ -61,7 +61,7 @@ MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
 
 #: Package sub-directories whose modules must be chain-pure: a chain's
 #: result may depend only on ``(problem, seed)``, never ambient state.
-DETERMINISM_DIRS = {"synthesis", "parallel", "analysis"}
+DETERMINISM_DIRS = {"synthesis", "parallel", "analysis", "store"}
 #: Functions of the ``random`` module that draw from the *global*
 #: (unseeded) generator.  ``random.Random(...)`` is the fix, not a hit.
 GLOBAL_RNG_FUNCS = {

@@ -10,6 +10,9 @@ Commands mirror the library's main entry points:
 * ``analyze`` — static spec feasibility analysis: interval bounds over
   the APE estimator hierarchy, no Newton solves (exit 1 when the spec
   is provably infeasible),
+* ``serve`` — run the durable synthesis service: an HTTP API over a
+  crash-safe SQLite job queue with admission control, fingerprint
+  dedupe and journal-backed bit-exact resume (see docs/SERVICE.md),
 * ``simulate`` — DC/AC/transient analysis of a SPICE deck file,
 * ``lint`` — electrical rule check of SPICE deck files (text or JSON
   findings; exit 1 on error-severity findings),
@@ -306,6 +309,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated rule codes to run (default: all)")
     p.add_argument("--ignore", default=None,
                    help="comma-separated rule codes to suppress globally")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the durable synthesis service (HTTP + job queue)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8765,
+                   help="bind port; 0 picks a free port (default: 8765)")
+    p.add_argument("--data-dir", default="service-data",
+                   help="job queue + run journals + shared eval store "
+                        "(default: ./service-data)")
+    p.add_argument("--service-workers", type=int, default=1,
+                   help="concurrent jobs this server executes")
+    p.add_argument("--synth-workers", type=int, default=1,
+                   help="process-pool width per job (default: 1)")
+    p.add_argument("--oversubscribe", action="store_true",
+                   help="allow more synthesis workers than CPUs")
+    p.add_argument("--lease", default="15",
+                   help="job lease seconds; a crashed server's jobs "
+                        "become claimable after this (default: 15)")
+    p.add_argument("--max-queue-depth", type=int, default=64,
+                   help="bound on queued+running jobs before 429s")
+    p.add_argument("--tenant-max-active", type=int, default=8,
+                   help="per-tenant concurrent job cap")
+    p.add_argument("--tenant-max-evals", type=int, default=100000,
+                   help="per-tenant cap on summed max_evaluations of "
+                        "active jobs")
+    p.add_argument("--max-job-attempts", type=int, default=3,
+                   help="attempts before a job is quarantined as poison")
+    p.add_argument("--drain-timeout", default="30",
+                   help="seconds a SIGTERM drain waits for running jobs")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each HTTP request to stderr")
 
     p = sub.add_parser("simulate", help="analyse a SPICE deck file")
     p.add_argument("deck", help="path to a .cir/.sp deck")
@@ -912,6 +948,27 @@ def _cmd_simulate(args, tech) -> int:
     return 0
 
 
+def _cmd_serve(args, tech) -> int:
+    from .service import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        service_workers=args.service_workers,
+        synth_workers=args.synth_workers,
+        oversubscribe=args.oversubscribe,
+        lease_seconds=parse_quantity(args.lease),
+        max_queue_depth=args.max_queue_depth,
+        tenant_max_active=args.tenant_max_active,
+        tenant_max_evals=args.tenant_max_evals,
+        max_attempts=args.max_job_attempts,
+        drain_timeout_s=parse_quantity(args.drain_timeout),
+        verbose=args.verbose,
+    )
+    return run_service(tech, config)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -937,6 +994,7 @@ def main(argv: list[str] | None = None) -> int:
             "simulate": _cmd_simulate,
             "bench": _cmd_bench,
             "diagnostics": _cmd_diagnostics,
+            "serve": _cmd_serve,
         }[args.command]
         return handler(args, tech)
     except ApeError as exc:

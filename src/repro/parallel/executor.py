@@ -138,8 +138,11 @@ class ChainTask:
     tolerant: bool = True
     lint: bool = True
     retry: RetryPolicy | None = None
-    #: Shared wall-clock deadline as an absolute ``time.time()`` epoch
-    #: (every chain stops at the same instant, wherever it runs).
+    #: Shared deadline as an absolute ``time.monotonic()`` instant
+    #: (every chain stops at the same moment, wherever it runs: the
+    #: pool's fork-started workers share the parent's per-boot
+    #: CLOCK_MONOTONIC timebase, and unlike wall clock it cannot be
+    #: stepped by NTP mid-run).
     deadline_epoch: float | None = None
     max_failures: int | None = None
     per_eval_seconds: float | None = None
@@ -598,7 +601,7 @@ def run_chain(task: ChainTask, shared_memo: EvalMemo | None = None) -> ChainOutc
         ):
             deadline = None
             if task.deadline_epoch is not None:
-                deadline = max(task.deadline_epoch - time.time(), 1e-3)  # deterministic-ok: budget deadline
+                deadline = max(task.deadline_epoch - time.monotonic(), 1e-3)  # deterministic-ok: budget deadline (monotonic timebase, shared with the forking parent)
             budget = EvalBudget(
                 deadline_seconds=deadline,
                 max_failures=task.max_failures,
@@ -754,8 +757,19 @@ def run_supervised_chains(
             "interrupted",
             detail=f"{detail}; unfinished chains: {pending_indices}",
         )
+        if memo is not None:
+            # Drain the write-behind store buffer at the moment of
+            # interrupt: rows already paid for stay warm even if the
+            # interrupted caller never reaches its own final flush
+            # (second SIGINT, SIGTERM drain window elapsing).  The
+            # in-process path can hold unflushed mid-chain entries
+            # here; the pooled path is usually empty — either way the
+            # flush is idempotent.
+            memo.flush_store()
         if journal is not None:
             journal.append("interrupted", pending=pending_indices)
+            if memo is not None:
+                journal.snapshot_memo(memo)
 
     if n_workers <= 1:
         _run_in_process(

@@ -11,6 +11,16 @@ Per-evaluation timing is *soft*: a pure-Python evaluation cannot be
 preempted portably, so an evaluation that overruns ``per_eval_seconds``
 is completed, counted in ``slow_evaluations`` and reported via
 diagnostics rather than aborted mid-flight.
+
+All timing uses ``time.monotonic`` (the default ``clock``), never the
+wall clock: an NTP step or DST change mid-run must not fire a deadline
+early or starve it forever.  The engine's cross-process chain deadline
+(``ChainTask.deadline_epoch``) is an absolute monotonic instant for the
+same reason — Linux's ``CLOCK_MONOTONIC`` is system-wide per boot, so
+fork-started pool workers share the parent's timebase.  Persisted
+service-layer timestamps (job leases, retry backoff gates) are the one
+deliberate exception: they must survive a reboot, so they stay in epoch
+seconds (see :mod:`repro.service.queue`).
 """
 
 from __future__ import annotations

@@ -46,6 +46,20 @@ Instrumented sites:
     worker.  The optional ``chain`` field on :class:`FaultSpec`
     (``@N`` in ``REPRO_FAULTS``) restricts a fault to one chain
     index, so tests can kill *exactly one* worker deterministically.
+``service.crash``
+    Checked by the synthesis service's job monitor once per progress
+    poll *after* at least one chain has been journaled; fires via
+    ``os._exit`` so the whole server dies exactly like ``kill -9``,
+    leaving a leased job with a partial journal for the restarted
+    server to reclaim and resume bit-exact.
+``queue.busy``
+    Checked by every :class:`repro.service.queue.JobQueue` statement
+    batch; fires as a synthetic ``sqlite3.OperationalError: database
+    is locked`` to exercise the bounded busy-retry loop.
+``job.poison``
+    Checked once per job execution attempt by the service worker;
+    raises :class:`~repro.errors.SimulationError` so the retry /
+    exponential-backoff / quarantine ladder is exact-count testable.
 
 Arm from code::
 
@@ -85,6 +99,9 @@ __all__ = [
     "WORKER_KILL",
     "WORKER_HANG",
     "WORKER_SITES",
+    "SERVICE_CRASH",
+    "QUEUE_BUSY",
+    "JOB_POISON",
     "arm",
     "disarm",
     "active",
@@ -101,6 +118,15 @@ WORKER_KILL = "worker.kill"
 WORKER_HANG = "worker.hang"
 WORKER_SITES = frozenset({WORKER_KILL, WORKER_HANG})
 
+#: Service-layer fault sites (see the module docstring).
+#: ``service.crash`` hard-exits the server process (handled by the
+#: service's job monitor, never via :func:`check`); ``queue.busy``
+#: degrades into a synthetic SQLite lock inside the job queue;
+#: ``job.poison`` raises through :func:`check` on job execution.
+SERVICE_CRASH = "service.crash"
+QUEUE_BUSY = "queue.busy"
+JOB_POISON = "job.poison"
+
 #: Canonical exception raised by :func:`check` for each site.
 KNOWN_SITES: dict[str, type[ApeError]] = {
     "spice.dc": ConvergenceError,
@@ -110,6 +136,7 @@ KNOWN_SITES: dict[str, type[ApeError]] = {
     "estimator.opamp": EstimationError,
     "estimator.component": EstimationError,
     "synthesis.evaluate": SimulationError,
+    JOB_POISON: SimulationError,
 }
 
 

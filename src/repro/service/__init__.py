@@ -1,0 +1,34 @@
+"""Synthesis-as-a-service: durable job queue, admission, HTTP API.
+
+The service layer turns the synthesis engine into a long-running,
+crash-safe server (ROADMAP item 1).  See :mod:`repro.service.server`
+for the HTTP contract, :mod:`repro.service.queue` for the durable
+SQLite-WAL job queue and its lease/retry/quarantine semantics, and
+``docs/SERVICE.md`` for the full API and robustness story.
+"""
+
+from .jobs import AdmissionError, JobRequest, admit, job_id_for
+from .queue import JobQueue, JobRecord, QueueError
+from .server import (
+    ServiceConfig,
+    ServiceServer,
+    SynthesisService,
+    run_service,
+)
+from .worker import CRASH_EXIT_CODE, JobWorker
+
+__all__ = [
+    "AdmissionError",
+    "JobRequest",
+    "admit",
+    "job_id_for",
+    "JobQueue",
+    "JobRecord",
+    "QueueError",
+    "ServiceConfig",
+    "ServiceServer",
+    "SynthesisService",
+    "run_service",
+    "JobWorker",
+    "CRASH_EXIT_CODE",
+]

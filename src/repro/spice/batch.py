@@ -36,6 +36,7 @@ import numpy as np
 
 from . import linalg
 from .dc import (
+    DX_STALL_TOL,
     MAX_STEP,
     RESIDUAL_TOL,
     VOLTAGE_TOL,
@@ -298,7 +299,8 @@ class CandidateBatch:
                 v_scale = float(
                     np.max(np.abs(x2[k, :n_nodes]), initial=0.0)
                 )
-                if max_dx < VOLTAGE_TOL * (1.0 + v_scale):
+                tight = max_dx < VOLTAGE_TOL * (1.0 + v_scale)
+                if tight or max_dx < DX_STALL_TOL * (1.0 + v_scale):
                     res_norm = float(np.max(np.abs(res2[k])))
                     i_scale = float(
                         np.max(np.abs(jac3[k]) @ np.abs(x2[k]), initial=0.0)
@@ -306,6 +308,8 @@ class CandidateBatch:
                     if res_norm < RESIDUAL_TOL * (1.0 + i_scale):
                         out[k] = (x2[k].copy(), iteration)
                         active.remove(k)
+                        continue
+                    if not tight:
                         continue
                     x_scale = float(np.max(np.abs(x2[k]), initial=0.0))
                     if res_norm < 1e-6 and float(

@@ -31,6 +31,11 @@ MAX_STEP = 0.5
 #: Convergence thresholds.
 VOLTAGE_TOL = 1e-9
 RESIDUAL_TOL = 1e-9
+#: Step-stall admission for the residual gate: an ill-conditioned
+#: Jacobian pins |dx| at an amplified noise floor that can sit just
+#: above ``VOLTAGE_TOL``; steps below this (still microvolt-tight)
+#: bound may converge on the residual test alone.
+DX_STALL_TOL = 1e-6
 
 
 @dataclass
@@ -120,7 +125,8 @@ def _newton(
         # purely absolute tolerance can stall on circuits that are in
         # fact converged.
         v_scale = float(np.max(np.abs(x[: system.n_nodes]), initial=0.0))
-        if max_dx < VOLTAGE_TOL * (1.0 + v_scale):
+        tight = max_dx < VOLTAGE_TOL * (1.0 + v_scale)
+        if tight or max_dx < DX_STALL_TOL * (1.0 + v_scale):
             res_norm = float(np.max(np.abs(res)))
             # Relative residual check against the circuit's own current
             # scale: |J|·|x| bounds the largest stamped current, so a
@@ -128,7 +134,14 @@ def _newton(
             # nanoamp circuit keeps the absolute RESIDUAL_TOL floor).
             i_scale = float(np.max(np.abs(jac) @ np.abs(x), initial=0.0))
             if res_norm < RESIDUAL_TOL * (1.0 + i_scale):
+                # The residual is the ground truth (KCL satisfied at
+                # x); a dx held just above VOLTAGE_TOL by a badly
+                # conditioned Jacobian (e.g. megaohm-by-ohm resistor
+                # spreads) must not veto a machine-precision residual,
+                # hence the looser DX_STALL_TOL admission above.
                 return x, iteration
+            if not tight:
+                continue
             # A small full-vector step with a modest absolute residual
             # also counts as converged (branch currents included); the
             # node-voltage check above already implies the gate.

@@ -760,7 +760,11 @@ def _synthesize_parallel(
         budget.start()
         if budget.deadline_seconds is not None:
             remaining = budget.deadline_seconds - budget.elapsed()
-            deadline_epoch = time.time() + max(remaining, 0.0)  # deterministic-ok: budget deadline, not result-affecting
+            # Monotonic, not wall-clock: an NTP step mid-run would
+            # fire (or starve) a wall-clock deadline; CLOCK_MONOTONIC
+            # is system-wide per boot, so forked pool workers share
+            # the same timebase as this parent.
+            deadline_epoch = time.monotonic() + max(remaining, 0.0)  # deterministic-ok: budget deadline, not result-affecting
     injector = faults.active()
     fault_specs = (
         tuple(injector.specs.values()) if injector is not None else None

@@ -15,9 +15,11 @@ Stdlib-only AST lint (no third-party dependencies) over ``src/``:
   mutable literals (``[]``, ``{}``, ``set()``, ...): the default is
   created once and shared across calls.
 * **nondeterminism** (chain-pure modules only: ``repro.synthesis``,
-  ``repro.parallel``, ``repro.analysis``) — synthesis results must be
-  bit-reproducible from ``(problem, seed)``, including across
-  ``--resume``, so these modules must not read ambient entropy:
+  ``repro.parallel``, ``repro.analysis``, ``repro.store``,
+  ``repro.service``) — synthesis results must be bit-reproducible
+  from ``(problem, seed)``, including across ``--resume`` and
+  service-layer crash recovery, so these modules must not read
+  ambient entropy:
 
   - module-level RNG calls (``random.uniform(...)``,
     ``np.random.rand(...)``) share unseeded global state — construct a
@@ -61,7 +63,7 @@ MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
 
 #: Package sub-directories whose modules must be chain-pure: a chain's
 #: result may depend only on ``(problem, seed)``, never ambient state.
-DETERMINISM_DIRS = {"synthesis", "parallel", "analysis", "store"}
+DETERMINISM_DIRS = {"synthesis", "parallel", "analysis", "store", "service"}
 #: Functions of the ``random`` module that draw from the *global*
 #: (unseeded) generator.  ``random.Random(...)`` is the fix, not a hit.
 GLOBAL_RNG_FUNCS = {
